@@ -1,0 +1,233 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the supplementary figures listed in DESIGN.md, then runs
+   bechamel micro-benchmarks (one Test.make per experiment).
+
+   Experiments (ids from DESIGN.md):
+     T1 — Section 8 table (the paper's only table)
+     E1 — Examples 1b/2/3 (rules M / SS / LS)
+     S5 — Section 5 urn-model numbers
+     S6 — Section 6 single-table numbers
+     F1 — error propagation vs number of joins (supplementary)
+     F2 — local-predicate selectivity sweep (supplementary)
+     F3 — plan quality on random chain queries (supplementary)
+     F4 — skewed local predicates: uniform vs histogram vs MCV (supplementary)
+     F5 — join-order enumerators: DP vs greedy vs randomized (supplementary)
+     F6 — q-error study over mixed random workloads (supplementary)
+     F7 — uniformity limits on skewed join columns (supplementary)
+
+   Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs). *)
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let run_t1 () =
+  section "T1: Section 8 experiment (paper's table)";
+  let scale = if quick then 10 else 1 in
+  if scale <> 1 then Printf.printf "(scaled down %dx)\n" scale;
+  let rows = Harness.Section8_experiment.run ~scale () in
+  print_string (Harness.Section8_experiment.render rows);
+  print_newline ();
+  print_endline "Paper reported:";
+  print_string
+    (Harness.Report.table
+       ~header:
+         [
+           "Query"; "Algorithm"; "Join Order"; "Estimated Result Sizes";
+           "Time (s)";
+         ]
+       (List.map
+          (fun (q, a, o, est, t) ->
+            [
+              q; a; o;
+              (if est = [] then "-" else Harness.Report.size_list est);
+              Harness.Report.float_cell t;
+            ])
+          Harness.Section8_experiment.paper_rows))
+
+(* Ablation: the same experiment when the optimizer may also use hash
+   joins and index nested loops. Better access paths soften the damage of
+   bad join orders, but the misestimates (and ELS's advantage) remain. *)
+let run_t1_ablation () =
+  section "T1-ablation: Section 8 with hash joins and index access enabled";
+  let scale = if quick then 10 else 1 in
+  let methods =
+    [
+      Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash;
+      Exec.Plan.Index_nested_loop;
+    ]
+  in
+  let rows = Harness.Section8_experiment.run ~scale ~methods () in
+  print_string (Harness.Section8_experiment.render rows)
+
+let run_e1 () =
+  section "E1: Examples 1b/2/3 — rules M / SS / LS";
+  print_string (Harness.Examples_tables.render_rules_table ())
+
+let run_s5 () =
+  section "S5: Section 5 urn-model example";
+  print_string (Harness.Examples_tables.render_urn_table ())
+
+let run_s6 () =
+  section "S6: Section 6 single-table example";
+  print_string (Harness.Examples_tables.render_single_table ())
+
+let run_f1 () =
+  section "F1: estimation error vs number of joins (geo-mean est/true)";
+  let seeds = if quick then [ 1; 2; 3 ] else List.init 10 (fun i -> i + 1) in
+  let max_tables = if quick then 5 else 7 in
+  print_string
+    (Harness.Error_propagation.render
+       (Harness.Error_propagation.run ~seeds ~max_tables ()))
+
+let run_f2 () =
+  section "F2: local predicate vs join selectivity (Section 5 mechanism)";
+  print_string (Harness.Local_sweep.render (Harness.Local_sweep.run ()))
+
+let run_f3 () =
+  section "F3: plan quality on random chain queries";
+  let seeds = if quick then [ 1; 2 ] else List.init 5 (fun i -> i + 1) in
+  let rows = Harness.Plan_quality.run ~seeds () in
+  print_string (Harness.Plan_quality.render rows);
+  print_endline "geo-mean work ratio per algorithm (1.0 = best plan found):";
+  List.iter
+    (fun (algo, geo) -> Printf.printf "  %-8s %.3f\n" algo geo)
+    (Harness.Plan_quality.summarize rows)
+
+let run_f5 () =
+  section "F5: join-order enumerators (DP vs greedy vs randomized) under ELS";
+  let seeds = if quick then [ 1; 2 ] else List.init 5 (fun i -> i + 1) in
+  print_string (Harness.Enumerators.render (Harness.Enumerators.run ~seeds ()))
+
+let run_f4 () =
+  section "F4: skewed (Zipf) local predicates — uniform vs histogram vs MCV";
+  print_string (Harness.Skew_accuracy.render (Harness.Skew_accuracy.run ()))
+
+let run_f7 () =
+  section "F7: uniformity-assumption limits on skewed join columns";
+  let thetas = if quick then [ 0.; 1.0 ] else [ 0.; 0.5; 1.0; 1.5 ] in
+  print_string (Harness.Skew_join.render (Harness.Skew_join.run ~thetas ()))
+
+let run_f6 () =
+  section "F6: q-error study over mixed random workloads";
+  let seeds = if quick then [ 1; 2; 3 ] else List.init 8 (fun i -> i + 1) in
+  print_string (Harness.Accuracy.render (Harness.Accuracy.run ~seeds ()))
+
+(* --- bechamel micro-benchmarks: one Test.make per experiment --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Shared inputs, built once so the benchmarks measure the algorithms,
+     not data generation. *)
+  let s8_scale = if quick then 50 else 10 in
+  let s8_db = Datagen.Section8.build ~scale:s8_scale ~seed:1 () in
+  let s8_query = Datagen.Section8.query_scaled ~scale:s8_scale in
+  let chain = Datagen.Workload.chain ~seed:3 ~n_tables:6 () in
+  let chain_db = chain.Datagen.Workload.db in
+  let chain_q = chain.Datagen.Workload.query in
+  let chain_order = chain_q.Query.tables in
+  let sweep_db, sweep_q =
+    let rng = Datagen.Prng.create 7 in
+    let db = Catalog.Db.create () in
+    ignore
+      (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:"r1"
+         ~rows:2000
+         [ Datagen.Tablegen.key_column "x" ~rows:2000 ]);
+    ignore
+      (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:"r2"
+         ~rows:1000
+         [ Datagen.Tablegen.column "y" ~distinct:100 ]);
+    ( db,
+      Query.make ~tables:[ "r1"; "r2" ]
+        [
+          Query.Predicate.col_eq (Query.Cref.v "r1" "x")
+            (Query.Cref.v "r2" "y");
+          Query.Predicate.cmp (Query.Cref.v "r1" "x") Rel.Cmp.Le
+            (Rel.Value.Int 200);
+        ] )
+  in
+  Test.make_grouped ~name:"elsdb"
+    [
+      Test.make ~name:"t1/optimize+execute"
+        (Staged.stage (fun () ->
+             let choice = Optimizer.choose Els.Config.els s8_db s8_query in
+             Exec.Executor.count s8_db choice.Optimizer.plan));
+      Test.make ~name:"e1/three-rules"
+        (Staged.stage (fun () -> Harness.Examples_tables.rules_table ()));
+      Test.make ~name:"s5/urn-model"
+        (Staged.stage (fun () ->
+             Stats.Urn.expected_distinct ~urns:10000. ~balls:50000.));
+      Test.make ~name:"s6/profile-build"
+        (Staged.stage (fun () ->
+             Harness.Examples_tables.single_table_numbers ()));
+      Test.make ~name:"f1/chain-estimate"
+        (Staged.stage (fun () ->
+             Els.estimate Els.Config.els chain_db chain_q chain_order));
+      Test.make ~name:"f2/local-aware-estimate"
+        (Staged.stage (fun () ->
+             Els.estimate Els.Config.els sweep_db sweep_q [ "r1"; "r2" ]));
+      Test.make ~name:"f3/dp-optimize"
+        (Staged.stage (fun () ->
+             Optimizer.choose Els.Config.els chain_db chain_q));
+      Test.make ~name:"f4/mcv-build"
+        (Staged.stage
+           (let rng = Datagen.Prng.create 13 in
+            let values =
+              Array.map
+                (fun v -> Rel.Value.Int v)
+                (Datagen.Distribution.generate (Datagen.Distribution.Zipf 1.2)
+                   rng ~rows:10000 ~distinct:500)
+            in
+            fun () -> Stats.Mcv.build ~k:50 values));
+    ]
+
+let run_micro () =
+  section "Micro-benchmarks (bechamel; ns per run, OLS fit)";
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 0.75))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | Some _ | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square ols_result with
+          | Some r -> Printf.sprintf "%.4f" r
+          | None -> "-"
+        in
+        [ name; estimate; r2 ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string
+    (Harness.Report.table ~header:[ "benchmark"; "ns/run"; "r2" ] rows)
+
+let () =
+  run_t1 ();
+  run_t1_ablation ();
+  run_e1 ();
+  run_s5 ();
+  run_s6 ();
+  run_f1 ();
+  run_f2 ();
+  run_f3 ();
+  run_f4 ();
+  run_f5 ();
+  run_f6 ();
+  run_f7 ();
+  run_micro ();
+  print_newline ();
+  print_endline "All experiments completed."

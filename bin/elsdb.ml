@@ -1,0 +1,237 @@
+(* elsdb — command-line front end.
+
+   Subcommands:
+     section8   reproduce the paper's Section 8 experiment
+     estimate   estimate join sizes for a SQL query under each algorithm
+     explain    show the plan an algorithm's estimates lead to
+     run        optimize, execute and report work counters
+     closure    print the transitive closure of a query's predicates
+
+   Built-in databases (--db):
+     section8[:SCALE]   the paper's S/M/B/G tables (default scale 10)
+     chain:N            a random N-table chain workload
+     star:N             a fact table with N dimensions *)
+
+open Cmdliner
+
+let db_of_string spec =
+  let parts = String.split_on_char ':' spec in
+  match parts with
+  | [ "section8" ] ->
+    Ok (Datagen.Section8.build ~scale:10 ~seed:42 (), None)
+  | [ "section8"; scale ] -> begin
+    match int_of_string_opt scale with
+    | Some scale when scale >= 1 ->
+      Ok (Datagen.Section8.build ~scale ~seed:42 (), None)
+    | Some _ | None -> Error "section8 scale must be a positive integer"
+  end
+  | [ "chain"; n ] -> begin
+    match int_of_string_opt n with
+    | Some n when n >= 2 ->
+      let spec = Datagen.Workload.chain ~seed:42 ~n_tables:n () in
+      Ok (spec.Datagen.Workload.db, Some spec.Datagen.Workload.query)
+    | Some _ | None -> Error "chain needs at least 2 tables"
+  end
+  | [ "star"; n ] -> begin
+    match int_of_string_opt n with
+    | Some n when n >= 1 ->
+      let spec = Datagen.Workload.star ~seed:42 ~n_dims:n () in
+      Ok (spec.Datagen.Workload.db, Some spec.Datagen.Workload.query)
+    | Some _ | None -> Error "star needs at least 1 dimension"
+  end
+  | "csv" :: paths when paths <> [] -> begin
+    (* csv:PATH[:PATH...] — one table per file, named by basename. *)
+    match
+      let db = Catalog.Db.create () in
+      List.iter
+        (fun path ->
+          let table =
+            Filename.remove_extension (Filename.basename path)
+            |> String.lowercase_ascii
+          in
+          ignore
+            (Catalog.Analyze.register db ~name:table
+               (Rel.Csv.relation_of_file ~table path)))
+        paths;
+      db
+    with
+    | db -> Ok (db, None)
+    | exception Sys_error msg -> Error msg
+    | exception Invalid_argument msg -> Error msg
+  end
+  | _ -> Error (Printf.sprintf "unknown database spec %S" spec)
+
+let db_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (db_of_string s) in
+  let print ppf _ = Format.pp_print_string ppf "<db>" in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Result.get_ok (db_of_string "section8"))
+    & info [ "db" ] ~docv:"DB"
+        ~doc:
+          "Database: section8[:SCALE], chain:N, star:N, or \
+           csv:FILE[:FILE...] (one table per file, named by basename).")
+
+let sql_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sql" ] ~docv:"SQL"
+        ~doc:"Query text; defaults to the database's canonical query.")
+
+let algo_of_string = function
+  | "sm" -> Ok (Els.Config.sm ~ptc:false)
+  | "sm+ptc" -> Ok (Els.Config.sm ~ptc:true)
+  | "sss" -> Ok Els.Config.sss
+  | "els" -> Ok Els.Config.els
+  | s -> Error (Printf.sprintf "unknown algorithm %S (sm, sm+ptc, sss, els)" s)
+
+let algo_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (algo_of_string s) in
+  let print ppf c = Format.pp_print_string ppf (Els.Config.name c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Els.Config.els
+    & info [ "algo" ] ~docv:"ALGO" ~doc:"Estimation algorithm: sm, sm+ptc, sss, els.")
+
+let enumerator_arg =
+  let parse = function
+    | "dp" -> Ok Optimizer.Exhaustive
+    | "greedy" -> Ok Optimizer.Greedy_order
+    | "random" -> Ok (Optimizer.Randomized 1)
+    | s -> Error (`Msg (Printf.sprintf "unknown enumerator %S (dp, greedy, random)" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | Optimizer.Exhaustive -> "dp"
+      | Optimizer.Greedy_order -> "greedy"
+      | Optimizer.Randomized _ -> "random")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Optimizer.Exhaustive
+    & info [ "enumerator" ] ~docv:"ENUM"
+        ~doc:"Join-order enumerator: dp (exhaustive), greedy, or random.")
+
+let resolve_query (db, default_query) sql =
+  match sql with
+  | Some text -> Sqlfront.Binder.compile db text
+  | None -> begin
+    match default_query with
+    | Some q -> Ok q
+    | None -> Ok (Datagen.Section8.query_scaled ~scale:10)
+  end
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* --- section8 --- *)
+
+let section8_cmd =
+  let scale =
+    Arg.(
+      value & opt int 10
+      & info [ "scale" ] ~docv:"N" ~doc:"Divide the paper's table sizes by $(docv).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run scale seed =
+    let rows = Harness.Section8_experiment.run ~scale ~seed () in
+    print_string (Harness.Section8_experiment.render rows)
+  in
+  Cmd.v
+    (Cmd.info "section8" ~doc:"Reproduce the paper's Section 8 experiment.")
+    Term.(const run $ scale $ seed)
+
+(* --- estimate --- *)
+
+let estimate_cmd =
+  let run dbspec sql =
+    let db, _ = dbspec in
+    let query = or_die (resolve_query dbspec sql) in
+    Printf.printf "query: %s\n\n" (Query.to_string query);
+    let order = query.Query.tables in
+    List.iter
+      (fun config ->
+        let history =
+          Harness.Runner.estimate_only config db query order
+        in
+        Printf.printf "%-8s along %s: %s\n"
+          (Els.Config.name config)
+          (String.concat " ⋈ " order)
+          (Harness.Report.size_list history))
+      [
+        Els.Config.sm ~ptc:false; Els.Config.sm ~ptc:true; Els.Config.sss;
+        Els.Config.els;
+      ]
+  in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Estimate intermediate join sizes under every algorithm.")
+    Term.(const run $ db_arg $ sql_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let run dbspec sql config enumerator =
+    let db, _ = dbspec in
+    let query = or_die (resolve_query dbspec sql) in
+    let choice = Optimizer.choose ~enumerator config db query in
+    Optimizer.explain Format.std_formatter choice
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the plan the chosen algorithm leads to.")
+    Term.(const run $ db_arg $ sql_arg $ algo_arg $ enumerator_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let run dbspec sql config =
+    let db, _ = dbspec in
+    let query = or_die (resolve_query dbspec sql) in
+    let trial = Harness.Runner.run config db query in
+    Printf.printf "algorithm:  %s\n" trial.Harness.Runner.algorithm;
+    Printf.printf "join order: %s\n"
+      (String.concat " ⋈ " trial.Harness.Runner.join_order);
+    Printf.printf "estimates:  %s\n"
+      (Harness.Report.size_list trial.Harness.Runner.estimates);
+    Printf.printf "true sizes: %s\n"
+      (Harness.Report.size_list trial.Harness.Runner.true_sizes);
+    Printf.printf "result:     %d rows\n" trial.Harness.Runner.result_rows;
+    Printf.printf "work:       %d tuples (%.3fs)\n" trial.Harness.Runner.work
+      trial.Harness.Runner.elapsed_s
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize, execute and report measured work.")
+    Term.(const run $ db_arg $ sql_arg $ algo_arg)
+
+(* --- closure --- *)
+
+let closure_cmd =
+  let run dbspec sql =
+    let db, _ = dbspec in
+    ignore db;
+    let query = or_die (resolve_query dbspec sql) in
+    let closed = Els.Closure.close_query query in
+    Printf.printf "original: %s\n" (Query.to_string query);
+    Printf.printf "closed:   %s\n" (Query.to_string closed)
+  in
+  Cmd.v
+    (Cmd.info "closure"
+       ~doc:"Print the predicate transitive closure of a query.")
+    Term.(const run $ db_arg $ sql_arg)
+
+let () =
+  let info =
+    Cmd.info "elsdb" ~version:"1.0.0"
+      ~doc:
+        "Join result size estimation (Swami & Schiefer, EDBT 1994) on an \
+         in-memory relational engine."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd ]))

@@ -1,0 +1,43 @@
+(* A tour of the five transitive-closure derivations of Section 4,
+   step 2, each shown on the paper's own schema.
+
+   Run with: dune exec examples/closure_tour.exe *)
+
+let show title preds =
+  Printf.printf "%s\n" title;
+  Printf.printf "  given:\n";
+  List.iter
+    (fun p -> Printf.printf "    %s\n" (Query.Predicate.to_string p))
+    preds;
+  Printf.printf "  implied:\n";
+  let implied = Els.Closure.implied preds in
+  if implied = [] then Printf.printf "    (nothing)\n"
+  else
+    List.iter
+      (fun p -> Printf.printf "    %s\n" (Query.Predicate.to_string p))
+      implied;
+  print_newline ()
+
+let c t col = Query.Cref.v t col
+let eq a b = Query.Predicate.col_eq a b
+let lt col k = Query.Predicate.cmp col Rel.Cmp.Lt (Rel.Value.Int k)
+
+let () =
+  show "2a: two join predicates imply a join predicate"
+    [ eq (c "r1" "x") (c "r2" "y"); eq (c "r2" "y") (c "r3" "z") ];
+  show "2b: two join predicates imply a local predicate"
+    [ eq (c "r1" "x") (c "r2" "y"); eq (c "r1" "x") (c "r2" "w") ];
+  show "2c: two local predicates imply a local predicate"
+    [ eq (c "r1" "x") (c "r1" "y"); eq (c "r1" "y") (c "r1" "z") ];
+  show "2d: a join predicate and a local predicate imply a join predicate"
+    [ eq (c "r1" "x") (c "r2" "y"); eq (c "r1" "x") (c "r1" "v") ];
+  show "2e: a join predicate and a constant comparison propagate"
+    [ eq (c "r1" "x") (c "r2" "y"); lt (c "r1" "x") 500 ];
+  (* The paper's Section 8 rewrite, reproduced in full. *)
+  show "Section 8 query after closure"
+    [
+      eq (c "s" "s") (c "m" "m");
+      eq (c "m" "m") (c "b" "b");
+      eq (c "b" "b") (c "g" "g");
+      lt (c "s" "s") 100;
+    ]

@@ -1,0 +1,64 @@
+(* Quickstart: build a small database, write a SQL query, compare the
+   estimation algorithms, optimize, execute.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Generate and register three stored tables. Every column is
+     integer-valued; `key_column` makes a permutation of 1..rows. *)
+  let rng = Datagen.Prng.create 2024 in
+  let db = Catalog.Db.create () in
+  let add table rows specs =
+    ignore (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table ~rows specs)
+  in
+  add "users" 10_000 [ Datagen.Tablegen.key_column "id" ~rows:10_000 ];
+  add "orders" 50_000
+    [
+      Datagen.Tablegen.key_column "oid" ~rows:50_000;
+      Datagen.Tablegen.column "user_id" ~distinct:10_000;
+    ];
+  add "payments" 30_000
+    [
+      Datagen.Tablegen.column "order_id" ~distinct:30_000;
+      Datagen.Tablegen.column "amount" ~distinct:500;
+    ];
+
+  (* 2. Compile a SQL query against the catalog. *)
+  let sql =
+    "SELECT COUNT(*) FROM users, orders, payments \
+     WHERE users.id = orders.user_id AND orders.oid = payments.order_id \
+     AND users.id < 1000"
+  in
+  let query = Sqlfront.Binder.compile_exn db sql in
+  Printf.printf "query: %s\n\n" (Query.to_string query);
+
+  (* 3. What does transitive closure add? *)
+  let implied = Els.Closure.implied query.Query.predicates in
+  Printf.printf "implied predicates:\n";
+  List.iter
+    (fun p -> Printf.printf "  %s\n" (Query.Predicate.to_string p))
+    implied;
+  print_newline ();
+
+  (* 4. Estimate the final join size along one order with each algorithm. *)
+  let order = [ "users"; "orders"; "payments" ] in
+  List.iter
+    (fun config ->
+      let est = Els.estimate config db query order in
+      Printf.printf "%-8s estimates |users ⋈ orders ⋈ payments| = %.4g\n"
+        (Els.Config.name config) est)
+    [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ];
+  print_newline ();
+
+  (* 5. Let the optimizer pick a plan under ELS, then execute it. *)
+  let choice = Optimizer.choose Els.Config.els db query in
+  Optimizer.explain Format.std_formatter choice;
+  let rows, counters, elapsed = Exec.Executor.count db choice.Optimizer.plan in
+  Printf.printf "\nexecuted: COUNT(*) = %d  (%s, %.3fs)\n" rows
+    (Format.asprintf "%a" Exec.Counters.pp counters)
+    elapsed;
+
+  (* 6. Ground truth without the optimizer. *)
+  let truth = Exec.Executor.run_query db query in
+  Printf.printf "reference execution agrees: %d rows\n"
+    truth.Exec.Executor.row_count

@@ -1,0 +1,20 @@
+let table ?histogram ?histogram_buckets ?mcv ~name relation =
+  let relation = Rel.Relation.rename relation name in
+  let schema = Rel.Relation.schema relation in
+  let column_stats =
+    List.mapi
+      (fun i col ->
+        let values = Rel.Relation.column_values relation i in
+        let stats =
+          Stats.Col_stats.of_values ?histogram ?histogram_buckets ?mcv values
+        in
+        (col.Rel.Schema.name, stats))
+      (Rel.Schema.columns schema)
+  in
+  Table.stored ~name ~row_count:(Rel.Relation.cardinality relation)
+    ~column_stats relation
+
+let register ?histogram ?histogram_buckets ?mcv db ~name relation =
+  let entry = table ?histogram ?histogram_buckets ?mcv ~name relation in
+  Db.add db entry;
+  entry

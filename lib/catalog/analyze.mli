@@ -1,0 +1,27 @@
+(** Statistics collection (the [ANALYZE] of this engine).
+
+    Scans a stored relation and produces the exact table cardinality and
+    per-column statistics (distinct counts, bounds, optional histograms)
+    that the estimation algorithms consume. *)
+
+val table :
+  ?histogram:Stats.Histogram.kind ->
+  ?histogram_buckets:int ->
+  ?mcv:int ->
+  name:string ->
+  Rel.Relation.t ->
+  Table.t
+(** [table ~name r] analyzes every column of [r]. When [histogram] is given,
+    numeric columns additionally get a distribution histogram; when [mcv]
+    is given, every column gets a most-common-value sketch of that many
+    entries. *)
+
+val register :
+  ?histogram:Stats.Histogram.kind ->
+  ?histogram_buckets:int ->
+  ?mcv:int ->
+  Db.t ->
+  name:string ->
+  Rel.Relation.t ->
+  Table.t
+(** Analyze and add to the catalog in one step; returns the table entry. *)

@@ -1,0 +1,48 @@
+type t = {
+  by_name : (string, Table.t) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { by_name = Hashtbl.create 16; order = [] }
+
+let add t table =
+  let name = table.Table.name in
+  if Hashtbl.mem t.by_name name then
+    invalid_arg (Printf.sprintf "Catalog.Db.add: duplicate table %s" name);
+  Hashtbl.add t.by_name name table;
+  t.order <- name :: t.order
+
+let find t name = Hashtbl.find_opt t.by_name (String.lowercase_ascii name)
+
+let find_exn t name =
+  match find t name with
+  | Some table -> table
+  | None -> raise Not_found
+
+let mem t name = find t name <> None
+
+let tables t = List.rev_map (Hashtbl.find t.by_name) t.order
+
+let relation_exn t name =
+  let table = find_exn t name in
+  match table.Table.data with
+  | Some relation -> relation
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Catalog.Db.relation_exn: table %s is stats-only"
+         table.Table.name)
+
+let resolve_column t name =
+  let name = String.lowercase_ascii name in
+  let hits =
+    List.filter_map
+      (fun table ->
+        if Table.has_column table name then Some (table.Table.name, name)
+        else None)
+      (tables t)
+  in
+  match hits with
+  | [ hit ] -> Some hit
+  | [] | _ :: _ :: _ -> None
+
+let pp ppf t = List.iter (Table.pp ppf) (tables t)

@@ -1,0 +1,31 @@
+(** The database catalog: a registry of tables.
+
+    This is the single source both the optimizer (statistics) and the
+    executor (stored relations) read from. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Table.t -> unit
+(** @raise Invalid_argument when a table of the same name already exists. *)
+
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+(** @raise Not_found when no such table is registered. *)
+
+val mem : t -> string -> bool
+val tables : t -> Table.t list
+(** Tables in registration order. *)
+
+val relation_exn : t -> string -> Rel.Relation.t
+(** Stored data of a table.
+    @raise Invalid_argument when the table is stats-only.
+    @raise Not_found when no such table is registered. *)
+
+val resolve_column : t -> string -> (string * string) option
+(** [resolve_column db name] finds the unique table exposing an unqualified
+    column [name], returning [(table, column)]; [None] when missing or
+    ambiguous. Used by the SQL binder. *)
+
+val pp : Format.formatter -> t -> unit

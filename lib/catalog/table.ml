@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  schema : Rel.Schema.t;
+  data : Rel.Relation.t option;
+  row_count : int;
+  column_stats : (string * Stats.Col_stats.t) list;
+}
+
+let normalize_stats column_stats =
+  List.map
+    (fun (name, stats) -> (String.lowercase_ascii name, stats))
+    column_stats
+
+let stored ~name ~row_count ~column_stats relation =
+  {
+    name = String.lowercase_ascii name;
+    schema = Rel.Relation.schema relation;
+    data = Some relation;
+    row_count;
+    column_stats = normalize_stats column_stats;
+  }
+
+let stats_only ~name ~schema ~row_count ~column_stats =
+  {
+    name = String.lowercase_ascii name;
+    schema;
+    data = None;
+    row_count;
+    column_stats = normalize_stats column_stats;
+  }
+
+let col_stats t name =
+  List.assoc_opt (String.lowercase_ascii name) t.column_stats
+
+let col_stats_exn t name =
+  match col_stats t name with
+  | Some s -> s
+  | None -> raise Not_found
+
+let distinct t name =
+  match col_stats t name with
+  | Some s -> s.Stats.Col_stats.distinct
+  | None -> t.row_count
+
+let has_column t name =
+  Rel.Schema.mem t.schema ~table:t.name ~name
+
+let pp ppf t =
+  Format.fprintf ppf "table %s: %d rows, %s@." t.name t.row_count
+    (if t.data = None then "stats-only" else "stored");
+  List.iter
+    (fun (name, stats) ->
+      Format.fprintf ppf "  %s %a@." name Stats.Col_stats.pp stats)
+    t.column_stats

@@ -1,0 +1,41 @@
+(** Table metadata: schema, cardinality and per-column statistics.
+
+    A table may be {e stored} (carrying an in-memory relation, so plans can
+    actually execute against it) or {e stats-only} (carrying nothing but
+    catalog numbers, which is all the paper's worked examples specify). *)
+
+type t = {
+  name : string; (** lower-cased table name *)
+  schema : Rel.Schema.t;
+  data : Rel.Relation.t option;
+  row_count : int; (** table cardinality ‖R‖ *)
+  column_stats : (string * Stats.Col_stats.t) list;
+}
+
+val stored :
+  name:string ->
+  row_count:int ->
+  column_stats:(string * Stats.Col_stats.t) list ->
+  Rel.Relation.t ->
+  t
+
+val stats_only :
+  name:string ->
+  schema:Rel.Schema.t ->
+  row_count:int ->
+  column_stats:(string * Stats.Col_stats.t) list ->
+  t
+
+val col_stats : t -> string -> Stats.Col_stats.t option
+(** Statistics of a column by (lower-cased) name. *)
+
+val col_stats_exn : t -> string -> Stats.Col_stats.t
+(** @raise Not_found when the column has no recorded statistics. *)
+
+val distinct : t -> string -> int
+(** Column cardinality [d]; falls back to [row_count] when no statistics
+    were recorded for the column (the key-column worst case). *)
+
+val has_column : t -> string -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+module Predicate = Query.Predicate
+
+type t = {
+  predicates : Predicate.t list;
+  classes : Eqclass.t;
+}
+
+(* All pairs within each class, as canonical Col_eq predicates. *)
+let all_pair_equalities classes =
+  List.concat_map
+    (fun cls ->
+      let rec pairs = function
+        | [] -> []
+        | c :: rest ->
+          List.map (fun c' -> Predicate.col_eq c c') rest @ pairs rest
+      in
+      pairs cls)
+    (List.filter (fun cls -> List.length cls >= 2) (Eqclass.classes classes))
+
+(* Variant 2e: propagate every constant comparison to the whole class. *)
+let propagate_constants classes predicates =
+  List.concat_map
+    (fun p ->
+      match p with
+      | Predicate.Cmp { col; op; const } ->
+        List.map
+          (fun col' -> Predicate.cmp col' op const)
+          (Eqclass.members classes col)
+      | Predicate.Col_eq _ -> [])
+    predicates
+
+let compute predicates =
+  let classes = Eqclass.of_predicates predicates in
+  let closed =
+    Predicate.Set.of_list
+      (all_pair_equalities classes
+      @ propagate_constants classes predicates
+      @ predicates)
+  in
+  { predicates = Predicate.Set.elements closed; classes }
+
+let implied predicates =
+  let original = Predicate.Set.of_list predicates in
+  let { predicates = closed; _ } = compute predicates in
+  List.filter (fun p -> not (Predicate.Set.mem p original)) closed
+
+let close_query q =
+  let { predicates; _ } = compute q.Query.predicates in
+  Query.with_predicates q predicates

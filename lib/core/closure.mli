@@ -1,0 +1,32 @@
+(** Predicate transitive closure (Section 4, steps 1–2).
+
+    Performs duplicate-predicate elimination and generates every implied
+    predicate. The paper's five derivation variants (2a–2e) are all
+    consequences of the equivalence classes:
+
+    - within a class, every pair of columns is equal — generating the pair
+      across two tables is variant 2a or 2d (a join predicate); within one
+      table it is variant 2b or 2c (a local predicate);
+    - a constant comparison on one member of a class propagates to every
+      member (variant 2e).
+
+    The closed set is canonical: predicates are deduplicated and sorted, so
+    two equivalent queries close to the same conjunction. *)
+
+type t = {
+  predicates : Query.Predicate.t list;
+      (** the closed conjunction, duplicate-free, sorted *)
+  classes : Eqclass.t;
+      (** equivalence classes of all columns involved in equalities *)
+}
+
+val compute : Query.Predicate.t list -> t
+(** Close a conjunction. The input need not be duplicate-free. *)
+
+val implied : Query.Predicate.t list -> Query.Predicate.t list
+(** The predicates added by closure: [compute ps] minus (deduplicated)
+    [ps]. *)
+
+val close_query : Query.t -> Query.t
+(** The query with its WHERE conjunction replaced by the closed set — the
+    paper's "Orig. + PTC" rewrite. *)

@@ -1,0 +1,38 @@
+type rule =
+  | Multiplicative
+  | Smallest
+  | Largest
+
+type t = {
+  closure : bool;
+  rule : rule;
+  local_aware : bool;
+  single_table : bool;
+}
+
+let sm ~ptc =
+  { closure = ptc; rule = Multiplicative; local_aware = false;
+    single_table = false }
+
+let sss =
+  { closure = true; rule = Smallest; local_aware = false;
+    single_table = false }
+
+let els =
+  { closure = true; rule = Largest; local_aware = true; single_table = true }
+
+let rule_name = function
+  | Multiplicative -> "M"
+  | Smallest -> "SS"
+  | Largest -> "LS"
+
+let name t =
+  if t = els then "ELS"
+  else if t = sss then "SSS"
+  else if t = sm ~ptc:false then "SM"
+  else if t = sm ~ptc:true then "SM+PTC"
+  else
+    Printf.sprintf "custom(rule=%s%s%s%s)" (rule_name t.rule)
+      (if t.closure then ",ptc" else "")
+      (if t.local_aware then ",local" else "")
+      (if t.single_table then ",1table" else "")

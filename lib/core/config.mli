@@ -1,0 +1,50 @@
+(** Estimation algorithm configurations.
+
+    The paper compares three algorithms, all expressible as settings of one
+    estimator:
+
+    - {b SM} — the "standard algorithm" with the multiplicative Rule M of
+      Selinger et al.: every eligible join selectivity is multiplied in,
+      and join selectivities are computed from {e base} column
+      cardinalities, ignoring the effect of local predicates.
+    - {b SSS} — the standard algorithm with Rule SS: within an equivalence
+      class only the smallest eligible selectivity is used.
+    - {b ELS} — the paper's algorithm: transitive closure, local-aware
+      effective cardinalities (Section 5), single-table j-equivalent column
+      handling (Section 6) and Rule LS (largest selectivity, Section 7).
+
+    Predicate transitive closure is a separate toggle because the paper's
+    experiment runs SM both with and without the PTC rewrite. *)
+
+type rule =
+  | Multiplicative  (** Rule M *)
+  | Smallest  (** Rule SS *)
+  | Largest  (** Rule LS *)
+
+type t = {
+  closure : bool;
+      (** derive implied predicates before estimating (PTC, step 2) *)
+  rule : rule;
+  local_aware : bool;
+      (** use post-local-predicate column cardinalities in join
+          selectivities (Section 5); the standard algorithm does not *)
+  single_table : bool;
+      (** apply the Section 6 treatment of j-equivalent columns within one
+          table *)
+}
+
+val sm : ptc:bool -> t
+(** Algorithm SM, optionally after the PTC rewrite. *)
+
+val sss : t
+(** Algorithm SSS (Rule SS "is sensible only when predicate transitive
+    closure has been applied", so closure is always on). *)
+
+val els : t
+(** Algorithm ELS. *)
+
+val name : t -> string
+(** Short display name: "SM", "SM+PTC", "SSS", "ELS", or a descriptive
+    fallback for custom configurations. *)
+
+val rule_name : rule -> string

@@ -1,0 +1,16 @@
+module Eqclass = Eqclass
+module Closure = Closure
+module Local_pred = Local_pred
+module Config = Config
+module Profile = Profile
+module Selectivity = Selectivity
+module Incremental = Incremental
+
+let prepare = Profile.build
+
+let estimate config db query order =
+  Incremental.final_size (prepare config db query) order
+
+let intermediate_sizes config db query order =
+  (Incremental.estimate_order (prepare config db query) order)
+    .Incremental.history

@@ -1,0 +1,37 @@
+(** Algorithm ELS — Equivalence and Largest Selectivity.
+
+    Library root. Reproduces Swami & Schiefer, "On the Estimation of Join
+    Result Sizes" (EDBT 1994): incremental, consistent estimation of join
+    result sizes using equivalence classes of join columns, local-predicate
+    effects on table and column cardinalities, and the Largest Selectivity
+    rule — together with the baseline algorithms (SM, SSS) the paper
+    compares against.
+
+    Typical use:
+    {[
+      let profile = Els.prepare Els.Config.els db query in
+      let state = Els.Incremental.estimate_order profile ["b"; "g"; "m"; "s"] in
+      state.Els.Incremental.size
+    ]} *)
+
+module Eqclass = Eqclass
+module Closure = Closure
+module Local_pred = Local_pred
+module Config = Config
+module Profile = Profile
+module Selectivity = Selectivity
+module Incremental = Incremental
+
+val prepare : Config.t -> Catalog.Db.t -> Query.t -> Profile.t
+(** The preliminary phase (steps 1–5): dedup, closure, equivalence classes,
+    local-predicate effects, single-table handling and everything join
+    selectivities need. Alias of {!Profile.build}. *)
+
+val estimate : Config.t -> Catalog.Db.t -> Query.t -> string list -> float
+(** One-shot: prepare and estimate the final join result size along the
+    given join order. *)
+
+val intermediate_sizes :
+  Config.t -> Catalog.Db.t -> Query.t -> string list -> float list
+(** Sizes after each join of the order — the numbers reported in the
+    paper's Section 8 table. *)

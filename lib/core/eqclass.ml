@@ -1,0 +1,92 @@
+module Cref = Query.Cref
+
+type node = {
+  mutable parent : Cref.t;
+  mutable rank : int;
+}
+
+type t = { nodes : (Cref.t, node) Hashtbl.t }
+
+let create () = { nodes = Hashtbl.create 32 }
+
+let add t c =
+  if not (Hashtbl.mem t.nodes c) then
+    Hashtbl.add t.nodes c { parent = c; rank = 0 }
+
+let rec find_node t c =
+  match Hashtbl.find_opt t.nodes c with
+  | None -> c
+  | Some node ->
+    if Cref.equal node.parent c then c
+    else begin
+      let root = find_node t node.parent in
+      node.parent <- root;
+      root
+    end
+
+let find = find_node
+
+let union t a b =
+  add t a;
+  add t b;
+  let ra = find t a and rb = find t b in
+  if not (Cref.equal ra rb) then begin
+    let na = Hashtbl.find t.nodes ra and nb = Hashtbl.find t.nodes rb in
+    if na.rank < nb.rank then na.parent <- rb
+    else if na.rank > nb.rank then nb.parent <- ra
+    else begin
+      nb.parent <- ra;
+      na.rank <- na.rank + 1
+    end
+  end
+
+let same t a b = Cref.equal (find t a) (find t b)
+
+let groups t =
+  let by_root = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun c _ ->
+      let root = find t c in
+      let existing =
+        Option.value (Hashtbl.find_opt by_root root) ~default:[]
+      in
+      Hashtbl.replace by_root root (c :: existing))
+    t.nodes;
+  by_root
+
+let members t c =
+  let root = find t c in
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun c' _ -> if Cref.equal (find t c') root then acc := c' :: !acc)
+    t.nodes;
+  match !acc with
+  | [] -> [ c ]
+  | l -> List.sort Cref.compare l
+
+let classes t =
+  let by_root = groups t in
+  Hashtbl.fold
+    (fun _ cols acc -> List.sort Cref.compare cols :: acc)
+    by_root []
+  |> List.sort (fun a b ->
+         match a, b with
+         | x :: _, y :: _ -> Cref.compare x y
+         | [], _ | _, [] -> assert false)
+
+let of_predicates predicates =
+  let t = create () in
+  List.iter
+    (fun p ->
+      match p with
+      | Query.Predicate.Col_eq { left; right } -> union t left right
+      | Query.Predicate.Cmp { col; _ } -> add t col)
+    predicates;
+  t
+
+let pp ppf t =
+  List.iter
+    (fun cls ->
+      Format.fprintf ppf "{%s}@ "
+        (String.concat ", " (List.map Cref.to_string cls)))
+    (classes t)

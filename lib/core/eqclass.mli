@@ -1,0 +1,40 @@
+(** Equivalence classes of columns under equality predicates.
+
+    "Initially, each column is an equivalence class by itself. When an
+    equality (local or join) predicate is seen during query optimization,
+    the equivalence classes corresponding to the two columns on each side
+    of the equality are merged" (Section 2).
+
+    Implemented as a union-find over {!Query.Cref.t} with path compression
+    and union by rank. The structure is mutable; {!classes} snapshots it. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Query.Cref.t -> unit
+(** Ensure the column is known (as a singleton class if new). *)
+
+val union : t -> Query.Cref.t -> Query.Cref.t -> unit
+(** Merge the classes of the two columns, adding them if unknown. *)
+
+val find : t -> Query.Cref.t -> Query.Cref.t
+(** Canonical representative of the column's class. Unknown columns are
+    their own representative. *)
+
+val same : t -> Query.Cref.t -> Query.Cref.t -> bool
+(** "x and y are j-equivalent" in the paper's terminology. *)
+
+val members : t -> Query.Cref.t -> Query.Cref.t list
+(** All columns in the same class as the argument (including itself),
+    sorted. *)
+
+val classes : t -> Query.Cref.t list list
+(** Every class (singletons included), each sorted, classes ordered by
+    their smallest member. *)
+
+val of_predicates : Query.Predicate.t list -> t
+(** Classes induced by the column-equality predicates of a conjunction;
+    columns of constant comparisons are registered as singletons. *)
+
+val pp : Format.formatter -> t -> unit

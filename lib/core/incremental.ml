@@ -1,0 +1,95 @@
+module Predicate = Query.Predicate
+
+type state = {
+  joined : string list;
+  size : float;
+  history : float list;
+}
+
+let start profile name =
+  let name = String.lowercase_ascii name in
+  let table = Profile.table profile name in
+  { joined = [ name ]; size = table.Profile.rows; history = [] }
+
+let eligible profile state name =
+  let name = String.lowercase_ascii name in
+  List.filter
+    (fun p ->
+      Predicate.is_join p
+      &&
+      match Predicate.tables p with
+      | [ a; b ] ->
+        (String.equal a name && List.mem b state.joined)
+        || (String.equal b name && List.mem a state.joined)
+      | _ -> false)
+    profile.Profile.predicates
+
+let combine_group profile group =
+  let sels = List.map (Selectivity.join profile) group in
+  match profile.Profile.config.Config.rule with
+  | Config.Multiplicative -> List.fold_left ( *. ) 1. sels
+  | Config.Smallest -> List.fold_left Float.min 1. sels
+  | Config.Largest -> begin
+    match sels with
+    | [] -> 1.
+    | s :: rest -> List.fold_left Float.max s rest
+  end
+
+let step_selectivity profile state name =
+  let preds = eligible profile state name in
+  let groups = Selectivity.group_by_class profile preds in
+  List.fold_left (fun acc g -> acc *. combine_group profile g) 1. groups
+
+let eligible_between profile s1 s2 =
+  List.filter
+    (fun p ->
+      Predicate.is_join p
+      &&
+      match Predicate.tables p with
+      | [ a; b ] ->
+        (List.mem a s1.joined && List.mem b s2.joined)
+        || (List.mem b s1.joined && List.mem a s2.joined)
+      | _ -> false)
+    profile.Profile.predicates
+
+let join_states profile s1 s2 =
+  List.iter
+    (fun t ->
+      if List.mem t s2.joined then
+        invalid_arg
+          (Printf.sprintf "Incremental.join_states: %s on both sides" t))
+    s1.joined;
+  let preds = eligible_between profile s1 s2 in
+  let groups = Selectivity.group_by_class profile preds in
+  let s =
+    List.fold_left (fun acc g -> acc *. combine_group profile g) 1. groups
+  in
+  let size = s1.size *. s2.size *. s in
+  {
+    joined = s1.joined @ s2.joined;
+    size;
+    history = s1.history @ s2.history @ [ size ];
+  }
+
+let extend profile state name =
+  let name = String.lowercase_ascii name in
+  if List.mem name state.joined then
+    invalid_arg
+      (Printf.sprintf "Incremental.extend: %s already joined" name);
+  let table = Profile.table profile name in
+  let s = step_selectivity profile state name in
+  let size = state.size *. table.Profile.rows *. s in
+  {
+    joined = state.joined @ [ name ];
+    size;
+    history = state.history @ [ size ];
+  }
+
+let estimate_order profile order =
+  match order with
+  | [] -> invalid_arg "Incremental.estimate_order: empty join order"
+  | first :: rest ->
+    List.fold_left (fun st name -> extend profile st name) (start profile first)
+      rest
+
+let final_size profile order = (estimate_order profile order).size

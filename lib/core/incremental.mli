@@ -1,0 +1,56 @@
+(** Incremental join-result-size estimation (step 6 of Algorithm ELS,
+    Section 7).
+
+    The estimator mirrors what a join-ordering optimizer does: start from
+    one table, extend the intermediate result one table at a time, and
+    estimate the size after each extension. At each step the {e eligible}
+    join predicates — those linking the incoming table to tables already in
+    the intermediate result — are grouped by equivalence class, each class
+    contributes a single combined selectivity according to the configured
+    rule (M: product of all; SS: smallest; LS: largest), and classes
+    multiply together by independence.
+
+    [size(I ⋈ R) = size(I) × ‖R‖′ × ∏_classes S_class]. *)
+
+type state = {
+  joined : string list;  (** tables in the intermediate result, join order *)
+  size : float;  (** estimated cardinality of the intermediate result *)
+  history : float list;
+      (** size after each extension, oldest first; empty for a single
+          table *)
+}
+
+val start : Profile.t -> string -> state
+(** Intermediate result consisting of one base table; size is its effective
+    cardinality [‖R‖′]. *)
+
+val eligible : Profile.t -> state -> string -> Query.Predicate.t list
+(** Join predicates of the working conjunction linking the given table to
+    the current intermediate result. *)
+
+val step_selectivity : Profile.t -> state -> string -> float
+(** Combined selectivity the configured rule assigns to joining the given
+    table next; 1.0 for a cartesian product. *)
+
+val extend : Profile.t -> state -> string -> state
+(** Join one more table.
+    @raise Invalid_argument when the table is already in the result or not
+    part of the profiled query. *)
+
+val eligible_between : Profile.t -> state -> state -> Query.Predicate.t list
+(** Join predicates of the working conjunction linking the two (disjoint)
+    intermediate results. *)
+
+val join_states : Profile.t -> state -> state -> state
+(** Generalization of {!extend} to bushy joins: combine two intermediate
+    results, applying one rule-selected selectivity per equivalence class
+    among the predicates that bridge them.
+    [size(I₁ ⋈ I₂) = size(I₁) × size(I₂) × ∏_classes S_class].
+    @raise Invalid_argument when the two states share a table. *)
+
+val estimate_order : Profile.t -> string list -> state
+(** Fold {!start}/{!extend} over a complete join order.
+    @raise Invalid_argument on the empty list. *)
+
+val final_size : Profile.t -> string list -> float
+(** Estimated size of the full join along the given order. *)

@@ -1,0 +1,230 @@
+module Cref = Query.Cref
+module Predicate = Query.Predicate
+
+type column_profile = {
+  cref : Cref.t;
+  base_distinct : float;
+  local_distinct : float;
+  join_distinct : float;
+}
+
+type table_profile = {
+  name : string;
+  source : string;
+  base_rows : float;
+  rows : float;
+  local_selectivity : float;
+  columns : column_profile Cref.Map.t;
+}
+
+type t = {
+  config : Config.t;
+  predicates : Predicate.t list;
+  classes : Eqclass.t;
+  tables : (string * table_profile) list;
+}
+
+let ceil_pos x = if x <= 0. then 0. else Float.ceil x
+
+let stats_of db_table column =
+  match Catalog.Table.col_stats db_table column with
+  | Some s -> s
+  | None ->
+    Stats.Col_stats.trivial ~distinct:(Catalog.Table.distinct db_table column)
+
+(* Columns of [table] mentioned in the working predicates. *)
+let predicate_columns predicates table =
+  List.fold_left
+    (fun acc p ->
+      List.fold_left
+        (fun acc c ->
+          if String.equal c.Cref.table table then Cref.Set.add c acc else acc)
+        acc (Predicate.columns p))
+    Cref.Set.empty predicates
+
+(* Constant predicates of the working set, per column of [table]. *)
+let const_preds_on predicates col =
+  List.filter_map
+    (fun p ->
+      match p with
+      | Predicate.Cmp { col = c; op; const } when Cref.equal c col ->
+        Some (op, const)
+      | Predicate.Cmp _ | Predicate.Col_eq _ -> None)
+    predicates
+
+(* Intra-table column equalities of [table], as column pairs. *)
+let intra_table_equalities predicates table =
+  List.filter_map
+    (fun p ->
+      match p with
+      | Predicate.Col_eq { left; right }
+        when Cref.same_table left right
+             && String.equal left.Cref.table table ->
+        Some (left, right)
+      | Predicate.Col_eq _ | Predicate.Cmp _ -> None)
+    predicates
+
+(* Steps 3-4: fold the constant local predicates of one table into its row
+   count and column cardinalities. *)
+let local_effects db_table predicates columns =
+  let base_rows = float_of_int db_table.Catalog.Table.row_count in
+  let per_column =
+    List.map
+      (fun col ->
+        let stats = stats_of db_table col.Cref.column in
+        let combined =
+          Local_pred.combine stats (const_preds_on predicates col)
+        in
+        (col, stats, combined))
+      (Cref.Set.elements columns)
+  in
+  let selectivity =
+    List.fold_left
+      (fun acc (_, _, combined) -> acc *. combined.Local_pred.selectivity)
+      1. per_column
+  in
+  let rows = base_rows *. selectivity in
+  let column_profiles =
+    List.fold_left
+      (fun acc (col, stats, combined) ->
+        let base_distinct = float_of_int stats.Stats.Col_stats.distinct in
+        let local_distinct =
+          match combined.Local_pred.restriction with
+          | Local_pred.Unrestricted ->
+            (* Thinning caused by other columns' predicates (Section 5's
+               urn argument). *)
+            if rows >= base_rows then base_distinct
+            else Stats.Urn.expected_distinct ~urns:base_distinct ~balls:rows
+          | Local_pred.Equality _ | Local_pred.Range _ | Local_pred.Contradiction
+            ->
+            (* Direct effect on the predicated column itself; never more
+               than the surviving rows. *)
+            Float.min (Local_pred.reduced_distinct stats combined) rows
+        in
+        Cref.Map.add col
+          { cref = col; base_distinct; local_distinct;
+            join_distinct = local_distinct }
+          acc)
+      Cref.Map.empty per_column
+  in
+  (base_rows, rows, selectivity, column_profiles)
+
+(* Step 5, Section 6: single-table j-equivalent columns. Returns the
+   adjusted row count and column map. *)
+let single_table_effects classes rows columns =
+  (* Group this table's predicate columns by equivalence class. *)
+  let by_class = Hashtbl.create 8 in
+  Cref.Map.iter
+    (fun col profile ->
+      let root = Eqclass.find classes col in
+      let existing =
+        Option.value (Hashtbl.find_opt by_class root) ~default:[]
+      in
+      Hashtbl.replace by_class root (profile :: existing))
+    columns;
+  Hashtbl.fold
+    (fun _root members (rows, columns) ->
+      match members with
+      | [] | [ _ ] -> (rows, columns)
+      | _ :: _ :: _ ->
+        let sorted =
+          List.sort
+            (fun a b -> Float.compare a.local_distinct b.local_distinct)
+            members
+        in
+        let smallest = List.hd sorted in
+        let larger = List.tl sorted in
+        let divisor =
+          List.fold_left (fun acc c -> acc *. c.local_distinct) 1. larger
+        in
+        let rows' =
+          if divisor <= 0. then 0. else ceil_pos (rows /. divisor)
+        in
+        let rep_card =
+          ceil_pos
+            (Stats.Urn.expected_distinct ~urns:smallest.local_distinct
+               ~balls:rows')
+        in
+        let columns =
+          List.fold_left
+            (fun acc member ->
+              Cref.Map.add member.cref
+                { member with join_distinct = rep_card }
+                acc)
+            columns sorted
+        in
+        (rows', columns))
+    by_class (rows, columns)
+
+(* Classic Selinger handling of intra-table equalities, used when the
+   Section 6 treatment is switched off: each predicate contributes an
+   independent 1/max(d1,d2) factor to the row count. *)
+let selinger_intra_table_effects predicates table_name rows columns =
+  List.fold_left
+    (fun rows (left, right) ->
+      let card c =
+        match Cref.Map.find_opt c columns with
+        | Some p -> p.base_distinct
+        | None -> 1.
+      in
+      let m = Float.max (card left) (card right) in
+      if m <= 0. then 0. else rows /. m)
+    rows
+    (intra_table_equalities predicates table_name)
+
+let build_table config predicates classes db query_table ~source =
+  let db_table = Catalog.Db.find_exn db source in
+  let columns = predicate_columns predicates query_table in
+  let base_rows, rows, _selectivity, column_profiles =
+    local_effects db_table predicates columns
+  in
+  let rows, column_profiles =
+    if config.Config.single_table then
+      single_table_effects classes rows column_profiles
+    else
+      ( selinger_intra_table_effects predicates query_table rows
+          column_profiles,
+        column_profiles )
+  in
+  let local_selectivity = if base_rows <= 0. then 0. else rows /. base_rows in
+  {
+    name = query_table;
+    source;
+    base_rows;
+    rows;
+    local_selectivity;
+    columns = column_profiles;
+  }
+
+let build config db query =
+  let deduped = Predicate.Set.elements (Predicate.Set.of_list query.Query.predicates) in
+  let working =
+    if config.Config.closure then (Closure.compute deduped).Closure.predicates
+    else deduped
+  in
+  let classes = Eqclass.of_predicates working in
+  let tables =
+    List.map
+      (fun name ->
+        ( name,
+          build_table config working classes db name
+            ~source:(Query.source query name) ))
+      query.Query.tables
+  in
+  { config; predicates = working; classes; tables }
+
+let table t name =
+  match List.assoc_opt (String.lowercase_ascii name) t.tables with
+  | Some profile -> profile
+  | None -> raise Not_found
+
+let join_card t cref =
+  let profile = table t cref.Cref.table in
+  match Cref.Map.find_opt cref profile.columns with
+  | Some col ->
+    if t.config.Config.local_aware then col.join_distinct
+    else col.base_distinct
+  | None ->
+    (* A column never mentioned in predicates: fall back to its catalog
+       cardinality. Callers only reach this for ad-hoc estimates. *)
+    profile.base_rows

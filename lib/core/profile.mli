@@ -1,0 +1,60 @@
+(** Estimation profiles: per-table effective statistics (steps 1–5 of
+    Algorithm ELS).
+
+    Building a profile performs, in order:
+
+    + duplicate-predicate elimination and equivalence-class construction
+      (step 1);
+    + transitive closure when the configuration asks for it (step 2);
+    + local-predicate selectivities, combining multiple predicates per
+      column (step 3);
+    + effective table cardinality [‖R‖′] and effective column cardinalities
+      [d′] — the predicated column directly ([d×s], or 1 for an equality),
+      every other column through the urn model (step 4, Section 5);
+    + the single-table j-equivalent column treatment when configured
+      (step 5, Section 6): for each table whose columns [c₁…cₙ] (n ≥ 2)
+      share an equivalence class, [‖R‖′] is divided by the product of all
+      but the smallest [d′] and the class is represented by a single
+      effective join cardinality [⌈d₍₁₎·(1−(1−1/d₍₁₎)^‖R‖′)⌉]. Without that
+      configuration, each intra-table column equality contributes the
+      classic [1/max(d₁,d₂)] factor to [‖R‖′] instead.
+
+    The resulting numbers are what step 6 (see {!Incremental}) consumes. *)
+
+type column_profile = {
+  cref : Query.Cref.t;
+  base_distinct : float;  (** d: catalog column cardinality *)
+  local_distinct : float;
+      (** d′ after local constant predicates and urn thinning *)
+  join_distinct : float;
+      (** cardinality to use in join selectivities; differs from
+          [local_distinct] only under the Section 6 treatment *)
+}
+
+type table_profile = {
+  name : string;  (** the query alias *)
+  source : string;  (** the catalog table behind the alias *)
+  base_rows : float;  (** ‖R‖ *)
+  rows : float;  (** ‖R‖′: effective cardinality after local predicates *)
+  local_selectivity : float;  (** rows / base_rows (0 when base is 0) *)
+  columns : column_profile Query.Cref.Map.t;
+}
+
+type t = {
+  config : Config.t;
+  predicates : Query.Predicate.t list;
+      (** the working conjunction: closed iff [config.closure] *)
+  classes : Eqclass.t;
+  tables : (string * table_profile) list;  (** in FROM order *)
+}
+
+val build : Config.t -> Catalog.Db.t -> Query.t -> t
+(** @raise Not_found when a query table is missing from the catalog. *)
+
+val table : t -> string -> table_profile
+(** @raise Not_found for tables outside the query. *)
+
+val join_card : t -> Query.Cref.t -> float
+(** Column cardinality entering join-selectivity computation:
+    [join_distinct] under a local-aware configuration, [base_distinct]
+    under the standard algorithm. *)

@@ -1,0 +1,30 @@
+let of_cards d1 d2 =
+  let m = Float.max d1 d2 in
+  if d1 <= 0. || d2 <= 0. then 0. else Float.min 1. (1. /. m)
+
+let join profile p =
+  match p with
+  | Query.Predicate.Col_eq { left; right }
+    when not (Query.Cref.same_table left right) ->
+    of_cards (Profile.join_card profile left) (Profile.join_card profile right)
+  | Query.Predicate.Col_eq _ | Query.Predicate.Cmp _ ->
+    invalid_arg
+      (Printf.sprintf "Selectivity.join: %s is not a join predicate"
+         (Query.Predicate.to_string p))
+
+let group_by_class profile predicates =
+  let classes = profile.Profile.classes in
+  let root p =
+    match Query.Predicate.columns p with
+    | col :: _ -> Eqclass.find classes col
+    | [] -> assert false
+  in
+  let groups = ref [] in
+  List.iter
+    (fun p ->
+      let r = root p in
+      match List.assoc_opt r !groups with
+      | Some members -> members := p :: !members
+      | None -> groups := (r, ref [ p ]) :: !groups)
+    predicates;
+  List.rev_map (fun (_, members) -> List.rev !members) !groups

@@ -1,0 +1,20 @@
+(** Join-predicate selectivities (Equation 2 of the paper).
+
+    For a join predicate [J : (R₁.x₁ = R₂.x₂)],
+    [S_J = 1 / max(d₁, d₂)], where the cardinalities come from the
+    estimation profile — effective ([d′]) under a local-aware
+    configuration, base otherwise. *)
+
+val of_cards : float -> float -> float
+(** [of_cards d1 d2 = min 1 (1 / max d1 d2)]; 0 when either side is 0
+    (a contradicted column joins nothing). *)
+
+val join : Profile.t -> Query.Predicate.t -> float
+(** Selectivity of a join predicate under the profile's configuration.
+    @raise Invalid_argument when the predicate is not a join predicate. *)
+
+val group_by_class :
+  Profile.t -> Query.Predicate.t list -> Query.Predicate.t list list
+(** Partition join predicates by the equivalence class of their columns —
+    the grouping Rules M/SS/LS operate on. Groups are ordered by their
+    first predicate. *)

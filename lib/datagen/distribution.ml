@@ -1,0 +1,43 @@
+type t =
+  | Exact_uniform
+  | Random_uniform
+  | Zipf of float
+
+let zipf_weights ~theta ~n =
+  if n <= 0 then invalid_arg "Distribution.zipf_weights: n <= 0";
+  let w = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. total) w
+
+let generate dist rng ~rows ~distinct =
+  if rows < 0 then invalid_arg "Distribution.generate: rows < 0";
+  if distinct <= 0 then invalid_arg "Distribution.generate: distinct <= 0";
+  match dist with
+  | Exact_uniform ->
+    (* Value (i mod d) + 1 at row i, then shuffled so physical order does
+       not correlate with value. *)
+    let out = Array.init rows (fun i -> (i mod distinct) + 1) in
+    Prng.shuffle rng out;
+    out
+  | Random_uniform -> Array.init rows (fun _ -> Prng.int_in rng 1 distinct)
+  | Zipf theta ->
+    let weights = zipf_weights ~theta ~n:distinct in
+    (* Cumulative table + binary search per draw. *)
+    let cdf = Array.make distinct 0. in
+    let acc = ref 0. in
+    Array.iteri
+      (fun i w ->
+        acc := !acc +. w;
+        cdf.(i) <- !acc)
+      weights;
+    cdf.(distinct - 1) <- 1.;
+    let draw () =
+      let u = Prng.float rng in
+      let lo = ref 0 and hi = ref (distinct - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < u then lo := mid + 1 else hi := mid
+      done;
+      !lo + 1
+    in
+    Array.init rows (fun _ -> draw ())

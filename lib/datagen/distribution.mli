@@ -1,0 +1,27 @@
+(** Value distributions for synthetic columns.
+
+    The paper's assumptions make three distributions interesting:
+
+    - {!exact_uniform}: every one of [d] distinct values appears the same
+      number of times (up to remainder). This satisfies the paper's
+      uniformity assumption {e exactly}, so Equation 3 predicts true join
+      sizes with no model error — the setting the correctness tests use.
+    - {!random_uniform}: i.i.d. uniform draws — uniform only in
+      expectation.
+    - {!zipf}: the skewed distribution the paper's future-work section
+      points to (Zipf 1949), with parameter θ (θ = 0 degenerates to
+      uniform). Sampling is by inverted CDF over [d] ranks. *)
+
+type t =
+  | Exact_uniform
+  | Random_uniform
+  | Zipf of float  (** skew parameter θ ≥ 0 *)
+
+val generate : t -> Prng.t -> rows:int -> distinct:int -> int array
+(** [generate dist rng ~rows ~distinct] draws [rows] values from the
+    domain [1..distinct] (the containment assumption: smaller domains are
+    prefixes of larger ones).
+    @raise Invalid_argument when [rows < 0] or [distinct <= 0]. *)
+
+val zipf_weights : theta:float -> n:int -> float array
+(** Normalized Zipf probabilities for ranks 1..n: [p(i) ∝ 1/i^θ]. *)

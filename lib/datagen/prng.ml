@@ -1,0 +1,1 @@
+include Rel.Prng

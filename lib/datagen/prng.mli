@@ -1,0 +1,7 @@
+(** Alias of {!Rel.Prng}, kept here so workload-generation code reads
+    naturally; the generator itself lives in [rel] because the optimizer's
+    randomized enumerator needs it too. *)
+
+include module type of struct
+  include Rel.Prng
+end

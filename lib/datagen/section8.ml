@@ -1,0 +1,33 @@
+let scale_default = 1
+
+let base_cards = [ ("s", 1000); ("m", 10000); ("b", 50000); ("g", 100000) ]
+
+let cardinalities ~scale =
+  List.map (fun (t, n) -> (t, n / scale)) base_cards
+
+let build ?(scale = scale_default) ~seed () =
+  if scale < 1 then invalid_arg "Section8.build: scale < 1";
+  let rng = Prng.create seed in
+  let db = Catalog.Db.create () in
+  List.iter
+    (fun (table, rows) ->
+      ignore
+        (Tablegen.register (Prng.split rng) db ~table ~rows
+           [ Tablegen.key_column table ~rows ]))
+    (cardinalities ~scale);
+  db
+
+let query_scaled ~scale =
+  let s = Query.Cref.v "s" "s"
+  and m = Query.Cref.v "m" "m"
+  and b = Query.Cref.v "b" "b"
+  and g = Query.Cref.v "g" "g" in
+  Query.make ~projection:Query.Count_star ~tables:[ "s"; "m"; "b"; "g" ]
+    [
+      Query.Predicate.col_eq s m;
+      Query.Predicate.col_eq m b;
+      Query.Predicate.col_eq b g;
+      Query.Predicate.cmp s Rel.Cmp.Lt (Rel.Value.Int (100 / scale));
+    ]
+
+let query () = query_scaled ~scale:1

@@ -1,0 +1,38 @@
+type column_spec = {
+  name : string;
+  distinct : int;
+  distribution : Distribution.t;
+}
+
+let column ?(distribution = Distribution.Exact_uniform) name ~distinct =
+  { name; distinct; distribution }
+
+let key_column name ~rows =
+  { name; distinct = rows; distribution = Distribution.Exact_uniform }
+
+let relation rng ~table ~rows specs =
+  let schema =
+    Rel.Schema.make
+      (List.map
+         (fun spec ->
+           Rel.Schema.column ~table ~name:spec.name Rel.Value.Ty_int)
+         specs)
+  in
+  let columns =
+    List.map
+      (fun spec ->
+        Distribution.generate spec.distribution (Prng.split rng) ~rows
+          ~distinct:spec.distinct)
+      specs
+  in
+  let out = Rel.Relation.create schema in
+  for i = 0 to rows - 1 do
+    Rel.Relation.insert out
+      (Array.of_list
+         (List.map (fun col -> Rel.Value.Int col.(i)) columns))
+  done;
+  out
+
+let register ?histogram ?mcv rng db ~table ~rows specs =
+  let rel = relation rng ~table ~rows specs in
+  Catalog.Analyze.register ?histogram ?mcv db ~name:table rel

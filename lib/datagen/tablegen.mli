@@ -1,0 +1,30 @@
+(** Building stored tables from column specifications. *)
+
+type column_spec = {
+  name : string;
+  distinct : int;  (** domain is [1..distinct] *)
+  distribution : Distribution.t;
+}
+
+val column : ?distribution:Distribution.t -> string -> distinct:int -> column_spec
+(** [distribution] defaults to {!Distribution.Exact_uniform}. *)
+
+val key_column : string -> rows:int -> column_spec
+(** A key: [distinct = rows], exact uniform (each value once). *)
+
+val relation :
+  Prng.t -> table:string -> rows:int -> column_spec list -> Rel.Relation.t
+(** Integer-columned relation with independently generated columns (the
+    paper's independence assumption). *)
+
+val register :
+  ?histogram:Stats.Histogram.kind ->
+  ?mcv:int ->
+  Prng.t ->
+  Catalog.Db.t ->
+  table:string ->
+  rows:int ->
+  column_spec list ->
+  Catalog.Table.t
+(** Generate, analyze (exact statistics, optional histograms and MCV
+    sketches) and add to the catalog. *)

@@ -1,0 +1,74 @@
+type spec = {
+  db : Catalog.Db.t;
+  query : Query.t;
+  true_size : int option;
+}
+
+let chain ?(rows_range = (200, 2000)) ?(distinct_range = (5, 200))
+    ?(distribution = Distribution.Exact_uniform) ?(table_prefix = "t") ~seed
+    ~n_tables () =
+  if n_tables < 2 then invalid_arg "Workload.chain: need at least 2 tables";
+  let rng = Prng.create seed in
+  let db = Catalog.Db.create () in
+  let names =
+    List.init n_tables (fun i -> Printf.sprintf "%s%d" table_prefix (i + 1))
+  in
+  List.iter
+    (fun table ->
+      let rows = Prng.int_in rng (fst rows_range) (snd rows_range) in
+      let distinct =
+        min rows (Prng.int_in rng (fst distinct_range) (snd distinct_range))
+      in
+      ignore
+        (Tablegen.register (Prng.split rng) db ~table ~rows
+           [ Tablegen.column ~distribution "a" ~distinct ]))
+    names;
+  let rec links = function
+    | a :: (b :: _ as rest) ->
+      Query.Predicate.col_eq (Query.Cref.v a "a") (Query.Cref.v b "a")
+      :: links rest
+    | [ _ ] | [] -> []
+  in
+  let query =
+    Query.make ~projection:Query.Count_star ~tables:names (links names)
+  in
+  { db; query; true_size = None }
+
+let star ?(fact_rows = 5000) ?(dim_rows_range = (100, 1000))
+    ?(distinct_range = (5, 100)) ~seed ~n_dims () =
+  if n_dims < 1 then invalid_arg "Workload.star: need at least 1 dimension";
+  let rng = Prng.create seed in
+  let db = Catalog.Db.create () in
+  let dim_distincts =
+    List.init n_dims (fun _ ->
+        Prng.int_in rng (fst distinct_range) (snd distinct_range))
+  in
+  (* Fact table: one join column per dimension, domain matching the
+     dimension's distinct count (containment). *)
+  ignore
+    (Tablegen.register (Prng.split rng) db ~table:"fact" ~rows:fact_rows
+       (List.mapi
+          (fun i distinct ->
+            Tablegen.column (Printf.sprintf "k%d" (i + 1)) ~distinct)
+          dim_distincts));
+  List.iteri
+    (fun i distinct ->
+      let rows = Prng.int_in rng (fst dim_rows_range) (snd dim_rows_range) in
+      let distinct = min rows distinct in
+      ignore
+        (Tablegen.register (Prng.split rng) db
+           ~table:(Printf.sprintf "d%d" (i + 1))
+           ~rows
+           [ Tablegen.column "k" ~distinct ]))
+    dim_distincts;
+  let tables =
+    "fact" :: List.init n_dims (fun i -> Printf.sprintf "d%d" (i + 1))
+  in
+  let preds =
+    List.init n_dims (fun i ->
+        Query.Predicate.col_eq
+          (Query.Cref.v "fact" (Printf.sprintf "k%d" (i + 1)))
+          (Query.Cref.v (Printf.sprintf "d%d" (i + 1)) "k"))
+  in
+  let query = Query.make ~projection:Query.Count_star ~tables preds in
+  { db; query; true_size = None }

@@ -1,0 +1,42 @@
+(** Random join workloads for the supplementary experiments.
+
+    Shapes:
+    - {e chains} [T1.a = T2.a = … = Tn.a]: after transitive closure all
+      join columns fall into one equivalence class — the single-class
+      setting of the paper's analysis and of the error-propagation study it
+      cites (Ioannidis & Christodoulakis);
+    - {e stars}: a fact table joined to n dimension tables on distinct
+      columns — n independent equivalence classes. *)
+
+type spec = {
+  db : Catalog.Db.t;  (** stored, analyzed tables *)
+  query : Query.t;
+  true_size : int option;
+      (** filled in lazily by experiments that execute the query *)
+}
+
+val chain :
+  ?rows_range:int * int ->
+  ?distinct_range:int * int ->
+  ?distribution:Distribution.t ->
+  ?table_prefix:string ->
+  seed:int ->
+  n_tables:int ->
+  unit ->
+  spec
+(** [chain ~seed ~n_tables ()] builds [n_tables] stored tables [t1..tn],
+    each with one join column [a] whose distinct count is drawn from
+    [distinct_range] (clamped to the row count, which is drawn from
+    [rows_range]), linked by a chain of equality predicates. Defaults:
+    rows in [[200, 2000]], distinct in [[5, 200]], exact-uniform data. *)
+
+val star :
+  ?fact_rows:int ->
+  ?dim_rows_range:int * int ->
+  ?distinct_range:int * int ->
+  seed:int ->
+  n_dims:int ->
+  unit ->
+  spec
+(** A fact table [fact] with join columns [k1..kn] joined to dimensions
+    [d1..dn] on their [k] columns. *)

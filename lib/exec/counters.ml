@@ -1,0 +1,22 @@
+type t = {
+  mutable tuples_read : int;
+  mutable comparisons : int;
+  mutable tuples_output : int;
+}
+
+let create () = { tuples_read = 0; comparisons = 0; tuples_output = 0 }
+
+let reset t =
+  t.tuples_read <- 0;
+  t.comparisons <- 0;
+  t.tuples_output <- 0
+
+let read t n = t.tuples_read <- t.tuples_read + n
+let compared t n = t.comparisons <- t.comparisons + n
+let output t n = t.tuples_output <- t.tuples_output + n
+
+let total_work t = t.tuples_read + t.comparisons + t.tuples_output
+
+let pp ppf t =
+  Format.fprintf ppf "read=%d cmp=%d out=%d (work=%d)" t.tuples_read
+    t.comparisons t.tuples_output (total_work t)

@@ -1,0 +1,29 @@
+(** Work counters.
+
+    The paper reports elapsed seconds on 1994 hardware; we report wall
+    clock too, but the primary, machine-independent measure of plan work is
+    these counters: how many tuples the plan read from base relations, how
+    many predicate/key comparisons it made, and how many rows each operator
+    emitted. A plan that is 10× worse does 10× the work whatever the
+    hardware. *)
+
+type t = {
+  mutable tuples_read : int;
+      (** tuples pulled out of base-table scans (inner rescans count) *)
+  mutable comparisons : int;
+      (** predicate evaluations and join-key comparisons *)
+  mutable tuples_output : int;  (** rows emitted by join operators *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val read : t -> int -> unit
+val compared : t -> int -> unit
+val output : t -> int -> unit
+
+val total_work : t -> int
+(** [tuples_read + comparisons + tuples_output] — the scalar used to rank
+    executed plans. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type result = {
+  relation : Rel.Relation.t;
+  row_count : int;
+  counters : Counters.t;
+  elapsed_s : float;
+}
+
+let rec operator_of_plan counters db plan =
+  match plan with
+  | Plan.Scan { table; source; filters } ->
+    let relation = Catalog.Db.relation_exn db source in
+    let relation =
+      if String.equal table source then relation
+      else Rel.Relation.rename relation table
+    in
+    Scan.relation counters ~filters relation
+  | Plan.Join { method_; outer; inner; predicates } -> begin
+    let outer_op = operator_of_plan counters db outer in
+    match method_ with
+    | Plan.Nested_loop ->
+      Nested_loop.join counters predicates ~outer:outer_op
+        ~make_inner:(fun () -> operator_of_plan counters db inner)
+    | Plan.Sort_merge ->
+      Sort_merge.join counters predicates ~outer:outer_op
+        ~inner:(operator_of_plan counters db inner)
+    | Plan.Hash ->
+      Hash_join.join counters predicates ~outer:outer_op
+        ~inner:(operator_of_plan counters db inner)
+    | Plan.Index_nested_loop -> begin
+      match inner with
+      | Plan.Scan { table; source; filters } ->
+        let relation = Catalog.Db.relation_exn db source in
+        let relation =
+          if String.equal table source then relation
+          else Rel.Relation.rename relation table
+        in
+        Index_nested_loop.join counters predicates ~inner_filters:filters
+          ~outer:outer_op ~inner:relation
+      | Plan.Join _ ->
+        invalid_arg
+          "Executor: index nested loop requires a base-table inner"
+    end
+  end
+
+let run db plan =
+  let counters = Counters.create () in
+  let t0 = Unix.gettimeofday () in
+  let op = operator_of_plan counters db plan in
+  let relation = Operator.to_relation op in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  {
+    relation;
+    row_count = Rel.Relation.cardinality relation;
+    counters;
+    elapsed_s;
+  }
+
+let count db plan =
+  let counters = Counters.create () in
+  let t0 = Unix.gettimeofday () in
+  let op = operator_of_plan counters db plan in
+  let rows = Operator.count op in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (rows, counters, elapsed_s)
+
+(* Left-deep reference plan in FROM order with every predicate placed at
+   the earliest node covering its columns. *)
+let reference_plan query =
+  let place_filters covered preds =
+    List.partition
+      (fun p -> Query.Predicate.references_only covered p)
+      preds
+  in
+  match query.Query.tables with
+  | [] -> invalid_arg "Executor.run_query: query with no tables"
+  | first :: rest ->
+    let local_first, remaining =
+      place_filters [ first ] query.Query.predicates
+    in
+    let plan0 =
+      Plan.scan ~source:(Query.source query first) ~filters:local_first first
+    in
+    let plan, _, leftover =
+      List.fold_left
+        (fun (plan, covered, preds) table ->
+          let covered = table :: covered in
+          let here, later = place_filters covered preds in
+          (* Predicates evaluable on the inner table alone are pushed into
+             its scan; the rest attach to the join. *)
+          let scan_filters, join_preds =
+            List.partition
+              (fun p -> Query.Predicate.references_only [ table ] p)
+              here
+          in
+          let inner =
+            Plan.scan ~source:(Query.source query table) ~filters:scan_filters
+              table
+          in
+          let has_key =
+            List.exists
+              (fun p ->
+                match p with
+                | Query.Predicate.Col_eq { left; right } ->
+                  not (Query.Cref.same_table left right)
+                  && (String.equal left.Query.Cref.table table
+                     || String.equal right.Query.Cref.table table)
+                | Query.Predicate.Cmp _ -> false)
+              join_preds
+          in
+          let method_ = if has_key then Plan.Hash else Plan.Nested_loop in
+          ( Plan.Join { method_; outer = plan; inner; predicates = join_preds },
+            covered,
+            later ))
+        (plan0, [ first ], remaining)
+        rest
+    in
+    assert (leftover = []);
+    plan
+
+let run_query db query =
+  let result = run db (reference_plan query) in
+  match query.Query.projection with
+  | Query.Star | Query.Count_star -> result
+  | Query.Columns cols ->
+    let projected =
+      Operator.to_relation
+        (Project.columns cols (Operator.of_relation result.relation))
+    in
+    { result with relation = projected }

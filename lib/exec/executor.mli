@@ -1,0 +1,28 @@
+(** Plan execution.
+
+    Turns a physical {!Plan.t} into an operator tree over the catalog's
+    stored relations and drains it, reporting both the result and the work
+    performed — the stand-in for the paper's Starburst runtime. *)
+
+type result = {
+  relation : Rel.Relation.t;
+  row_count : int;
+  counters : Counters.t;
+  elapsed_s : float;  (** wall-clock seconds for the whole execution *)
+}
+
+val run : Catalog.Db.t -> Plan.t -> result
+(** Execute a plan. Every base table mentioned must be stored (not
+    stats-only).
+    @raise Invalid_argument when a table is stats-only.
+    @raise Not_found when a table is missing from the catalog. *)
+
+val count : Catalog.Db.t -> Plan.t -> int * Counters.t * float
+(** Execute without materializing the result — [COUNT( )] style; returns
+    (rows, counters, elapsed seconds). *)
+
+val run_query : Catalog.Db.t -> Query.t -> result
+(** Reference execution of a query with no optimizer involved: left-deep
+    hash joins in FROM order (nested loops when a step has no equi-key),
+    local predicates pushed to scans, column projections applied. Used to
+    obtain ground-truth result sizes in tests and experiments. *)

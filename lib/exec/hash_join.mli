@@ -1,0 +1,15 @@
+(** Hash equi-join.
+
+    Builds a hash table over the inner (right) input keyed on the equi-join
+    columns, then streams the outer (left) input, probing per tuple.
+    Residual predicates are evaluated on each candidate pair. SQL
+    semantics: tuples with a NULL join key never match. *)
+
+val join :
+  Counters.t ->
+  Query.Predicate.t list ->
+  outer:Operator.t ->
+  inner:Operator.t ->
+  Operator.t
+(** @raise Invalid_argument when no equi-key bridges the two inputs (use
+    {!Nested_loop.join} for cartesian products). *)

@@ -1,0 +1,26 @@
+type t = {
+  table : (Rel.Value.t, Rel.Tuple.t list ref) Hashtbl.t;
+  column : int;
+}
+
+let build relation ~column =
+  let table = Hashtbl.create 4096 in
+  Rel.Relation.iter
+    (fun tuple ->
+      let key = tuple.(column) in
+      if not (Rel.Value.is_null key) then
+        match Hashtbl.find_opt table key with
+        | Some bucket -> bucket := tuple :: !bucket
+        | None -> Hashtbl.add table key (ref [ tuple ]))
+    relation;
+  { table; column }
+
+let lookup t key =
+  if Rel.Value.is_null key then []
+  else
+    match Hashtbl.find_opt t.table key with
+    | Some bucket -> !bucket
+    | None -> []
+
+let key_count t = Hashtbl.length t.table
+let column t = t.column

@@ -1,0 +1,21 @@
+(** Hash indexes over stored relations.
+
+    The equality-lookup access path of this engine: a nested-loop join
+    whose inner is accessed through an index touches only matching tuples
+    instead of rescanning the table — the access-method choice Starburst's
+    optimizer weighed alongside join methods. *)
+
+type t
+
+val build : Rel.Relation.t -> column:int -> t
+(** One pass over the relation. NULL keys are not indexed (SQL equality
+    never matches them). *)
+
+val lookup : t -> Rel.Value.t -> Rel.Tuple.t list
+(** Tuples whose key equals the probe value; [[]] for NULL probes. *)
+
+val key_count : t -> int
+(** Number of distinct indexed keys. *)
+
+val column : t -> int
+(** The indexed column position. *)

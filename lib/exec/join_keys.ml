@@ -1,0 +1,38 @@
+let position schema (c : Query.Cref.t) =
+  Rel.Schema.index_of schema ~table:c.Query.Cref.table
+    ~name:c.Query.Cref.column
+
+let split ~left ~right preds =
+  let keys = ref [] and residual = ref [] in
+  List.iter
+    (fun p ->
+      let bridged =
+        match p with
+        | Query.Predicate.Col_eq { left = a; right = b } -> begin
+          match position left a, position right b with
+          | Some i, Some j -> Some (i, j)
+          | None, _ | _, None -> begin
+            match position left b, position right a with
+            | Some i, Some j -> Some (i, j)
+            | None, _ | _, None -> None
+          end
+        end
+        | Query.Predicate.Cmp _ -> None
+      in
+      match bridged with
+      | Some pair -> keys := pair :: !keys
+      | None ->
+        (* Will be evaluated on the concatenated schema; check it is
+           evaluable there at all. *)
+        let concat = Rel.Schema.concat left right in
+        List.iter
+          (fun c ->
+            if position concat c = None then
+              invalid_arg
+                (Printf.sprintf
+                   "Join_keys.split: %s references a column outside the join"
+                   (Query.Predicate.to_string p)))
+          (Query.Predicate.columns p);
+        residual := p :: !residual)
+    preds;
+  (List.rev !keys, List.rev !residual)

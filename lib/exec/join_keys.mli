@@ -1,0 +1,14 @@
+(** Splitting join conjunctions into equi-key pairs and residual
+    predicates. *)
+
+val split :
+  left:Rel.Schema.t ->
+  right:Rel.Schema.t ->
+  Query.Predicate.t list ->
+  (int * int) list * Query.Predicate.t list
+(** [split ~left ~right preds] returns the list of [(left_pos, right_pos)]
+    column-position pairs for the column equalities that bridge the two
+    schemas, and the remaining predicates, to be evaluated on the
+    concatenated schema after the join.
+    @raise Invalid_argument when a predicate references a column present in
+    neither schema. *)

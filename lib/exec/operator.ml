@@ -1,0 +1,53 @@
+type t = {
+  schema : Rel.Schema.t;
+  next_fn : unit -> Rel.Tuple.t option;
+}
+
+let make schema next_fn = { schema; next_fn }
+let schema t = t.schema
+let next t = t.next_fn ()
+
+let of_list schema tuples =
+  let remaining = ref tuples in
+  make schema (fun () ->
+      match !remaining with
+      | [] -> None
+      | tuple :: rest ->
+        remaining := rest;
+        Some tuple)
+
+let of_relation relation =
+  let i = ref 0 in
+  let n = Rel.Relation.cardinality relation in
+  make (Rel.Relation.schema relation) (fun () ->
+      if !i >= n then None
+      else begin
+        let tuple = Rel.Relation.get relation !i in
+        incr i;
+        Some tuple
+      end)
+
+let iter f t =
+  let rec loop () =
+    match next t with
+    | None -> ()
+    | Some tuple ->
+      f tuple;
+      loop ()
+  in
+  loop ()
+
+let to_relation t =
+  let out = Rel.Relation.create (schema t) in
+  iter (Rel.Relation.insert out) t;
+  out
+
+let count t =
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  !n
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun tuple -> acc := f !acc tuple) t;
+  !acc

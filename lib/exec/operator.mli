@@ -1,0 +1,28 @@
+(** Pull-based physical operators (volcano-style cursors).
+
+    An operator yields tuples of a fixed schema until exhausted. Operators
+    are single-use: once [next] returns [None] the cursor stays exhausted.
+    Joins that need to rescan their inner input materialize it instead —
+    this is an in-memory engine, so materialization is an array copy, and
+    rescans are charged to the work counters by the operator that performs
+    them. *)
+
+type t
+
+val make : Rel.Schema.t -> (unit -> Rel.Tuple.t option) -> t
+val schema : t -> Rel.Schema.t
+val next : t -> Rel.Tuple.t option
+
+val of_list : Rel.Schema.t -> Rel.Tuple.t list -> t
+val of_relation : Rel.Relation.t -> t
+(** Plain cursor over a relation; does not touch any counter (use
+    {!Scan.relation} for counted base-table scans). *)
+
+val to_relation : t -> Rel.Relation.t
+(** Drain the operator into a fresh relation. *)
+
+val iter : (Rel.Tuple.t -> unit) -> t -> unit
+val count : t -> int
+(** Drain and count. *)
+
+val fold : ('acc -> Rel.Tuple.t -> 'acc) -> 'acc -> t -> 'acc

@@ -1,0 +1,62 @@
+type join_method =
+  | Nested_loop
+  | Sort_merge
+  | Hash
+  | Index_nested_loop
+
+type t =
+  | Scan of {
+      table : string;
+      source : string;
+      filters : Query.Predicate.t list;
+    }
+  | Join of {
+      method_ : join_method;
+      outer : t;
+      inner : t;
+      predicates : Query.Predicate.t list;
+    }
+
+let scan ?source ?(filters = []) table =
+  Scan { table; source = Option.value source ~default:table; filters }
+
+let rec tables = function
+  | Scan { table; _ } -> [ table ]
+  | Join { outer; inner; _ } -> tables outer @ tables inner
+
+let join_order = tables
+
+let method_name = function
+  | Nested_loop -> "NL"
+  | Sort_merge -> "SM"
+  | Hash -> "HJ"
+  | Index_nested_loop -> "INL"
+
+let rec to_string = function
+  | Scan { table; _ } -> table
+  | Join { method_; outer; inner; _ } ->
+    Printf.sprintf "(%s %s %s)" (to_string outer) (method_name method_)
+      (to_string inner)
+
+let pp ppf plan =
+  let rec render indent = function
+    | Scan { table; source; filters } ->
+      Format.fprintf ppf "%sScan %s" indent table;
+      if not (String.equal table source) then
+        Format.fprintf ppf " (= %s)" source;
+      if filters <> [] then
+        Format.fprintf ppf " [%s]"
+          (String.concat " AND "
+             (List.map Query.Predicate.to_string filters));
+      Format.fprintf ppf "@."
+    | Join { method_; outer; inner; predicates } ->
+      Format.fprintf ppf "%s%s join" indent (method_name method_);
+      if predicates <> [] then
+        Format.fprintf ppf " on %s"
+          (String.concat " AND "
+             (List.map Query.Predicate.to_string predicates));
+      Format.fprintf ppf "@.";
+      render (indent ^ "  ") outer;
+      render (indent ^ "  ") inner
+  in
+  render "" plan

@@ -1,0 +1,46 @@
+(** Physical plans.
+
+    A plan is what the optimizer hands to {!Executor.run}: a left-deep (or,
+    in principle, bushy) tree of scans and joins, with local predicates
+    pushed into the scans and join/residual predicates attached to join
+    nodes. *)
+
+type join_method =
+  | Nested_loop
+  | Sort_merge
+  | Hash
+  | Index_nested_loop
+      (** nested loop probing a hash index built on the inner's join
+          column *)
+
+type t =
+  | Scan of {
+      table : string;  (** the alias the plan addresses the table by *)
+      source : string;  (** the catalog table actually scanned *)
+      filters : Query.Predicate.t list;
+    }
+  | Join of {
+      method_ : join_method;
+      outer : t;
+      inner : t;
+      predicates : Query.Predicate.t list;
+    }
+
+val scan : ?source:string -> ?filters:Query.Predicate.t list -> string -> t
+(** [scan table] is a scan node; [source] defaults to [table] (no alias)
+    and [filters] to none. *)
+
+val tables : t -> string list
+(** Base tables (aliases), left-to-right (the join order for a left-deep
+    plan). *)
+
+val join_order : t -> string list
+(** Alias of {!tables}; reads better at call sites reporting orders. *)
+
+val method_name : join_method -> string
+
+val to_string : t -> string
+(** One-line rendering, e.g. [((b SM g) HJ m)]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line indented tree with predicates. *)

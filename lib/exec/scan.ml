@@ -1,0 +1,17 @@
+let relation counters ?(filters = []) rel =
+  let schema = Rel.Relation.schema rel in
+  let accept = Query.Eval.compile_all schema filters in
+  let n_filters = List.length filters in
+  let i = ref 0 in
+  let n = Rel.Relation.cardinality rel in
+  let rec pull () =
+    if !i >= n then None
+    else begin
+      let tuple = Rel.Relation.get rel !i in
+      incr i;
+      Counters.read counters 1;
+      Counters.compared counters n_filters;
+      if accept tuple then Some tuple else pull ()
+    end
+  in
+  Operator.make schema pull

@@ -1,0 +1,9 @@
+(** Base-table scans with optional pushed-down filters. *)
+
+val relation :
+  Counters.t ->
+  ?filters:Query.Predicate.t list ->
+  Rel.Relation.t ->
+  Operator.t
+(** Sequential scan. Every tuple read is charged to [tuples_read]; every
+    filter evaluation to [comparisons]. Surviving tuples flow out. *)

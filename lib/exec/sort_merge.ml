@@ -1,0 +1,119 @@
+let join counters preds ~outer ~inner =
+  let left_schema = Operator.schema outer in
+  let right_schema = Operator.schema inner in
+  let out_schema = Rel.Schema.concat left_schema right_schema in
+  let keys, residual =
+    Join_keys.split ~left:left_schema ~right:right_schema preds
+  in
+  if keys = [] then
+    invalid_arg "Sort_merge.join: no equi-join key between the inputs";
+  let left_cols = List.map fst keys and right_cols = List.map snd keys in
+  let accept_residual = Query.Eval.compile_all out_schema residual in
+  let n_residual = List.length residual in
+  let counted_compare cols a b =
+    Counters.compared counters 1;
+    Rel.Tuple.compare_at cols a b
+  in
+  let sort cols op =
+    let arr = Array.of_list (Operator.fold (fun acc t -> t :: acc) [] op) in
+    Array.sort (counted_compare cols) arr;
+    arr
+  in
+  let left_arr = sort left_cols outer in
+  let right_arr = sort right_cols inner in
+  let nl = Array.length left_arr and nr = Array.length right_arr in
+  let key_has_null cols tuple =
+    List.exists (fun i -> Rel.Value.is_null tuple.(i)) cols
+  in
+  (* Cross-input key comparison: compare the projections pairwise. *)
+  let cross_compare left right =
+    Counters.compared counters 1;
+    let rec loop ls rs =
+      match ls, rs with
+      | [], [] -> 0
+      | i :: ls, j :: rs ->
+        let c = Rel.Value.compare left.(i) right.(j) in
+        if c <> 0 then c else loop ls rs
+      | [], _ :: _ | _ :: _, [] -> assert false
+    in
+    loop left_cols right_cols
+  in
+  let li = ref 0 and ri = ref 0 in
+  (* Pending output: the current left tuple paired against a right run. *)
+  let run_start = ref 0 and run_len = ref 0 in
+  let run_pos = ref 0 in
+  let in_run = ref false in
+  let rec pull () =
+    if !in_run then begin
+      if !run_pos < !run_len then begin
+        let left = left_arr.(!li) in
+        let right = right_arr.(!run_start + !run_pos) in
+        incr run_pos;
+        let joined = Rel.Tuple.concat left right in
+        Counters.compared counters n_residual;
+        if accept_residual joined then begin
+          Counters.output counters 1;
+          Some joined
+        end
+        else pull ()
+      end
+      else begin
+        (* Finished pairing this left tuple with the run; advance left and
+           re-pair if the next left tuple has the same key. *)
+        in_run := false;
+        incr li;
+        if
+          !li < nl
+          && !run_len > 0
+          && cross_compare left_arr.(!li) right_arr.(!run_start) = 0
+        then begin
+          in_run := true;
+          run_pos := 0;
+          pull ()
+        end
+        else pull ()
+      end
+    end
+    else if !li >= nl || !ri >= nr then None
+    else begin
+      let left = left_arr.(!li) in
+      if key_has_null left_cols left then begin
+        incr li;
+        pull ()
+      end
+      else if key_has_null right_cols right_arr.(!ri) then begin
+        incr ri;
+        pull ()
+      end
+      else begin
+        let c = cross_compare left right_arr.(!ri) in
+        if c < 0 then begin
+          incr li;
+          pull ()
+        end
+        else if c > 0 then begin
+          incr ri;
+          pull ()
+        end
+        else begin
+          (* Key match: delimit the right run sharing this key. *)
+          let start = !ri in
+          let fin = ref (start + 1) in
+          while
+            !fin < nr
+            && counted_compare right_cols right_arr.(start) right_arr.(!fin)
+               = 0
+          do
+            incr fin
+          done;
+          run_start := start;
+          run_len := !fin - start;
+          run_pos := 0;
+          in_run := true;
+          ri := !fin;
+          pull ()
+        end
+      end
+    end
+  in
+  Operator.make out_schema pull

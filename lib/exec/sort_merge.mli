@@ -1,0 +1,14 @@
+(** Sort-merge equi-join.
+
+    Both inputs are materialized and sorted on the equi-join keys (sort
+    comparisons are charged to the work counters), then merged, buffering
+    duplicate key runs on the right so m×n matches within a key group are
+    all produced. NULL keys never match and are skipped. *)
+
+val join :
+  Counters.t ->
+  Query.Predicate.t list ->
+  outer:Operator.t ->
+  inner:Operator.t ->
+  Operator.t
+(** @raise Invalid_argument when no equi-key bridges the two inputs. *)

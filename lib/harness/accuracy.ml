@@ -1,0 +1,112 @@
+type summary = {
+  algorithm : string;
+  queries : int;
+  median_q : float;
+  p90_q : float;
+  max_q : float;
+  underestimated : float;
+}
+
+let algorithms =
+  [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ]
+
+let q_error ~est ~truth =
+  if truth <= 0. then nan
+  else if est <= 0. then Float.infinity
+  else Float.max (est /. truth) (truth /. est)
+
+(* One chain and one star specimen per seed; chains get a ~25% local range
+   predicate on the first table's join column. *)
+let workloads seed =
+  let chain =
+    Datagen.Workload.chain ~rows_range:(100, 400) ~distinct_range:(20, 120)
+      ~seed ~n_tables:4 ()
+  in
+  let chain_db = chain.Datagen.Workload.db in
+  let chain_query =
+    let t1 = List.hd chain.Datagen.Workload.query.Query.tables in
+    let d = Catalog.Table.distinct (Catalog.Db.find_exn chain_db t1) "a" in
+    Query.with_predicates chain.Datagen.Workload.query
+      (Query.Predicate.cmp (Query.Cref.v t1 "a") Rel.Cmp.Le
+         (Rel.Value.Int (max 1 (d / 4)))
+      :: chain.Datagen.Workload.query.Query.predicates)
+  in
+  let star =
+    (* Keep dimension fan-outs small so the true star result stays
+       executable across many seeds. *)
+    Datagen.Workload.star ~fact_rows:1000 ~dim_rows_range:(50, 150)
+      ~distinct_range:(30, 100) ~seed ~n_dims:3 ()
+  in
+  [
+    (chain_db, chain_query);
+    (star.Datagen.Workload.db, star.Datagen.Workload.query);
+  ]
+
+let percentile sorted p =
+  match sorted with
+  | [||] -> nan
+  | arr ->
+    let n = Array.length arr in
+    let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    arr.(max 0 (min (n - 1) idx))
+
+let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
+  let per_algo = Hashtbl.create 4 in
+  let record algo q under =
+    let qs, unders =
+      Option.value (Hashtbl.find_opt per_algo algo) ~default:([], 0)
+    in
+    Hashtbl.replace per_algo algo (q :: qs, unders + if under then 1 else 0)
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (db, query) ->
+          let truth =
+            float_of_int
+              (Exec.Executor.run_query db query).Exec.Executor.row_count
+          in
+          if truth > 0. then
+            List.iter
+              (fun config ->
+                let est = Els.estimate config db query query.Query.tables in
+                record (Els.Config.name config) (q_error ~est ~truth)
+                  (est < truth))
+              algorithms)
+        (workloads seed))
+    seeds;
+  List.filter_map
+    (fun config ->
+      let name = Els.Config.name config in
+      match Hashtbl.find_opt per_algo name with
+      | None | Some ([], _) -> None
+      | Some (qs, unders) ->
+        let sorted = Array.of_list qs in
+        Array.sort Float.compare sorted;
+        let n = Array.length sorted in
+        Some
+          {
+            algorithm = name;
+            queries = n;
+            median_q = percentile sorted 0.5;
+            p90_q = percentile sorted 0.9;
+            max_q = sorted.(n - 1);
+            underestimated = float_of_int unders /. float_of_int n;
+          })
+    algorithms
+
+let render summaries =
+  Report.table
+    ~header:
+      [ "algorithm"; "queries"; "median q"; "p90 q"; "max q"; "under-est %" ]
+    (List.map
+       (fun s ->
+         [
+           s.algorithm;
+           string_of_int s.queries;
+           Report.float_cell s.median_q;
+           Report.float_cell s.p90_q;
+           Report.float_cell s.max_q;
+           Printf.sprintf "%.0f%%" (100. *. s.underestimated);
+         ])
+       summaries)

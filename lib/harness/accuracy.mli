@@ -1,0 +1,24 @@
+(** Supplementary figure F6: q-error study.
+
+    The q-error of an estimate — [max(est/true, true/est)], the standard
+    metric of modern cardinality-estimation work — summarizes how far each
+    algorithm's final join-size estimate lands from the executed truth
+    over a mixed workload of random chain and star queries, with and
+    without local predicates. Reported per algorithm: median, 90th
+    percentile and maximum q-error, plus the underestimation share. *)
+
+type summary = {
+  algorithm : string;
+  queries : int;
+  median_q : float;
+  p90_q : float;
+  max_q : float;
+  underestimated : float;  (** fraction of queries with est < true *)
+}
+
+val run : ?seeds:int list -> unit -> summary list
+(** Each seed contributes one chain (4 tables, with a local predicate) and
+    one star (3 dimensions) query. Queries with an empty true result are
+    skipped. Defaults: seeds [1..8]. *)
+
+val render : summary list -> string

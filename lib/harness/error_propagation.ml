@@ -1,0 +1,77 @@
+type point = {
+  n_tables : int;
+  rule : string;
+  geo_mean_ratio : float;
+  worst_ratio : float;
+}
+
+let configs =
+  [
+    ("M", Els.Config.sm ~ptc:true);
+    ("SS", Els.Config.sss);
+    ("LS", Els.Config.els);
+  ]
+
+let run ?(seeds = List.init 10 (fun i -> i + 1)) ?(max_tables = 7) () =
+  let points = ref [] in
+  for n_tables = 2 to max_tables do
+    (* Per rule, collect the estimate/true ratios over all seeds. *)
+    let ratios = Hashtbl.create 4 in
+    List.iter
+      (fun seed ->
+        let spec =
+          (* Keep distinct counts high relative to rows so true sizes stay
+             executable out to 7-way joins. *)
+          Datagen.Workload.chain ~rows_range:(100, 600)
+            ~distinct_range:(50, 400) ~seed ~n_tables ()
+        in
+        let truth =
+          (Exec.Executor.run_query spec.Datagen.Workload.db
+             spec.Datagen.Workload.query)
+            .Exec.Executor.row_count
+        in
+        if truth > 0 then
+          List.iter
+            (fun (rule, config) ->
+              let est =
+                Els.estimate config spec.Datagen.Workload.db
+                  spec.Datagen.Workload.query
+                  spec.Datagen.Workload.query.Query.tables
+              in
+              let ratio = est /. float_of_int truth in
+              let existing =
+                Option.value (Hashtbl.find_opt ratios rule) ~default:[]
+              in
+              Hashtbl.replace ratios rule (ratio :: existing))
+            configs)
+      seeds;
+    List.iter
+      (fun (rule, _) ->
+        match Hashtbl.find_opt ratios rule with
+        | None | Some [] -> ()
+        | Some rs ->
+          let logs = List.map Float.log rs in
+          let geo =
+            Float.exp
+              (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs))
+          in
+          let worst = List.fold_left Float.min Float.infinity rs in
+          points :=
+            { n_tables; rule; geo_mean_ratio = geo; worst_ratio = worst }
+            :: !points)
+      configs
+  done;
+  List.rev !points
+
+let render points =
+  Report.table
+    ~header:[ "#tables"; "rule"; "geo-mean est/true"; "worst est/true" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.n_tables;
+           p.rule;
+           Report.float_cell p.geo_mean_ratio;
+           Report.float_cell p.worst_ratio;
+         ])
+       points)

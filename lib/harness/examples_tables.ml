@@ -1,0 +1,110 @@
+(* Machine-checked renderings of the paper's worked examples (E1b, E2, E3,
+   S5, S6) for the bench harness and EXPERIMENTS.md. *)
+
+let stats_table name rows cols =
+  let schema =
+    Rel.Schema.make
+      (List.map
+         (fun (c, _) -> Rel.Schema.column ~table:name ~name:c Rel.Value.Ty_int)
+         cols)
+  in
+  Catalog.Table.stats_only ~name ~schema ~row_count:rows
+    ~column_stats:
+      (List.map
+         (fun (c, d) -> (c, Stats.Col_stats.trivial ~distinct:d))
+         cols)
+
+let example1_db () =
+  let db = Catalog.Db.create () in
+  List.iter (Catalog.Db.add db)
+    [
+      stats_table "r1" 100 [ ("x", 10) ];
+      stats_table "r2" 1000 [ ("y", 100) ];
+      stats_table "r3" 1000 [ ("z", 1000) ];
+    ];
+  db
+
+let example1_query () =
+  Query.make
+    ~tables:[ "r1"; "r2"; "r3" ]
+    [
+      Query.Predicate.col_eq (Query.Cref.v "r1" "x") (Query.Cref.v "r2" "y");
+      Query.Predicate.col_eq (Query.Cref.v "r2" "y") (Query.Cref.v "r3" "z");
+    ]
+
+(* Examples 1b/2/3: the three rules on the join order (R2 ⋈ R3) ⋈ R1.
+   Returns (rule, estimate, paper value, correct value) rows. *)
+let rules_table () =
+  let db = example1_db () in
+  let q = example1_query () in
+  let order = [ "r2"; "r3"; "r1" ] in
+  let run config =
+    Els.Incremental.final_size (Els.prepare config db q) order
+  in
+  [
+    ("Rule M (Algorithm SM)", run (Els.Config.sm ~ptc:true), 1., 1000.);
+    ("Rule SS (Algorithm SSS)", run Els.Config.sss, 100., 1000.);
+    ("Rule LS (Algorithm ELS)", run Els.Config.els, 1000., 1000.);
+  ]
+
+let render_rules_table () =
+  Report.table
+    ~header:[ "Rule"; "Estimate"; "Paper"; "Correct" ]
+    (List.map
+       (fun (rule, est, paper, correct) ->
+         [
+           rule; Report.float_cell est; Report.float_cell paper;
+           Report.float_cell correct;
+         ])
+       (rules_table ()))
+
+(* Section 5's urn-model numeric example:
+   (‖R‖', urn estimate, paper urn value, linear estimate). *)
+let urn_table () =
+  let d_x = 10000 in
+  let r = 100000 in
+  List.map
+    (fun r' ->
+      let urn = Stats.Urn.expected_distinct_int ~urns:d_x ~balls:r' in
+      let linear =
+        float_of_int d_x *. (float_of_int r' /. float_of_int r)
+      in
+      (r', urn, linear))
+    [ 50000; 100000 ]
+
+let render_urn_table () =
+  Report.table
+    ~header:[ "‖R‖'"; "urn d'_x"; "linear d'_x" ]
+    (List.map
+       (fun (r', urn, linear) ->
+         [ string_of_int r'; string_of_int urn; Report.float_cell linear ])
+       (urn_table ()))
+
+(* Section 6's single-table example: effective table and column
+   cardinality of R2 under (R1.x = R2.y) AND (R1.x = R2.w). *)
+let single_table_numbers () =
+  let db = Catalog.Db.create () in
+  List.iter (Catalog.Db.add db)
+    [
+      stats_table "r1" 100 [ ("x", 100) ];
+      stats_table "r2" 1000 [ ("y", 10); ("w", 50) ];
+    ];
+  let q =
+    Query.make ~tables:[ "r1"; "r2" ]
+      [
+        Query.Predicate.col_eq (Query.Cref.v "r1" "x") (Query.Cref.v "r2" "y");
+        Query.Predicate.col_eq (Query.Cref.v "r1" "x") (Query.Cref.v "r2" "w");
+      ]
+  in
+  let profile = Els.prepare Els.Config.els db q in
+  let r2 = Els.Profile.table profile "r2" in
+  (r2.Els.Profile.rows, Els.Profile.join_card profile (Query.Cref.v "r2" "y"))
+
+let render_single_table () =
+  let rows, card = single_table_numbers () in
+  Report.table
+    ~header:[ "Quantity"; "Ours"; "Paper" ]
+    [
+      [ "‖R2‖'"; Report.float_cell rows; "20" ];
+      [ "effective join cardinality"; Report.float_cell card; "9" ];
+    ]

@@ -1,0 +1,22 @@
+(** Supplementary figure F2: local predicates and join selectivities
+    (Section 5).
+
+    Two stored tables join on [r1.x = r2.y] with [d_x ≫ d_y]; a range
+    predicate [x <= c] sweeps from very selective to non-selective. The
+    standard algorithm keeps using [1/max(d_x, d_y)] as the join
+    selectivity no matter what the local predicate did to [x]'s distinct
+    count, while ELS recomputes it from the effective [d′_x]. The true size
+    comes from executing the join. *)
+
+type point = {
+  cutoff : int;  (** the [c] of [x <= c] *)
+  standard_est : float;
+  els_est : float;
+  true_size : int;
+}
+
+val run : ?seed:int -> ?cutoffs:int list -> unit -> point list
+(** Defaults: seed 7, cutoffs [10; 25; 50; 100; 250; 1000; 10000] on a
+    10000-row R1 with d_x = 10000 and a 5000-row R2 with d_y = 100. *)
+
+val render : point list -> string

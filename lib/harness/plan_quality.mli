@@ -1,0 +1,32 @@
+(** Supplementary figure F3: plan quality under each estimation algorithm
+    (Section 8 generalized).
+
+    Random chain queries (single equivalence class after closure, so the
+    rules genuinely disagree) with a local range predicate on the first
+    table. Each algorithm optimizes the query; the chosen plan executes on
+    the stored data; the measured work is compared against the best work
+    achieved by any of the algorithms on that query. *)
+
+type row = {
+  seed : int;
+  n_tables : int;
+  algorithm : string;
+  join_order : string list;
+  work : int;
+  work_ratio : float;  (** work / best work for this query; 1.0 = best *)
+}
+
+val run :
+  ?seeds:int list ->
+  ?n_tables:int ->
+  ?rows_range:int * int ->
+  ?methods:Exec.Plan.join_method list ->
+  unit ->
+  row list
+(** Defaults: seeds [1..5], 5 tables, rows in [[100, 600]], nested-loop +
+    sort-merge. *)
+
+val render : row list -> string
+
+val summarize : row list -> (string * float) list
+(** Geometric mean work ratio per algorithm. *)

@@ -1,0 +1,60 @@
+type trial = {
+  algorithm : string;
+  join_order : string list;
+  estimates : float list;
+  true_sizes : float list;
+  result_rows : int;
+  work : int;
+  elapsed_s : float;
+  estimated_cost : float;
+  plan : Exec.Plan.t;
+}
+
+let true_prefix_sizes db query order =
+  let closed = (Els.Closure.compute query.Query.predicates).Els.Closure.predicates in
+  let rec prefixes acc = function
+    | [] -> List.rev acc
+    | t :: rest ->
+      let prefix = match acc with
+        | [] -> [ t ]
+        | prev :: _ -> prev @ [ t ]
+      in
+      prefixes (prefix :: acc) rest
+  in
+  let all_prefixes = prefixes [] order in
+  List.filter_map
+    (fun prefix ->
+      if List.length prefix < 2 then None
+      else begin
+        let preds =
+          List.filter (Query.Predicate.references_only prefix) closed
+        in
+        let sources =
+          List.map (fun alias -> (alias, Query.source query alias)) prefix
+        in
+        let sub = Query.make ~sources ~tables:prefix preds in
+        let result = Exec.Executor.run_query db sub in
+        Some (float_of_int result.Exec.Executor.row_count)
+      end)
+    all_prefixes
+
+let run ?methods config db query =
+  let choice = Optimizer.choose ?methods config db query in
+  let rows, counters, elapsed_s =
+    Exec.Executor.count db choice.Optimizer.plan
+  in
+  {
+    algorithm = choice.Optimizer.algorithm;
+    join_order = choice.Optimizer.join_order;
+    estimates = choice.Optimizer.intermediate_estimates;
+    true_sizes = true_prefix_sizes db query choice.Optimizer.join_order;
+    result_rows = rows;
+    work = Exec.Counters.total_work counters;
+    elapsed_s;
+    estimated_cost = choice.Optimizer.estimated_cost;
+    plan = choice.Optimizer.plan;
+  }
+
+let estimate_only config db query order =
+  let profile = Els.prepare config db query in
+  (Els.Incremental.estimate_order profile order).Els.Incremental.history

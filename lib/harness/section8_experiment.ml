@@ -1,0 +1,53 @@
+type row = {
+  query_label : string;
+  trial : Runner.trial;
+}
+
+let paper_rows =
+  [
+    ("Orig.", "SM", "S ⋈ M ⋈ B ⋈ G", [], 610.);
+    ("Orig. + PTC", "SM", "S ⋈ M ⋈ B ⋈ G", [ 0.2; 4e-8; 4e-21 ], 472.);
+    ("Orig. + PTC", "SSS", "S ⋈ M ⋈ B ⋈ G", [ 0.2; 4e-4; 4e-7 ], 427.);
+    ("Orig.", "ELS", "B ⋈ G ⋈ M ⋈ S", [ 100.; 100.; 100. ], 50.);
+  ]
+
+let configurations =
+  [
+    ("Orig.", Els.Config.sm ~ptc:false);
+    ("Orig. + PTC", Els.Config.sm ~ptc:true);
+    ("Orig. + PTC", Els.Config.sss);
+    ("Orig.", Els.Config.els);
+  ]
+
+let run ?(scale = 1) ?(seed = 42)
+    ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge ]) () =
+  let db = Datagen.Section8.build ~scale ~seed () in
+  let query = Datagen.Section8.query_scaled ~scale in
+  List.map
+    (fun (query_label, config) ->
+      { query_label; trial = Runner.run ~methods config db query })
+    configurations
+
+let render rows =
+  let body =
+    List.map
+      (fun { query_label; trial } ->
+        [
+          query_label;
+          trial.Runner.algorithm;
+          String.concat " ⋈ " trial.Runner.join_order;
+          Report.size_list trial.Runner.estimates;
+          Report.size_list trial.Runner.true_sizes;
+          string_of_int trial.Runner.result_rows;
+          string_of_int trial.Runner.work;
+          Printf.sprintf "%.3f" trial.Runner.elapsed_s;
+        ])
+      rows
+  in
+  Report.table
+    ~header:
+      [
+        "Query"; "Algorithm"; "Join Order"; "Estimated Result Sizes";
+        "True Sizes"; "COUNT"; "Work (tuples)"; "Time (s)";
+      ]
+    body

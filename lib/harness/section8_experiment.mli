@@ -1,0 +1,36 @@
+(** The paper's Section 8 experiment (its only table, T1).
+
+    Four runs of [SELECT COUNT( ) FROM S,M,B,G WHERE s=m AND m=b AND b=g
+    AND s<100] on real stored data:
+
+    + Algorithm SM on the original query (no predicate transitive closure);
+    + Algorithm SM after PTC;
+    + Algorithm SSS after PTC;
+    + Algorithm ELS on the original query (ELS performs closure
+      internally).
+
+    Each run reports the join order the optimizer chose, the estimated
+    size after each join, the true sizes, and the measured execution work
+    and wall-clock time. Join methods are restricted to nested loops and
+    sort-merge, matching the paper's setup. *)
+
+type row = {
+  query_label : string;  (** "Orig." or "Orig. + PTC" *)
+  trial : Runner.trial;
+}
+
+val paper_rows : (string * string * string * float list * float) list
+(** The paper's reported table, for EXPERIMENTS.md comparison:
+    (query, algorithm, join order, estimated sizes, elapsed seconds). *)
+
+val run :
+  ?scale:int ->
+  ?seed:int ->
+  ?methods:Exec.Plan.join_method list ->
+  unit ->
+  row list
+(** [scale] (default 1 = paper size) divides all table cardinalities;
+    [methods] defaults to [[Nested_loop; Sort_merge]]. *)
+
+val render : row list -> string
+(** The Section 8 table, ours. *)

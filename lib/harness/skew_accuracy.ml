@@ -1,0 +1,57 @@
+type point = {
+  rank : int;
+  true_rows : int;
+  uniform_est : float;
+  histogram_est : float;
+  mcv_est : float;
+}
+
+let run ?(seed = 13) ?(rows = 50000) ?(distinct = 1000) ?(theta = 1.2)
+    ?(mcv_entries = 50) ?(ranks = [ 1; 2; 5; 10; 50; 200; 800 ]) () =
+  let rng = Datagen.Prng.create seed in
+  let values =
+    Array.map
+      (fun v -> Rel.Value.Int v)
+      (Datagen.Distribution.generate (Datagen.Distribution.Zipf theta) rng
+         ~rows ~distinct)
+  in
+  let uniform_stats = Stats.Col_stats.of_values values in
+  let histogram_stats =
+    Stats.Col_stats.of_values ~histogram:Stats.Histogram.Equi_depth
+      ~histogram_buckets:64 values
+  in
+  let mcv_stats = Stats.Col_stats.of_values ~mcv:mcv_entries values in
+  let n = float_of_int (Array.length values) in
+  let estimate stats v =
+    n *. Stats.Selectivity_est.comparison stats Rel.Cmp.Eq v
+  in
+  List.map
+    (fun rank ->
+      let v = Rel.Value.Int rank (* value = rank under the Zipf mapping *) in
+      let true_rows =
+        Array.fold_left
+          (fun acc x -> if Rel.Value.equal x v then acc + 1 else acc)
+          0 values
+      in
+      {
+        rank;
+        true_rows;
+        uniform_est = estimate uniform_stats v;
+        histogram_est = estimate histogram_stats v;
+        mcv_est = estimate mcv_stats v;
+      })
+    ranks
+
+let render points =
+  Report.table
+    ~header:[ "rank"; "true rows"; "uniform est"; "histogram est"; "MCV est" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.rank;
+           string_of_int p.true_rows;
+           Report.float_cell p.uniform_est;
+           Report.float_cell p.histogram_est;
+           Report.float_cell p.mcv_est;
+         ])
+       points)

@@ -1,0 +1,36 @@
+(** Supplementary figure F4: skewed local predicates (the paper's §9
+    future work).
+
+    A Zipf(θ) column breaks the uniformity assumption for local
+    predicates. This experiment compares three statistics regimes on
+    equality predicates against Zipf data:
+
+    - {e uniform}: the plain [1/d] rule;
+    - {e histogram}: equi-depth buckets;
+    - {e MCV}: a most-common-value sketch with the uniform remainder.
+
+    For each queried rank the estimated row count is compared with the
+    exact count. MCV statistics are exact on tracked (frequent) values,
+    where the uniform rule is off by orders of magnitude. *)
+
+type point = {
+  rank : int;  (** queried value: the rank-th most frequent *)
+  true_rows : int;
+  uniform_est : float;
+  histogram_est : float;
+  mcv_est : float;
+}
+
+val run :
+  ?seed:int ->
+  ?rows:int ->
+  ?distinct:int ->
+  ?theta:float ->
+  ?mcv_entries:int ->
+  ?ranks:int list ->
+  unit ->
+  point list
+(** Defaults: 50000 rows, 1000 distinct values, θ = 1.2, 50 MCV entries,
+    ranks [1; 2; 5; 10; 50; 200; 800]. *)
+
+val render : point list -> string

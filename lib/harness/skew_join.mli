@@ -1,0 +1,33 @@
+(** Supplementary figure F7: the uniformity assumption's limits on
+    {e join} columns.
+
+    The paper relaxes uniformity only for local predicates and explicitly
+    leaves join-column skew as future work ("Relaxing the assumption in
+    the case of join predicates would enable query optimizers to account
+    for important data distributions such as the Zipfian distribution").
+    This experiment quantifies that limit: two tables are joined on
+    columns drawn Zipf(θ); as θ grows, the uniform Equation 2 estimate
+    (which all three rules share here — a single predicate, no
+    redundancy) drifts further from the executed truth.
+
+    This is a negative result by design — it marks the boundary of the
+    paper's model rather than a defect of Rule LS. *)
+
+type point = {
+  theta : float;
+  estimate : float;  (** Equation 2 estimate (same for M/SS/LS here) *)
+  true_size : int;
+  ratio : float;  (** estimate / true *)
+}
+
+val run :
+  ?seed:int ->
+  ?rows:int * int ->
+  ?distinct:int ->
+  ?thetas:float list ->
+  unit ->
+  point list
+(** Defaults: 20000 and 10000 rows, 500 distinct values on both sides,
+    θ ∈ [0; 0.5; 1.0; 1.5]. *)
+
+val render : point list -> string

@@ -1,0 +1,26 @@
+let sort_cost n =
+  if n <= 1. then 0. else n *. (Float.log n /. Float.log 2.)
+
+let scan ~base_rows = Float.max 0. base_rows
+
+let nested_loop ~outer_rows ~inner_base_rows ~out_rows =
+  (Float.max 0. outer_rows *. Float.max 0. inner_base_rows)
+  +. Float.max 0. out_rows
+
+let sort_merge ~outer_rows ~inner_base_rows ~inner_rows ~out_rows =
+  scan ~base_rows:inner_base_rows
+  +. sort_cost (Float.max 0. outer_rows)
+  +. sort_cost (Float.max 0. inner_rows)
+  +. Float.max 0. outer_rows +. Float.max 0. inner_rows
+  +. Float.max 0. out_rows
+
+let hash ~outer_rows ~inner_base_rows ~inner_rows ~out_rows =
+  scan ~base_rows:inner_base_rows
+  +. Float.max 0. inner_rows (* build *)
+  +. Float.max 0. outer_rows (* probe *)
+  +. Float.max 0. out_rows
+
+let index_nested_loop ~outer_rows ~inner_base_rows ~out_rows =
+  scan ~base_rows:inner_base_rows (* index build *)
+  +. Float.max 0. outer_rows (* probes *)
+  +. (2. *. Float.max 0. out_rows) (* matched reads + emitted rows *)

@@ -1,0 +1,129 @@
+type node = {
+  plan : Exec.Plan.t;
+  state : Els.Incremental.state;
+  cost : float;
+}
+
+let scan_filters profile table =
+  List.filter
+    (fun p ->
+      Query.Predicate.is_local p
+      && Query.Predicate.tables p = [ table ])
+    profile.Els.Profile.predicates
+
+let scan_node profile table =
+  let tp = Els.Profile.table profile table in
+  {
+    plan =
+      Exec.Plan.scan ~source:tp.Els.Profile.source
+        ~filters:(scan_filters profile table) table;
+    state = Els.Incremental.start profile table;
+    cost = Cost.scan ~base_rows:tp.Els.Profile.base_rows;
+  }
+
+(* Added cost of joining [table] as the inner of [node] with [method_]. *)
+let join_cost profile node table method_ ~out_rows =
+  let tp = Els.Profile.table profile table in
+  let outer_rows = node.state.Els.Incremental.size in
+  let inner_base_rows = tp.Els.Profile.base_rows in
+  let inner_rows = tp.Els.Profile.rows in
+  match method_ with
+  | Exec.Plan.Nested_loop ->
+    Cost.nested_loop ~outer_rows ~inner_base_rows ~out_rows
+  | Exec.Plan.Sort_merge ->
+    Cost.sort_merge ~outer_rows ~inner_base_rows ~inner_rows ~out_rows
+  | Exec.Plan.Hash ->
+    Cost.hash ~outer_rows ~inner_base_rows ~inner_rows ~out_rows
+  | Exec.Plan.Index_nested_loop ->
+    Cost.index_nested_loop ~outer_rows ~inner_base_rows ~out_rows
+
+let extend profile node table method_ eligible =
+  let state = Els.Incremental.extend profile node.state table in
+  let cost =
+    node.cost
+    +. join_cost profile node table method_
+         ~out_rows:state.Els.Incremental.size
+  in
+  let tp = Els.Profile.table profile table in
+  let inner =
+    Exec.Plan.scan ~source:tp.Els.Profile.source
+      ~filters:(scan_filters profile table) table
+  in
+  {
+    plan =
+      Exec.Plan.Join
+        { method_; outer = node.plan; inner; predicates = eligible };
+    state;
+    cost;
+  }
+
+let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ])
+    profile query =
+  if methods = [] then invalid_arg "Dp.optimize: no join methods";
+  let tables = Array.of_list query.Query.tables in
+  let n = Array.length tables in
+  if n = 0 then invalid_arg "Dp.optimize: query with no tables";
+  if n > 20 then invalid_arg "Dp.optimize: too many tables for exact DP";
+  let best : (int, node) Hashtbl.t = Hashtbl.create 1024 in
+  let consider mask candidate =
+    match Hashtbl.find_opt best mask with
+    | Some incumbent when incumbent.cost <= candidate.cost -> ()
+    | Some _ | None -> Hashtbl.replace best mask candidate
+  in
+  for i = 0 to n - 1 do
+    consider (1 lsl i) (scan_node profile tables.(i))
+  done;
+  let full = (1 lsl n) - 1 in
+  (* Grow subsets in increasing size so every mask is final before it is
+     extended. *)
+  for size = 1 to n - 1 do
+    for mask = 1 to full do
+      if
+        (let rec popcount m = if m = 0 then 0 else (m land 1) + popcount (m lsr 1) in
+         popcount mask)
+        = size
+      then begin
+        match Hashtbl.find_opt best mask with
+        | None -> ()
+        | Some node ->
+          (* Which absent tables connect to the subset via join preds? *)
+          let extensions =
+            List.filter_map
+              (fun i ->
+                if mask land (1 lsl i) <> 0 then None
+                else
+                  let table = tables.(i) in
+                  let eligible =
+                    Els.Incremental.eligible profile node.state table
+                  in
+                  Some (i, table, eligible))
+              (List.init n Fun.id)
+          in
+          let connected =
+            List.filter (fun (_, _, e) -> e <> []) extensions
+          in
+          let usable = if connected <> [] then connected else extensions in
+          List.iter
+            (fun (i, table, eligible) ->
+              List.iter
+                (fun method_ ->
+                  (* Sort-merge and hash need at least one equi-key. *)
+                  let applicable =
+                    match method_ with
+                    | Exec.Plan.Nested_loop -> true
+                    | Exec.Plan.Sort_merge | Exec.Plan.Hash
+                    | Exec.Plan.Index_nested_loop ->
+                      eligible <> []
+                  in
+                  if applicable then
+                    consider
+                      (mask lor (1 lsl i))
+                      (extend profile node table method_ eligible))
+                methods)
+            usable
+      end
+    done
+  done;
+  match Hashtbl.find_opt best full with
+  | Some node -> node
+  | None -> assert false

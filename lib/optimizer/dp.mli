@@ -1,0 +1,45 @@
+(** Selinger-style dynamic programming over left-deep join trees [13].
+
+    For every subset of the query's tables the enumerator keeps the
+    cheapest left-deep plan, extending subsets one table at a time.
+    Cardinalities are estimated {e incrementally along each plan's own
+    build order} with the configured estimation algorithm — exactly the
+    regime the paper analyzes (and exactly how inconsistent rules like SS
+    end up assigning different sizes to the same subset reached by
+    different orders).
+
+    Cartesian products are considered only for subsets with no predicate-
+    connected extension, as in System R. *)
+
+type node = {
+  plan : Exec.Plan.t;
+  state : Els.Incremental.state;
+      (** estimation state along the plan's join order *)
+  cost : float;
+}
+
+val optimize :
+  ?methods:Exec.Plan.join_method list ->
+  Els.Profile.t ->
+  Query.t ->
+  node
+(** Best left-deep plan for all the query's tables. [methods] defaults to
+    all three join methods; the paper's experiment restricts it to
+    [[Nested_loop; Sort_merge]].
+    @raise Invalid_argument on an empty FROM list or empty [methods]. *)
+
+val scan_filters : Els.Profile.t -> string -> Query.Predicate.t list
+(** The local predicates of the profile's working conjunction pushed into
+    the scan of the given table (constant comparisons and intra-table
+    column equalities). *)
+
+val scan_node : Els.Profile.t -> string -> node
+(** A single-table access node with its filters and estimation state;
+    shared with the alternative enumerators ({!Greedy}, {!Random_walk}). *)
+
+val extend : Els.Profile.t -> node -> string -> Exec.Plan.join_method ->
+  Query.Predicate.t list -> node
+(** [extend profile node table method_ eligible] joins one more table onto
+    a left-deep node, threading the incremental estimation state and the
+    cost model. [eligible] must be the predicates connecting [table] to the
+    node (as computed by {!Els.Incremental.eligible}). *)

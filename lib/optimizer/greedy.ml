@@ -1,0 +1,85 @@
+let default_methods =
+  [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ]
+
+let method_applicable method_ eligible =
+  match method_ with
+  | Exec.Plan.Nested_loop -> true
+  | Exec.Plan.Sort_merge | Exec.Plan.Hash | Exec.Plan.Index_nested_loop ->
+    eligible <> []
+
+(* Cheapest extension of [node] with [table] over the allowed methods,
+   tagged with whether the step is predicate-connected. *)
+let best_extension profile methods node table =
+  let eligible = Els.Incremental.eligible profile node.Dp.state table in
+  let candidates =
+    List.filter_map
+      (fun method_ ->
+        if method_applicable method_ eligible then
+          Some (Dp.extend profile node table method_ eligible)
+        else None)
+      methods
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun acc node' -> if node'.Dp.cost < acc.Dp.cost then node' else acc)
+        first rest
+    in
+    Some (best, eligible <> [])
+
+let optimize ?(methods = default_methods) profile query =
+  if methods = [] then invalid_arg "Greedy.optimize: no join methods";
+  let tables = query.Query.tables in
+  if tables = [] then invalid_arg "Greedy.optimize: query with no tables";
+  (* Seed: the table with the smallest effective cardinality. *)
+  let smallest acc table =
+    let node = Dp.scan_node profile table in
+    match acc with
+    | None -> Some node
+    | Some best ->
+      if
+        node.Dp.state.Els.Incremental.size
+        < best.Dp.state.Els.Incremental.size
+      then Some node
+      else acc
+  in
+  let start =
+    match List.fold_left smallest None tables with
+    | Some node -> node
+    | None -> assert false
+  in
+  let start_table =
+    match start.Dp.state.Els.Incremental.joined with
+    | [ t ] -> t
+    | _ -> assert false
+  in
+  let rec grow node remaining =
+    if remaining = [] then node
+    else begin
+      let candidates =
+        List.filter_map
+          (fun table ->
+            Option.map
+              (fun (node', connected) -> (table, node', connected))
+              (best_extension profile methods node table))
+          remaining
+      in
+      (* Prefer predicate-connected extensions, as DP does. *)
+      let connected = List.filter (fun (_, _, c) -> c) candidates in
+      let pool = if connected <> [] then connected else candidates in
+      match pool with
+      | [] -> assert false (* nested loop is always applicable *)
+      | first :: rest ->
+        let table, node', _ =
+          List.fold_left
+            (fun (bt, bn, bc) (t, n, c) ->
+              if n.Dp.cost < bn.Dp.cost then (t, n, c) else (bt, bn, bc))
+            first rest
+        in
+        grow node'
+          (List.filter (fun t -> not (String.equal t table)) remaining)
+    end
+  in
+  grow start (List.filter (fun t -> not (String.equal t start_table)) tables)

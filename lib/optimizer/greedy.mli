@@ -1,0 +1,16 @@
+(** Greedy join enumeration.
+
+    The polynomial-time alternative to exact DP, in the spirit of the
+    AB-algorithm line of work the paper cites [15]: start from the table
+    with the smallest effective cardinality, then repeatedly append the
+    (table, join method) pair with the least added cost, preferring
+    predicate-connected extensions. O(n²·methods) instead of O(2ⁿ);
+    estimates are the same incremental estimates DP uses. *)
+
+val optimize :
+  ?methods:Exec.Plan.join_method list ->
+  Els.Profile.t ->
+  Query.t ->
+  Dp.node
+(** Same result type as {!Dp.optimize} so callers can swap enumerators.
+    @raise Invalid_argument on an empty FROM list or empty [methods]. *)

@@ -1,0 +1,81 @@
+module Cost = Cost
+module Dp = Dp
+module Greedy = Greedy
+module Random_walk = Random_walk
+
+type choice = {
+  algorithm : string;
+  plan : Exec.Plan.t;
+  join_order : string list;
+  intermediate_estimates : float list;
+  estimated_cost : float;
+}
+
+type enumerator =
+  | Exhaustive  (** Selinger dynamic programming (default) *)
+  | Greedy_order  (** O(n²) greedy construction *)
+  | Randomized of int  (** iterative improvement with the given seed *)
+
+let choose ?methods ?(enumerator = Exhaustive) config db query =
+  let profile = Els.Profile.build config db query in
+  let node =
+    match enumerator with
+    | Exhaustive -> Dp.optimize ?methods profile query
+    | Greedy_order -> Greedy.optimize ?methods profile query
+    | Randomized seed -> Random_walk.optimize ?methods ~seed profile query
+  in
+  {
+    algorithm = Els.Config.name config;
+    plan = node.Dp.plan;
+    join_order = Exec.Plan.join_order node.Dp.plan;
+    intermediate_estimates = node.Dp.state.Els.Incremental.history;
+    estimated_cost = node.Dp.cost;
+  }
+
+(* Render the (left-deep) plan with each join annotated by its estimated
+   output size: the innermost join carries the first estimate, the
+   outermost the last. *)
+let pp_annotated ppf plan estimates =
+  let estimates = Array.of_list estimates in
+  let rec join_count = function
+    | Exec.Plan.Scan _ -> 0
+    | Exec.Plan.Join { outer; inner; _ } ->
+      join_count outer + join_count inner + 1
+  in
+  let rec render indent node =
+    match node with
+    | Exec.Plan.Scan { table; source; filters } ->
+      Format.fprintf ppf "%sScan %s" indent table;
+      if not (String.equal table source) then
+        Format.fprintf ppf " (= %s)" source;
+      if filters <> [] then
+        Format.fprintf ppf " [%s]"
+          (String.concat " AND "
+             (List.map Query.Predicate.to_string filters));
+      Format.fprintf ppf "@."
+    | Exec.Plan.Join { method_; outer; inner; predicates } ->
+      let idx = join_count node - 1 in
+      Format.fprintf ppf "%s%s join" indent (Exec.Plan.method_name method_);
+      if predicates <> [] then
+        Format.fprintf ppf " on %s"
+          (String.concat " AND "
+             (List.map Query.Predicate.to_string predicates));
+      if idx >= 0 && idx < Array.length estimates then
+        Format.fprintf ppf "  (est rows: %.4g)" estimates.(idx);
+      Format.fprintf ppf "@.";
+      render (indent ^ "  ") outer;
+      render (indent ^ "  ") inner
+  in
+  render "" plan
+
+let explain ppf choice =
+  Format.fprintf ppf "algorithm: %s@." choice.algorithm;
+  Format.fprintf ppf "join order: %s@."
+    (String.concat " ⋈ " choice.join_order);
+  Format.fprintf ppf "estimated sizes after each join: %s@."
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.4g") choice.intermediate_estimates));
+  Format.fprintf ppf "estimated cost (work units): %.4g@."
+    choice.estimated_cost;
+  Format.fprintf ppf "plan:@.";
+  pp_annotated ppf choice.plan choice.intermediate_estimates

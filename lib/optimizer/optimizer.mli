@@ -1,0 +1,40 @@
+(** Top-level query optimizer.
+
+    Pairs an estimation algorithm (an {!Els.Config.t}) with the Selinger
+    enumerator and returns the chosen plan together with the estimates that
+    drove the choice — the tuple of facts reported in each row of the
+    paper's Section 8 table. *)
+
+module Cost = Cost
+module Dp = Dp
+module Greedy = Greedy
+module Random_walk = Random_walk
+
+type choice = {
+  algorithm : string;  (** display name of the estimation configuration *)
+  plan : Exec.Plan.t;
+  join_order : string list;
+  intermediate_estimates : float list;
+      (** estimated size after each join of the chosen order *)
+  estimated_cost : float;  (** in executor work units *)
+}
+
+type enumerator =
+  | Exhaustive  (** Selinger dynamic programming (default) *)
+  | Greedy_order  (** O(n²) greedy construction *)
+  | Randomized of int  (** iterative improvement with the given seed *)
+
+val choose :
+  ?methods:Exec.Plan.join_method list ->
+  ?enumerator:enumerator ->
+  Els.Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
+  choice
+(** Optimize the query under the given estimation algorithm. The plan's
+    scans carry the local predicates of the estimator's working conjunction
+    (so a closure-enabled configuration both estimates with and executes
+    the implied predicates, like the paper's PTC rewrite). *)
+
+val explain : Format.formatter -> choice -> unit
+(** Human-readable plan summary with per-join estimates. *)

@@ -1,0 +1,31 @@
+(** Randomized join-order search (iterative improvement).
+
+    The paper notes that incremental estimation is also what drives
+    randomized query optimizers [14, 5]. This enumerator searches the
+    space of left-deep join orders by iterative improvement: random
+    restarts, each descending through random adjacent-swap neighbors until
+    no accepted move occurs for a while. For each visited order the
+    cheapest join method per step is chosen greedily.
+
+    Deterministic given [seed]. *)
+
+val optimize :
+  ?methods:Exec.Plan.join_method list ->
+  ?restarts:int ->
+  ?max_steps:int ->
+  ?seed:int ->
+  Els.Profile.t ->
+  Query.t ->
+  Dp.node
+(** Defaults: 8 restarts, 100 steps per restart, seed 1. Same result type
+    as {!Dp.optimize}.
+    @raise Invalid_argument on an empty FROM list or empty [methods]. *)
+
+val plan_of_order :
+  methods:Exec.Plan.join_method list ->
+  Els.Profile.t ->
+  string list ->
+  Dp.node
+(** Cost a fixed left-deep order, choosing the cheapest applicable method
+    at each step (exposed for tests and for costing externally supplied
+    orders). *)

@@ -1,0 +1,25 @@
+type compiled = Rel.Tuple.t -> bool
+
+let index schema cref =
+  match
+    Rel.Schema.index_of schema ~table:cref.Cref.table ~name:cref.Cref.column
+  with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Eval.compile: column %s not in schema"
+         (Cref.to_string cref))
+
+let compile schema = function
+  | Predicate.Cmp { col; op; const } ->
+    let i = index schema col in
+    fun tuple -> Rel.Cmp.eval op tuple.(i) const
+  | Predicate.Col_eq { left; right } ->
+    let i = index schema left and j = index schema right in
+    fun tuple -> Rel.Value.sql_equal tuple.(i) tuple.(j)
+
+let compile_all schema predicates =
+  let compiled = List.map (compile schema) predicates in
+  fun tuple -> List.for_all (fun p -> p tuple) compiled
+
+let holds schema predicate tuple = compile schema predicate tuple

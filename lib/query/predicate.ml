@@ -1,0 +1,73 @@
+module T = struct
+  type t =
+    | Cmp of {
+        col : Cref.t;
+        op : Rel.Cmp.t;
+        const : Rel.Value.t;
+      }
+    | Col_eq of {
+        left : Cref.t;
+        right : Cref.t;
+      }
+
+  let compare a b =
+    match a, b with
+    | Cmp x, Cmp y -> begin
+      match Cref.compare x.col y.col with
+      | 0 -> begin
+        match Stdlib.compare x.op y.op with
+        | 0 -> Rel.Value.compare x.const y.const
+        | c -> c
+      end
+      | c -> c
+    end
+    | Col_eq x, Col_eq y -> begin
+      match Cref.compare x.left y.left with
+      | 0 -> Cref.compare x.right y.right
+      | c -> c
+    end
+    | Cmp _, Col_eq _ -> -1
+    | Col_eq _, Cmp _ -> 1
+end
+
+include T
+
+let cmp col op const = Cmp { col; op; const }
+
+let col_eq a b =
+  let c = Cref.compare a b in
+  if c = 0 then invalid_arg "Predicate.col_eq: column equated with itself"
+  else if c < 0 then Col_eq { left = a; right = b }
+  else Col_eq { left = b; right = a }
+
+let is_join = function
+  | Col_eq { left; right } -> not (Cref.same_table left right)
+  | Cmp _ -> false
+
+let is_local p = not (is_join p)
+
+let columns = function
+  | Cmp { col; _ } -> [ col ]
+  | Col_eq { left; right } -> [ left; right ]
+
+let tables p =
+  List.sort_uniq String.compare
+    (List.map (fun c -> c.Cref.table) (columns p))
+
+let references_only table_names p =
+  List.for_all
+    (fun c -> List.mem c.Cref.table table_names)
+    (columns p)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Cmp { col; op; const } ->
+    Printf.sprintf "%s %s %s" (Cref.to_string col) (Rel.Cmp.to_string op)
+      (Rel.Value.to_string const)
+  | Col_eq { left; right } ->
+    Printf.sprintf "%s = %s" (Cref.to_string left) (Cref.to_string right)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+module Set = Set.Make (T)

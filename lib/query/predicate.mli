@@ -1,0 +1,49 @@
+(** Conjunct predicates of a query.
+
+    Following the paper's terminology:
+    - a {e local} predicate compares a column with a constant
+      ([R.x op c]), or equates two columns {e of the same table}
+      ([R.y = R.w], the kind produced by transitive-closure rule 2b);
+    - a {e join} predicate equates columns of two different tables
+      ([R1.x = R2.y]).
+
+    Both column-equality shapes share the {!constructor:Col_eq}
+    constructor; {!is_join} distinguishes them. Column equalities are kept
+    in canonical order (smaller reference first), so structural equality
+    identifies duplicates regardless of how the query spelled them. *)
+
+type t =
+  | Cmp of {
+      col : Cref.t;
+      op : Rel.Cmp.t;
+      const : Rel.Value.t;
+    }  (** [col op const] *)
+  | Col_eq of {
+      left : Cref.t;
+      right : Cref.t;
+    }  (** [left = right]; canonicalized so [compare left right < 0] *)
+
+val cmp : Cref.t -> Rel.Cmp.t -> Rel.Value.t -> t
+val col_eq : Cref.t -> Cref.t -> t
+(** @raise Invalid_argument when both sides are the same column. *)
+
+val is_join : t -> bool
+(** A {!constructor:Col_eq} across two distinct tables. *)
+
+val is_local : t -> bool
+(** A constant comparison, or a column equality within one table. *)
+
+val columns : t -> Cref.t list
+val tables : t -> string list
+(** Distinct tables mentioned, in canonical order. *)
+
+val references_only : string list -> t -> bool
+(** [references_only tables p]: every column of [p] belongs to [tables]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

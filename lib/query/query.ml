@@ -1,0 +1,95 @@
+module Cref = Cref
+module Predicate = Predicate
+module Eval = Eval
+
+type projection =
+  | Star
+  | Columns of Cref.t list
+  | Count_star
+
+type t = {
+  tables : string list;
+  sources : (string * string) list;
+  predicates : Predicate.t list;
+  projection : projection;
+}
+
+let make ?(projection = Star) ?(sources = []) ~tables predicates =
+  let tables = List.map String.lowercase_ascii tables in
+  let sorted = List.sort_uniq String.compare tables in
+  if List.length sorted <> List.length tables then
+    invalid_arg "Query.make: duplicate table in FROM";
+  let sources =
+    List.map
+      (fun (a, s) -> (String.lowercase_ascii a, String.lowercase_ascii s))
+      sources
+  in
+  List.iter
+    (fun (alias, _) ->
+      if not (List.mem alias tables) then
+        invalid_arg
+          (Printf.sprintf "Query.make: source mapping for unknown alias %s"
+             alias))
+    sources;
+  let sources =
+    List.map
+      (fun alias ->
+        (alias, Option.value (List.assoc_opt alias sources) ~default:alias))
+      tables
+  in
+  List.iter
+    (fun p ->
+      if not (Predicate.references_only tables p) then
+        invalid_arg
+          (Printf.sprintf "Query.make: predicate %s references unknown table"
+             (Predicate.to_string p)))
+    predicates;
+  (match projection with
+  | Star | Count_star -> ()
+  | Columns cols ->
+    List.iter
+      (fun c ->
+        if not (List.mem c.Cref.table tables) then
+          invalid_arg
+            (Printf.sprintf "Query.make: projected column %s not in FROM"
+               (Cref.to_string c)))
+      cols);
+  { tables; sources; predicates; projection }
+
+let source t alias =
+  let alias = String.lowercase_ascii alias in
+  Option.value (List.assoc_opt alias t.sources) ~default:alias
+
+let join_predicates t = List.filter Predicate.is_join t.predicates
+let local_predicates t = List.filter Predicate.is_local t.predicates
+
+let predicates_on_table t name =
+  let name = String.lowercase_ascii name in
+  List.filter
+    (fun p -> Predicate.is_local p && Predicate.tables p = [ name ])
+    t.predicates
+
+let with_predicates t predicates = { t with predicates }
+
+let to_string t =
+  let select =
+    match t.projection with
+    | Star -> "*"
+    | Count_star -> "COUNT(*)"
+    | Columns cols -> String.concat ", " (List.map Cref.to_string cols)
+  in
+  let where =
+    match t.predicates with
+    | [] -> ""
+    | ps ->
+      " WHERE " ^ String.concat " AND " (List.map Predicate.to_string ps)
+  in
+  let from_item alias =
+    let src = source t alias in
+    if String.equal src alias then alias else src ^ " " ^ alias
+  in
+  Printf.sprintf "SELECT %s FROM %s%s" select
+    (String.concat ", " (List.map from_item t.tables))
+    where
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

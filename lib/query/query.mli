@@ -1,0 +1,57 @@
+(** Typed query IR: conjunctive select-project-join queries.
+
+    This is the library's root module; it also re-exports the submodules
+    ({!Cref}, {!Predicate}, {!Eval}) so users address everything as
+    [Query.Cref], [Query.Predicate], ...
+
+    A query is the class the paper estimates: a list of base tables, a
+    conjunction of local and join predicates, and a projection (the paper's
+    experiment uses [SELECT COUNT( )]). *)
+
+module Cref = Cref
+module Predicate = Predicate
+module Eval = Eval
+
+type projection =
+  | Star  (** all columns of all tables *)
+  | Columns of Cref.t list
+  | Count_star  (** [COUNT( )], as in Section 8 *)
+
+type t = {
+  tables : string list;
+      (** FROM list: the {e aliases} (lower-cased, duplicate-free); for an
+          unaliased table the alias is the table name itself *)
+  sources : (string * string) list;
+      (** alias → catalog table; identity entries included *)
+  predicates : Predicate.t list; (** WHERE conjunction *)
+  projection : projection;
+}
+
+val make :
+  ?projection:projection ->
+  ?sources:(string * string) list ->
+  tables:string list ->
+  Predicate.t list ->
+  t
+(** [make ~tables preds] validates that aliases are distinct and every
+    predicate references only listed aliases. [sources] maps aliases to
+    catalog tables (self-joins name the same source twice); aliases not
+    listed map to themselves. [projection] defaults to [Star].
+    @raise Invalid_argument on violation. *)
+
+val source : t -> string -> string
+(** Catalog table behind an alias; the alias itself when unmapped. *)
+
+val join_predicates : t -> Predicate.t list
+val local_predicates : t -> Predicate.t list
+
+val predicates_on_table : t -> string -> Predicate.t list
+(** Local predicates whose columns all live in the given table. *)
+
+val with_predicates : t -> Predicate.t list -> t
+(** Same query shape, different conjunction (used after rewrite). *)
+
+val to_string : t -> string
+(** SQL-ish rendering: [SELECT ... FROM ... WHERE ...]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+let parse ?(separator = ',') text =
+  let len = String.length text in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 64 in
+  let field_written = ref false in
+  let flush_field () =
+    let raw = Buffer.contents buf in
+    Buffer.clear buf;
+    (* Unquoted empty fields are NULL; quoted empty strings are "". *)
+    let value =
+      if raw = "" && not !field_written then None else Some raw
+    in
+    field_written := false;
+    fields := value :: !fields
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let i = ref 0 in
+  while !i < len do
+    let c = text.[!i] in
+    if c = '"' then begin
+      (* Quoted field: scan to the closing quote, honoring "" escapes. *)
+      field_written := true;
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= len then invalid_arg "Csv.parse: unterminated quoted field";
+        let q = text.[!i] in
+        if q = '"' then
+          if !i + 1 < len && text.[!i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf q;
+          incr i
+        end
+      done
+    end
+    else if c = separator then begin
+      flush_field ();
+      incr i
+    end
+    else if c = '\n' then begin
+      flush_row ();
+      incr i
+    end
+    else if c = '\r' then begin
+      (* \r\n and bare \r both end the row. *)
+      flush_row ();
+      incr i;
+      if !i < len && text.[!i] = '\n' then incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      field_written := true;
+      incr i
+    end
+  done;
+  if Buffer.length buf > 0 || !fields <> [] || !field_written then flush_row ();
+  List.rev !rows
+
+type inferred =
+  | Unknown (* only NULLs seen so far *)
+  | Can_int
+  | Can_float
+  | Can_bool
+  | Must_string
+
+let classify = function
+  | None -> Unknown (* NULL fits any type *)
+  | Some s ->
+    if int_of_string_opt s <> None then Can_int
+    else if float_of_string_opt s <> None then Can_float
+    else begin
+      match String.lowercase_ascii s with
+      | "true" | "false" -> Can_bool
+      | _ -> Must_string
+    end
+
+let widen a b =
+  match a, b with
+  | Unknown, x | x, Unknown -> x
+  | Must_string, _ | _, Must_string -> Must_string
+  | Can_bool, Can_bool -> Can_bool
+  | Can_bool, (Can_int | Can_float) | (Can_int | Can_float), Can_bool ->
+    Must_string
+  | Can_float, (Can_float | Can_int) | Can_int, Can_float -> Can_float
+  | Can_int, Can_int -> Can_int
+
+let value_of inferred field =
+  match field with
+  | None -> Value.Null
+  | Some s -> begin
+    match inferred with
+    | Unknown -> assert false (* a non-null field refines the column *)
+    | Can_int -> Value.Int (int_of_string s)
+    | Can_float -> Value.Float (float_of_string s)
+    | Can_bool -> Value.Bool (String.lowercase_ascii s = "true")
+    | Must_string -> Value.String s
+  end
+
+let ty_of = function
+  | Unknown | Can_int -> Value.Ty_int
+  | Can_float -> Value.Ty_float
+  | Can_bool -> Value.Ty_bool
+  | Must_string -> Value.Ty_string
+
+let relation_of_string ?separator ~table text =
+  match parse ?separator text with
+  | [] -> invalid_arg "Csv.relation_of_string: empty input"
+  | header :: data ->
+    let names =
+      List.map
+        (fun field ->
+          match field with
+          | Some name when String.trim name <> "" ->
+            String.lowercase_ascii (String.trim name)
+          | Some _ | None ->
+            invalid_arg "Csv.relation_of_string: empty column name in header")
+        header
+    in
+    let width = List.length names in
+    (* Blank lines are ambiguous in single-column files (they are a NULL
+       row there); in wider files they are separators and are dropped. *)
+    let data =
+      if width = 1 then data
+      else List.filter (fun row -> row <> [ None ]) data
+    in
+    List.iteri
+      (fun row_idx row ->
+        if List.length row <> width then
+          invalid_arg
+            (Printf.sprintf
+               "Csv.relation_of_string: row %d has %d fields, expected %d"
+               (row_idx + 2) (List.length row) width))
+      data;
+    (* Infer each column's type over all its fields. *)
+    let inferred =
+      List.fold_left
+        (fun acc row -> List.map2 widen acc (List.map classify row))
+        (List.init width (fun _ -> Unknown))
+        data
+    in
+    let schema =
+      Schema.make
+        (List.map2
+           (fun name ty -> Schema.column ~table ~name (ty_of ty))
+           names inferred)
+    in
+    let rel = Relation.create schema in
+    List.iter
+      (fun row ->
+        Relation.insert rel
+          (Array.of_list (List.map2 value_of inferred row)))
+      data;
+    rel
+
+let relation_of_file ?separator ~table path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  relation_of_string ?separator ~table text
+
+let escape_field separator s =
+  let needs_quoting =
+    String.exists
+      (fun c -> c = separator || c = '"' || c = '\n' || c = '\r')
+      s
+    || s = ""
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let field_of_value separator v =
+  match v with
+  | Value.Null -> ""
+  | Value.Int n -> string_of_int n
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | Value.Bool b -> string_of_bool b
+  | Value.String s -> escape_field separator s
+
+let to_string ?(separator = ',') relation =
+  let buf = Buffer.create 4096 in
+  let schema = Relation.schema relation in
+  let sep = String.make 1 separator in
+  Buffer.add_string buf
+    (String.concat sep
+       (List.map
+          (fun c -> escape_field separator c.Schema.name)
+          (Schema.columns schema)));
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun tuple ->
+      Buffer.add_string buf
+        (String.concat sep
+           (List.map (field_of_value separator) (Array.to_list tuple)));
+      Buffer.add_char buf '\n')
+    relation;
+  Buffer.contents buf
+
+let to_file ?separator relation path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?separator relation))

@@ -1,0 +1,34 @@
+(** CSV ingestion.
+
+    Loads delimited text into relations: first row is the header (column
+    names), field types are inferred per column (int, then float, then
+    bool, then string; empty fields are NULL). Quoting follows RFC 4180:
+    fields may be wrapped in double quotes, [""] escapes a quote, and
+    quoted fields may contain separators and newlines. *)
+
+val parse : ?separator:char -> string -> string option list list
+(** [parse text] is the raw field grid; [None] marks empty (NULL) fields,
+    and blank lines appear as [[None]] rows (they are meaningful for
+    single-column files; {!relation_of_string} drops them for wider ones).
+    The separator defaults to [','].
+    @raise Invalid_argument on an unterminated quoted field. *)
+
+val relation_of_string :
+  ?separator:char -> table:string -> string -> Relation.t
+(** Header + type inference + load.
+    @raise Invalid_argument on an empty input, a duplicate column name, or
+    a row whose width differs from the header's. *)
+
+val relation_of_file :
+  ?separator:char -> table:string -> string -> Relation.t
+(** [relation_of_file ~table path] reads the whole file.
+    @raise Sys_error when the file cannot be read. *)
+
+val to_string : ?separator:char -> Relation.t -> string
+(** Render a relation back to CSV (header row of unqualified column names,
+    then data rows). Fields are quoted only when they contain the
+    separator, a quote or a newline; NULLs render as empty fields. Together
+    with {!relation_of_string} this round-trips relations whose column
+    names are distinct without their table qualifier. *)
+
+val to_file : ?separator:char -> Relation.t -> string -> unit

@@ -1,0 +1,83 @@
+type column = {
+  table : string;
+  name : string;
+  ty : Value.ty;
+}
+
+type t = { cols : column array }
+
+let column ~table ~name ty =
+  { table = String.lowercase_ascii table; name = String.lowercase_ascii name; ty }
+
+let make cols =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let key = (c.table, c.name) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Printf.sprintf "Schema.make: duplicate column %s.%s" c.table c.name);
+      Hashtbl.add seen key ())
+    cols;
+  { cols = Array.of_list cols }
+
+let columns t = Array.to_list t.cols
+let arity t = Array.length t.cols
+
+let get t i =
+  if i < 0 || i >= arity t then invalid_arg "Schema.get: out of bounds";
+  t.cols.(i)
+
+let index_of t ~table ~name =
+  let table = String.lowercase_ascii table
+  and name = String.lowercase_ascii name in
+  let rec loop i =
+    if i >= arity t then None
+    else
+      let c = t.cols.(i) in
+      if String.equal c.table table && String.equal c.name name then Some i
+      else loop (i + 1)
+  in
+  loop 0
+
+let index_of_name t name =
+  let name = String.lowercase_ascii name in
+  let hits = ref [] in
+  Array.iteri
+    (fun i c -> if String.equal c.name name then hits := i :: !hits)
+    t.cols;
+  match !hits with
+  | [ i ] -> Ok i
+  | [] -> Error `Missing
+  | _ :: _ :: _ -> Error `Ambiguous
+
+let mem t ~table ~name = index_of t ~table ~name <> None
+
+let concat a b =
+  make (columns a @ columns b)
+
+let project t positions =
+  { cols = Array.of_list (List.map (get t) positions) }
+
+let rename_table t alias =
+  let alias = String.lowercase_ascii alias in
+  { cols = Array.map (fun c -> { c with table = alias }) t.cols }
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun ca cb ->
+         String.equal ca.table cb.table
+         && String.equal ca.name cb.name
+         && ca.ty = cb.ty)
+       a.cols b.cols
+
+let pp ppf t =
+  let pp_col ppf c =
+    Format.fprintf ppf "%s.%s:%s" c.table c.name (Value.ty_name c.ty)
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_col)
+    (columns t)

@@ -1,0 +1,46 @@
+(** Relation schemas.
+
+    A schema is an ordered list of named, typed columns. Column names are
+    qualified with the table (or alias) they come from, so that schemas of
+    intermediate join results keep every input column addressable, exactly
+    as the estimation algorithms require. *)
+
+type column = {
+  table : string;  (** owning table or alias, lower-cased *)
+  name : string;   (** column name, lower-cased *)
+  ty : Value.ty;
+}
+
+type t
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate [(table, name)] pairs. *)
+
+val column : table:string -> name:string -> Value.ty -> column
+
+val columns : t -> column list
+val arity : t -> int
+val get : t -> int -> column
+
+val index_of : t -> table:string -> name:string -> int option
+(** Position of a fully qualified column. *)
+
+val index_of_name : t -> string -> (int, [ `Missing | `Ambiguous ]) result
+(** Position of an unqualified column name; [`Ambiguous] when two tables in
+    the schema both expose the name. *)
+
+val mem : t -> table:string -> name:string -> bool
+
+val concat : t -> t -> t
+(** Schema of a join result: left columns followed by right columns.
+    @raise Invalid_argument if the two sides share a qualified column. *)
+
+val project : t -> int list -> t
+(** Schema restricted to the given positions, in the given order. *)
+
+val rename_table : t -> string -> t
+(** [rename_table s alias] requalifies every column with [alias]; used when
+    a base table is brought into a query under an alias. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Tuples (rows).
+
+    A tuple is an immutable array of values positionally aligned with a
+    schema. The engine treats tuples as plain data; schema conformance is
+    checked at construction time in {!Relation}. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+val concat : t -> t -> t
+
+val project : t -> int list -> t
+(** Values at the given positions, in order. *)
+
+val equal : t -> t -> bool
+val compare_at : int list -> t -> t -> int
+(** [compare_at cols a b] lexicographically compares the projections of [a]
+    and [b] onto [cols]; used by sorts and sort-merge joins. *)
+
+val hash_at : int list -> t -> int
+(** Hash of the projection onto [cols]; compatible with
+    [compare_at cols a b = 0]. *)
+
+val pp : Format.formatter -> t -> unit

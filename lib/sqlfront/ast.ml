@@ -1,0 +1,64 @@
+type column_ref = {
+  qualifier : string option;
+  name : string;
+}
+
+type operand =
+  | Col of column_ref
+  | Lit of Rel.Value.t
+
+type condition = {
+  lhs : operand;
+  op : Rel.Cmp.t;
+  rhs : operand;
+}
+
+type select_item =
+  | Sel_star
+  | Sel_count_star
+  | Sel_columns of column_ref list
+
+type from_item = {
+  table : string;
+  alias : string option;
+}
+
+type query = {
+  select : select_item;
+  from : from_item list;
+  where : condition list;
+}
+
+let column_ref_to_string c =
+  match c.qualifier with
+  | Some q -> q ^ "." ^ c.name
+  | None -> c.name
+
+let operand_to_string = function
+  | Col c -> column_ref_to_string c
+  | Lit v -> Rel.Value.to_string v
+
+let pp_query ppf q =
+  let select =
+    match q.select with
+    | Sel_star -> "*"
+    | Sel_count_star -> "COUNT(*)"
+    | Sel_columns cols ->
+      String.concat ", " (List.map column_ref_to_string cols)
+  in
+  let from_to_string f =
+    match f.alias with
+    | Some a -> f.table ^ " " ^ a
+    | None -> f.table
+  in
+  Format.fprintf ppf "SELECT %s FROM %s" select
+    (String.concat ", " (List.map from_to_string q.from));
+  match q.where with
+  | [] -> ()
+  | conds ->
+    let cond_to_string c =
+      Printf.sprintf "%s %s %s" (operand_to_string c.lhs)
+        (Rel.Cmp.to_string c.op) (operand_to_string c.rhs)
+    in
+    Format.fprintf ppf " WHERE %s"
+      (String.concat " AND " (List.map cond_to_string conds))

@@ -1,0 +1,35 @@
+(** Untyped abstract syntax produced by the parser, before name
+    resolution. *)
+
+type column_ref = {
+  qualifier : string option; (** table qualifier when written [t.c] *)
+  name : string;
+}
+
+type operand =
+  | Col of column_ref
+  | Lit of Rel.Value.t
+
+type condition = {
+  lhs : operand;
+  op : Rel.Cmp.t;
+  rhs : operand;
+}
+
+type select_item =
+  | Sel_star
+  | Sel_count_star
+  | Sel_columns of column_ref list
+
+type from_item = {
+  table : string;
+  alias : string option; (** [FROM t a] or [FROM t AS a] *)
+}
+
+type query = {
+  select : select_item;
+  from : from_item list;
+  where : condition list; (** conjunction; empty for no WHERE *)
+}
+
+val pp_query : Format.formatter -> query -> unit

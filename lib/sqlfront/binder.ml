@@ -1,0 +1,140 @@
+exception Bind_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+type env = {
+  db : Catalog.Db.t;
+  from : (string * string) list; (* alias -> lower-cased source table *)
+}
+
+let aliases env = List.map fst env.from
+
+let source_of env alias =
+  match List.assoc_opt alias env.from with
+  | Some source -> source
+  | None -> fail "table %s is not in the FROM clause" alias
+
+let check_tables env =
+  List.iter
+    (fun (_, source) ->
+      if not (Catalog.Db.mem env.db source) then
+        fail "unknown table %s" source)
+    env.from
+
+let resolve env (cref : Ast.column_ref) =
+  let name = String.lowercase_ascii cref.name in
+  match cref.qualifier with
+  | Some q ->
+    let q = String.lowercase_ascii q in
+    let table = Catalog.Db.find_exn env.db (source_of env q) in
+    if not (Rel.Schema.index_of_name table.Catalog.Table.schema name <> Error `Missing)
+    then fail "table %s has no column %s" q name;
+    Query.Cref.make ~table:q ~column:name
+  | None -> begin
+    let hits =
+      List.filter
+        (fun (_, source) ->
+          Catalog.Table.has_column (Catalog.Db.find_exn env.db source) name)
+        env.from
+    in
+    match hits with
+    | [ (alias, _) ] -> Query.Cref.make ~table:alias ~column:name
+    | [] -> fail "unknown column %s" name
+    | _ :: _ :: _ -> fail "ambiguous column %s" name
+  end
+
+let column_type env (c : Query.Cref.t) =
+  let source = source_of env c.Query.Cref.table in
+  let table = Catalog.Db.find_exn env.db source in
+  match
+    Rel.Schema.index_of table.Catalog.Table.schema ~table:source
+      ~name:c.Query.Cref.column
+  with
+  | Some i -> (Rel.Schema.get table.Catalog.Table.schema i).Rel.Schema.ty
+  | None -> fail "internal: resolved column %s vanished"
+      (Query.Cref.to_string c)
+
+(* Integer literals compared against float columns are coerced; everything
+   else must match the column type exactly. *)
+let coerce_const ty v =
+  match ty, v with
+  | Rel.Value.Ty_float, Rel.Value.Int n -> Rel.Value.Float (float_of_int n)
+  | _, _ ->
+    if Rel.Value.has_type ty v then v
+    else
+      fail "constant %s does not match column type %s"
+        (Rel.Value.to_string v) (Rel.Value.ty_name ty)
+
+(* [Some pred] to keep, [None] for a dropped tautology. *)
+let bind_condition env (cond : Ast.condition) =
+  match cond.lhs, cond.rhs with
+  | Ast.Col lc, Ast.Col rc -> begin
+    let left = resolve env lc and right = resolve env rc in
+    if not (Rel.Cmp.is_equality cond.op) then
+      fail "only equality is supported between columns (%s %s %s)"
+        (Query.Cref.to_string left) (Rel.Cmp.to_string cond.op)
+        (Query.Cref.to_string right);
+    let lty = column_type env left and rty = column_type env right in
+    if lty <> rty then
+      fail "type mismatch in %s = %s" (Query.Cref.to_string left)
+        (Query.Cref.to_string right);
+    if Query.Cref.equal left right then None
+    else Some (Query.Predicate.col_eq left right)
+  end
+  | Ast.Col c, Ast.Lit v ->
+    let col = resolve env c in
+    let v = coerce_const (column_type env col) v in
+    Some (Query.Predicate.cmp col cond.op v)
+  | Ast.Lit v, Ast.Col c ->
+    let col = resolve env c in
+    let v = coerce_const (column_type env col) v in
+    Some (Query.Predicate.cmp col (Rel.Cmp.flip cond.op) v)
+  | Ast.Lit a, Ast.Lit b ->
+    if Rel.Cmp.eval cond.op a b then None
+    else
+      fail "condition %s %s %s is always false" (Rel.Value.to_string a)
+        (Rel.Cmp.to_string cond.op) (Rel.Value.to_string b)
+
+let bind db (ast : Ast.query) =
+  match
+    let from =
+      List.map
+        (fun (item : Ast.from_item) ->
+          let source = String.lowercase_ascii item.Ast.table in
+          let alias =
+            match item.Ast.alias with
+            | Some a -> String.lowercase_ascii a
+            | None -> source
+          in
+          (alias, source))
+        ast.from
+    in
+    let env = { db; from } in
+    if
+      List.length (List.sort_uniq compare (aliases env))
+      <> List.length (aliases env)
+    then fail "duplicate alias in FROM";
+    check_tables env;
+    let predicates = List.filter_map (bind_condition env) ast.where in
+    let projection =
+      match ast.select with
+      | Ast.Sel_star -> Query.Star
+      | Ast.Sel_count_star -> Query.Count_star
+      | Ast.Sel_columns cols ->
+        Query.Columns (List.map (resolve env) cols)
+    in
+    Query.make ~projection ~sources:env.from ~tables:(aliases env) predicates
+  with
+  | q -> Ok q
+  | exception Bind_error msg -> Error ("bind error: " ^ msg)
+  | exception Invalid_argument msg -> Error ("bind error: " ^ msg)
+
+let compile db input =
+  match Parser.parse input with
+  | Error _ as e -> e
+  | Ok ast -> bind db ast
+
+let compile_exn db input =
+  match compile db input with
+  | Ok q -> q
+  | Error msg -> invalid_arg msg

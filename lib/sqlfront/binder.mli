@@ -1,0 +1,16 @@
+(** Name resolution: untyped {!Ast.query} → typed {!Query.t}.
+
+    The binder checks tables against the catalog, resolves unqualified
+    column names (rejecting ambiguous ones), type-checks comparisons, and
+    normalizes conditions so constants always sit on the right. Conditions
+    between two columns must be equalities — exactly the predicate language
+    of the paper. Trivially true conditions (e.g. [1 = 1], [R.x = R.x]) are
+    dropped; trivially false ones are rejected. *)
+
+val bind : Catalog.Db.t -> Ast.query -> (Query.t, string) result
+
+val compile : Catalog.Db.t -> string -> (Query.t, string) result
+(** Parse then bind. *)
+
+val compile_exn : Catalog.Db.t -> string -> Query.t
+(** @raise Invalid_argument with the error message on failure. *)

@@ -1,0 +1,172 @@
+type error = {
+  message : string;
+  position : int;
+}
+
+exception Lex_error of error
+
+let error_to_string e =
+  Printf.sprintf "lex error at offset %d: %s" e.position e.message
+
+let fail position message = raise (Lex_error { message; position })
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword_of_string s =
+  match String.lowercase_ascii s with
+  | "select" -> Some Token.Kw_select
+  | "from" -> Some Token.Kw_from
+  | "where" -> Some Token.Kw_where
+  | "and" -> Some Token.Kw_and
+  | "count" -> Some Token.Kw_count
+  | "between" -> Some Token.Kw_between
+  | "true" -> Some Token.Kw_true
+  | "false" -> Some Token.Kw_false
+  | "null" -> Some Token.Kw_null
+  | _ -> None
+
+let tokenize input =
+  let len = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let lex_ident () =
+    let start = !pos in
+    while !pos < len && is_ident_char input.[!pos] do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    match keyword_of_string text with
+    | Some kw -> emit kw
+    | None -> emit (Token.Ident (String.lowercase_ascii text))
+  in
+  let lex_number () =
+    let start = !pos in
+    while !pos < len && is_digit input.[!pos] do
+      advance ()
+    done;
+    let is_float =
+      !pos < len && input.[!pos] = '.'
+      && !pos + 1 < len
+      && is_digit input.[!pos + 1]
+    in
+    if is_float then begin
+      advance ();
+      while !pos < len && is_digit input.[!pos] do
+        advance ()
+      done
+    end;
+    (* Exponent part: 1e6, 1.5E-3. *)
+    let has_exp =
+      !pos < len
+      && (input.[!pos] = 'e' || input.[!pos] = 'E')
+      && !pos + 1 < len
+      && (is_digit input.[!pos + 1]
+         || ((input.[!pos + 1] = '+' || input.[!pos + 1] = '-')
+            && !pos + 2 < len
+            && is_digit input.[!pos + 2]))
+    in
+    if has_exp then begin
+      advance ();
+      if input.[!pos] = '+' || input.[!pos] = '-' then advance ();
+      while !pos < len && is_digit input.[!pos] do
+        advance ()
+      done
+    end;
+    let text = String.sub input start (!pos - start) in
+    if is_float || has_exp then emit (Token.Float_lit (float_of_string text))
+    else
+      match int_of_string_opt text with
+      | Some n -> emit (Token.Int_lit n)
+      | None -> fail start (Printf.sprintf "integer literal too large: %s" text)
+  in
+  let lex_string () =
+    let start = !pos in
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail start "unterminated string literal"
+      | Some '\'' ->
+        advance ();
+        if peek () = Some '\'' then begin
+          Buffer.add_char buf '\'';
+          advance ();
+          loop ()
+        end
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    emit (Token.String_lit (Buffer.contents buf))
+  in
+  let lex_operator c =
+    let start = !pos in
+    advance ();
+    let two =
+      match peek () with
+      | Some c2 -> begin
+        match c, c2 with
+        | '<', '=' -> Some Rel.Cmp.Le
+        | '>', '=' -> Some Rel.Cmp.Ge
+        | '<', '>' -> Some Rel.Cmp.Ne
+        | '!', '=' -> Some Rel.Cmp.Ne
+        | _, _ -> None
+      end
+      | None -> None
+    in
+    match two with
+    | Some op ->
+      advance ();
+      emit (Token.Op op)
+    | None -> begin
+      match c with
+      | '=' -> emit (Token.Op Rel.Cmp.Eq)
+      | '<' -> emit (Token.Op Rel.Cmp.Lt)
+      | '>' -> emit (Token.Op Rel.Cmp.Gt)
+      | '!' -> fail start "'!' must be followed by '='"
+      | _ -> fail start (Printf.sprintf "unexpected character %c" c)
+    end
+  in
+  let rec loop () =
+    match peek () with
+    | None -> ()
+    | Some c ->
+      (match c with
+      | ' ' | '\t' | '\n' | '\r' -> advance ()
+      | '*' ->
+        advance ();
+        emit Token.Star
+      | ',' ->
+        advance ();
+        emit Token.Comma
+      | '.' ->
+        advance ();
+        emit Token.Dot
+      | '(' ->
+        advance ();
+        emit Token.Lparen
+      | ')' ->
+        advance ();
+        emit Token.Rparen
+      | ';' ->
+        advance ();
+        emit Token.Semicolon
+      | '\'' -> lex_string ()
+      | '=' | '<' | '>' | '!' -> lex_operator c
+      | c when is_digit c -> lex_number ()
+      | c when is_ident_start c -> lex_ident ()
+      | c -> fail !pos (Printf.sprintf "unexpected character %c" c));
+      loop ()
+  in
+  match loop () with
+  | () ->
+    emit Token.Eof;
+    Ok (List.rev !tokens)
+  | exception Lex_error e -> Error e

@@ -1,0 +1,14 @@
+(** Hand-written lexer for the conjunctive-SQL subset.
+
+    Identifiers and keywords are case-insensitive; string literals use
+    single quotes with [''] as the escape for a quote. *)
+
+type error = {
+  message : string;
+  position : int; (** byte offset into the input *)
+}
+
+val tokenize : string -> (Token.t list, error) result
+(** The token list always ends with {!Token.Eof} on success. *)
+
+val error_to_string : error -> string

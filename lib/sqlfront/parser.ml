@@ -1,0 +1,167 @@
+exception Parse_error of string
+
+type state = {
+  mutable tokens : Token.t list;
+}
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st =
+  match st.tokens with
+  | [] -> Token.Eof
+  | tok :: _ -> tok
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let expect st tok =
+  let got = peek st in
+  if Token.equal got tok then advance st
+  else fail "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string got)
+
+let ident st =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | tok -> fail "expected identifier but found %s" (Token.to_string tok)
+
+(* [col] or [table.col]. *)
+let column_ref st =
+  let first = ident st in
+  if Token.equal (peek st) Token.Dot then begin
+    advance st;
+    let name = ident st in
+    { Ast.qualifier = Some first; name }
+  end
+  else { Ast.qualifier = None; name = first }
+
+let select_item st =
+  match peek st with
+  | Token.Star ->
+    advance st;
+    Ast.Sel_star
+  | Token.Kw_count ->
+    advance st;
+    expect st Token.Lparen;
+    if Token.equal (peek st) Token.Star then advance st;
+    expect st Token.Rparen;
+    Ast.Sel_count_star
+  | _ ->
+    let rec cols acc =
+      let c = column_ref st in
+      if Token.equal (peek st) Token.Comma then begin
+        advance st;
+        cols (c :: acc)
+      end
+      else List.rev (c :: acc)
+    in
+    Ast.Sel_columns (cols [])
+
+(* [t], [t alias] or [t AS alias]; "as" is not a reserved word, so it
+   arrives as a plain identifier. *)
+let from_item st =
+  let table = ident st in
+  let alias =
+    match peek st with
+    | Token.Ident "as" ->
+      advance st;
+      Some (ident st)
+    | Token.Ident name ->
+      advance st;
+      Some name
+    | _ -> None
+  in
+  { Ast.table; alias }
+
+let from_list st =
+  let rec loop acc =
+    let item = from_item st in
+    if Token.equal (peek st) Token.Comma then begin
+      advance st;
+      loop (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  loop []
+
+let operand st =
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    Ast.Lit (Rel.Value.Int n)
+  | Token.Float_lit f ->
+    advance st;
+    Ast.Lit (Rel.Value.Float f)
+  | Token.String_lit s ->
+    advance st;
+    Ast.Lit (Rel.Value.String s)
+  | Token.Kw_true ->
+    advance st;
+    Ast.Lit (Rel.Value.Bool true)
+  | Token.Kw_false ->
+    advance st;
+    Ast.Lit (Rel.Value.Bool false)
+  | Token.Kw_null ->
+    advance st;
+    Ast.Lit Rel.Value.Null
+  | Token.Ident _ -> Ast.Col (column_ref st)
+  | tok -> fail "expected operand but found %s" (Token.to_string tok)
+
+(* One WHERE conjunct; [x BETWEEN a AND b] desugars into two
+   conditions. *)
+let condition st =
+  let lhs = operand st in
+  match peek st with
+  | Token.Op op ->
+    advance st;
+    let rhs = operand st in
+    [ { Ast.lhs; op; rhs } ]
+  | Token.Kw_between ->
+    advance st;
+    let lo = operand st in
+    expect st Token.Kw_and;
+    let hi = operand st in
+    [ { Ast.lhs; op = Rel.Cmp.Ge; rhs = lo };
+      { Ast.lhs; op = Rel.Cmp.Le; rhs = hi } ]
+  | tok ->
+    fail "expected comparison operator but found %s" (Token.to_string tok)
+
+let where_clause st =
+  if Token.equal (peek st) Token.Kw_where then begin
+    advance st;
+    let rec loop acc =
+      let cs = condition st in
+      let acc = List.rev_append cs acc in
+      if Token.equal (peek st) Token.Kw_and then begin
+        advance st;
+        loop acc
+      end
+      else List.rev acc
+    in
+    loop []
+  end
+  else []
+
+let query st =
+  expect st Token.Kw_select;
+  let select = select_item st in
+  expect st Token.Kw_from;
+  let from = from_list st in
+  let where = where_clause st in
+  if Token.equal (peek st) Token.Semicolon then advance st;
+  expect st Token.Eof;
+  { Ast.select; from; where }
+
+let parse input =
+  match Lexer.tokenize input with
+  | Error e -> Error (Lexer.error_to_string e)
+  | Ok tokens -> begin
+    let st = { tokens } in
+    match query st with
+    | q -> Ok q
+    | exception Parse_error msg -> Error ("parse error: " ^ msg)
+  end

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the conjunctive-SQL subset:
+
+    {v
+    SELECT ( star | COUNT() | COUNT(star) | col [, col ...] )
+    FROM table [, table ...]
+    [WHERE cond AND cond ...] [;]
+    v}
+
+    where each condition compares two operands (column references or
+    literals) with one of [= <> != < <= > >=], or is a
+    [operand BETWEEN operand AND operand] (desugared into a [>=]/[<=]
+    pair). Tables may carry aliases ([FROM emp e1] or [FROM emp AS e1]). *)
+
+val parse : string -> (Ast.query, string) result
+(** Lex and parse; errors carry a human-readable message with the byte
+    offset. *)

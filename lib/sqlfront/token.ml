@@ -1,0 +1,47 @@
+type t =
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_count
+  | Kw_between
+  | Kw_true
+  | Kw_false
+  | Kw_null
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Op of Rel.Cmp.t
+  | Star
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Semicolon
+  | Eof
+
+let to_string = function
+  | Kw_select -> "SELECT"
+  | Kw_from -> "FROM"
+  | Kw_where -> "WHERE"
+  | Kw_and -> "AND"
+  | Kw_count -> "COUNT"
+  | Kw_between -> "BETWEEN"
+  | Kw_true -> "TRUE"
+  | Kw_false -> "FALSE"
+  | Kw_null -> "NULL"
+  | Ident s -> s
+  | Int_lit n -> string_of_int n
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "%S" s
+  | Op op -> Rel.Cmp.to_string op
+  | Star -> "*"
+  | Comma -> ","
+  | Dot -> "."
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Semicolon -> ";"
+  | Eof -> "<eof>"
+
+let equal a b = Stdlib.compare a b = 0

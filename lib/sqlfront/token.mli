@@ -1,0 +1,27 @@
+(** Lexical tokens of the conjunctive-SQL subset. *)
+
+type t =
+  | Kw_select
+  | Kw_from
+  | Kw_where
+  | Kw_and
+  | Kw_count
+  | Kw_between
+  | Kw_true
+  | Kw_false
+  | Kw_null
+  | Ident of string  (** lower-cased identifier *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Op of Rel.Cmp.t
+  | Star
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Semicolon
+  | Eof
+
+val to_string : t -> string
+val equal : t -> t -> bool

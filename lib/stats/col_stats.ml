@@ -1,0 +1,91 @@
+type t = {
+  distinct : int;
+  nulls : int;
+  min_value : Rel.Value.t option;
+  max_value : Rel.Value.t option;
+  histogram : Histogram.t option;
+  mcv : Mcv.t option;
+}
+
+let numeric_values values =
+  let out = Rel.Vec.create () in
+  Array.iter
+    (fun v ->
+      match v with
+      | Rel.Value.Int x -> Rel.Vec.push out (float_of_int x)
+      | Rel.Value.Float x -> Rel.Vec.push out x
+      | Rel.Value.Null | Rel.Value.String _ | Rel.Value.Bool _ -> ())
+    values;
+  Rel.Vec.to_array out
+
+let of_values ?histogram ?(histogram_buckets = 32) ?mcv values =
+  let seen = Hashtbl.create 1024 in
+  let nulls = ref 0 in
+  let lo = ref None and hi = ref None in
+  Array.iter
+    (fun v ->
+      if Rel.Value.is_null v then incr nulls
+      else begin
+        if not (Hashtbl.mem seen v) then Hashtbl.add seen v ();
+        (match !lo with
+        | None -> lo := Some v
+        | Some m -> if Rel.Value.compare v m < 0 then lo := Some v);
+        match !hi with
+        | None -> hi := Some v
+        | Some m -> if Rel.Value.compare v m > 0 then hi := Some v
+      end)
+    values;
+  let histogram =
+    match histogram with
+    | None -> None
+    | Some kind ->
+      let nums = numeric_values values in
+      if Array.length nums = 0 then None
+      else Histogram.build kind ~buckets:histogram_buckets nums
+  in
+  let mcv =
+    match mcv with
+    | None -> None
+    | Some k -> Mcv.build ~k values
+  in
+  {
+    distinct = Hashtbl.length seen;
+    nulls = !nulls;
+    min_value = !lo;
+    max_value = !hi;
+    histogram;
+    mcv;
+  }
+
+let trivial ~distinct =
+  {
+    distinct;
+    nulls = 0;
+    min_value = None;
+    max_value = None;
+    histogram = None;
+    mcv = None;
+  }
+
+let with_bounds ~distinct ~lo ~hi =
+  {
+    distinct;
+    nulls = 0;
+    min_value = Some lo;
+    max_value = Some hi;
+    histogram = None;
+    mcv = None;
+  }
+
+let pp ppf t =
+  let pp_opt ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some v -> Rel.Value.pp ppf v
+  in
+  Format.fprintf ppf "{d=%d nulls=%d min=%a max=%a%s}" t.distinct t.nulls
+    pp_opt t.min_value pp_opt t.max_value
+    (match t.histogram, t.mcv with
+    | None, None -> ""
+    | Some _, None -> " hist"
+    | None, Some _ -> " mcv"
+    | Some _, Some _ -> " hist mcv")

@@ -1,0 +1,37 @@
+(** Per-column statistics.
+
+    The two statistics the paper names as "typically important" — column
+    cardinality [d] and value bounds — plus an optional histogram used only
+    for local predicates, as permitted by the paper's weakened uniformity
+    assumption. *)
+
+type t = {
+  distinct : int;            (** column cardinality [d]: distinct non-nulls *)
+  nulls : int;
+  min_value : Rel.Value.t option;
+  max_value : Rel.Value.t option;
+  histogram : Histogram.t option;
+  mcv : Mcv.t option;
+}
+
+val of_values :
+  ?histogram:Histogram.kind ->
+  ?histogram_buckets:int ->
+  ?mcv:int ->
+  Rel.Value.t array ->
+  t
+(** Exact statistics of a column. A histogram is built only when requested
+    and the column is numeric; [histogram_buckets] defaults to 32. [mcv]
+    requests a most-common-value sketch of that many entries. *)
+
+val trivial : distinct:int -> t
+(** Statistics carrying only a distinct count; used when the caller supplies
+    catalog numbers directly (as in the paper's worked examples). *)
+
+val with_bounds : distinct:int -> lo:Rel.Value.t -> hi:Rel.Value.t -> t
+
+val numeric_values : Rel.Value.t array -> float array
+(** Non-null numeric values of a column as floats; empty for non-numeric
+    columns. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,146 @@
+type kind =
+  | Equi_width
+  | Equi_depth
+
+type bucket = {
+  lo : float;
+  hi : float;
+  count : float;
+  distinct : float;
+}
+
+type t = {
+  kind : kind;
+  buckets : bucket array;
+  total : float;
+}
+
+let kind t = t.kind
+let buckets t = Array.to_list t.buckets
+let total_count t = t.total
+
+(* Counts the distinct values of a sorted slice [values.(i..j-1)]. *)
+let distinct_in_sorted values i j =
+  let rec loop k acc =
+    if k >= j then acc
+    else if values.(k) = values.(k - 1) then loop (k + 1) acc
+    else loop (k + 1) (acc + 1)
+  in
+  if j <= i then 0 else loop (i + 1) 1
+
+let build_equi_width ~buckets:n values =
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let len = Array.length sorted in
+  let lo = sorted.(0) and hi = sorted.(len - 1) in
+  let width = (hi -. lo) /. float_of_int n in
+  let width = if width <= 0. then 1. else width in
+  (* Bucket b spans [lo + b*width, lo + (b+1)*width]; because the input is
+     sorted we can walk it once, cutting at bucket upper bounds. *)
+  let out = ref [] in
+  let start = ref 0 in
+  for b = 0 to n - 1 do
+    let upper = if b = n - 1 then hi else lo +. (float_of_int (b + 1) *. width) in
+    let stop = ref !start in
+    while !stop < len && (sorted.(!stop) <= upper || b = n - 1) do
+      incr stop
+    done;
+    if !stop > !start then begin
+      let blo = sorted.(!start) and bhi = sorted.(!stop - 1) in
+      out :=
+        {
+          lo = blo;
+          hi = bhi;
+          count = float_of_int (!stop - !start);
+          distinct = float_of_int (distinct_in_sorted sorted !start !stop);
+        }
+        :: !out
+    end;
+    start := !stop
+  done;
+  Array.of_list (List.rev !out)
+
+let build_equi_depth ~buckets:n values =
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let len = Array.length sorted in
+  let per = max 1 (len / n) in
+  let out = ref [] in
+  let start = ref 0 in
+  while !start < len do
+    let stop = min len (!start + per) in
+    (* Extend past duplicates of the boundary value so a value never
+       straddles two buckets; keeps equality estimates consistent. *)
+    let stop = ref stop in
+    while !stop < len && sorted.(!stop) = sorted.(!stop - 1) do
+      incr stop
+    done;
+    out :=
+      {
+        lo = sorted.(!start);
+        hi = sorted.(!stop - 1);
+        count = float_of_int (!stop - !start);
+        distinct = float_of_int (distinct_in_sorted sorted !start !stop);
+      }
+      :: !out;
+    start := !stop
+  done;
+  Array.of_list (List.rev !out)
+
+let build kind ~buckets values =
+  if buckets < 1 then invalid_arg "Histogram.build: buckets < 1";
+  if Array.length values = 0 then None
+  else
+    let bs =
+      match kind with
+      | Equi_width -> build_equi_width ~buckets values
+      | Equi_depth -> build_equi_depth ~buckets values
+    in
+    let total = Array.fold_left (fun acc b -> acc +. b.count) 0. bs in
+    Some { kind; buckets = bs; total }
+
+let clamp01 x = Float.min 1. (Float.max 0. x)
+
+(* Estimated count of values equal to [c] inside bucket [b]: the bucket's
+   mass divided evenly over its distinct values. *)
+let eq_mass b c =
+  if c < b.lo || c > b.hi then 0.
+  else if b.distinct <= 0. then 0.
+  else b.count /. b.distinct
+
+(* Estimated count of values strictly below [c] inside bucket [b], by
+   linear interpolation over the bucket span. *)
+let below_mass b c =
+  if c <= b.lo then 0.
+  else if c > b.hi then b.count
+  else if b.hi = b.lo then 0.
+  else b.count *. ((c -. b.lo) /. (b.hi -. b.lo))
+
+let selectivity t op c =
+  if t.total <= 0. then 0.
+  else
+    let sum f = Array.fold_left (fun acc b -> acc +. f b) 0. t.buckets in
+    let mass =
+      match op with
+      | Rel.Cmp.Eq -> sum (fun b -> eq_mass b c)
+      | Rel.Cmp.Ne -> t.total -. sum (fun b -> eq_mass b c)
+      | Rel.Cmp.Lt -> sum (fun b -> below_mass b c)
+      | Rel.Cmp.Le -> sum (fun b -> below_mass b c +. eq_mass b c)
+      | Rel.Cmp.Gt -> t.total -. sum (fun b -> below_mass b c +. eq_mass b c)
+      | Rel.Cmp.Ge -> t.total -. sum (fun b -> below_mass b c)
+    in
+    clamp01 (mass /. t.total)
+
+let pp ppf t =
+  let kind_name =
+    match t.kind with
+    | Equi_width -> "equi-width"
+    | Equi_depth -> "equi-depth"
+  in
+  Format.fprintf ppf "%s histogram, %d buckets, %g values:@." kind_name
+    (Array.length t.buckets) t.total;
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "  [%g, %g] count=%g distinct=%g@." b.lo b.hi b.count
+        b.distinct)
+    t.buckets

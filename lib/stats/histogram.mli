@@ -1,0 +1,39 @@
+(** Numeric histograms for local-predicate selectivities.
+
+    The paper (Section 2) needs the uniformity assumption only for join
+    columns: "we can use data distribution information for local predicate
+    selectivities." These histograms are that distribution information.
+    Both classic variants are provided: equi-width, and the equi-depth
+    variant of Piatetsky-Shapiro & Connell / Muralikrishna & DeWitt that
+    the paper cites.
+
+    Histograms are built over the non-null numeric values of a column;
+    bucket bounds are inclusive. *)
+
+type kind =
+  | Equi_width
+  | Equi_depth
+
+type bucket = {
+  lo : float;
+  hi : float;
+  count : float;    (** number of values falling in [lo, hi] *)
+  distinct : float; (** distinct values in the bucket *)
+}
+
+type t
+
+val build : kind -> buckets:int -> float array -> t option
+(** [build kind ~buckets values] is [None] when [values] is empty.
+    @raise Invalid_argument when [buckets < 1]. *)
+
+val kind : t -> kind
+val buckets : t -> bucket list
+val total_count : t -> float
+
+val selectivity : t -> Rel.Cmp.t -> float -> float
+(** [selectivity h op c] estimates the fraction of the histogrammed values
+    [v] with [v op c], assuming values are spread uniformly over each
+    bucket's distinct values. Result is clamped to [[0, 1]]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type entry = {
+  value : Rel.Value.t;
+  fraction : float;
+}
+
+type t = {
+  entries : entry list;
+  covered : float;
+}
+
+let build ~k values =
+  if k < 1 then invalid_arg "Mcv.build: k < 1";
+  let counts = Hashtbl.create 1024 in
+  let non_null = ref 0 in
+  Array.iter
+    (fun v ->
+      if not (Rel.Value.is_null v) then begin
+        incr non_null;
+        Hashtbl.replace counts v
+          (1 + Option.value (Hashtbl.find_opt counts v) ~default:0)
+      end)
+    values;
+  if !non_null = 0 then None
+  else begin
+    let total = float_of_int !non_null in
+    let all =
+      Hashtbl.fold (fun v n acc -> (v, n) :: acc) counts []
+      |> List.sort (fun (va, na) (vb, nb) ->
+             match Int.compare nb na with
+             | 0 -> Rel.Value.compare va vb
+             | c -> c)
+    in
+    let top = List.filteri (fun i _ -> i < k) all in
+    let entries =
+      List.map
+        (fun (value, n) -> { value; fraction = float_of_int n /. total })
+        top
+    in
+    let covered = List.fold_left (fun acc e -> acc +. e.fraction) 0. entries in
+    Some { entries; covered = Float.min 1. covered }
+  end
+
+let entries t = t.entries
+
+let lookup t v =
+  List.find_map
+    (fun e -> if Rel.Value.equal e.value v then Some e.fraction else None)
+    t.entries
+
+let covered_fraction t = t.covered
+let tracked_count t = List.length t.entries
+
+let remainder_eq_selectivity t ~distinct =
+  let untracked = distinct - tracked_count t in
+  if untracked <= 0 then 0.
+  else Float.max 0. (1. -. t.covered) /. float_of_int untracked
+
+let pp ppf t =
+  Format.fprintf ppf "mcv(%d values, %.1f%% covered):@." (tracked_count t)
+    (100. *. t.covered);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %a -> %.4f@." Rel.Value.pp e.value e.fraction)
+    t.entries

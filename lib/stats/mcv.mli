@@ -1,0 +1,41 @@
+(** Most-common-value (MCV) sketches.
+
+    The paper's future-work section calls for relaxing the uniformity
+    assumption for "important data distributions such as the Zipfian
+    distribution". The classic mechanism (used by the systems that later
+    adopted ELS-style estimation) is to track the top-k values of a column
+    with their exact frequencies and treat only the remainder as uniform.
+
+    An MCV sketch complements a histogram: equality selectivities come
+    from the sketch when the constant is tracked, and from the uniform
+    remainder otherwise. *)
+
+type entry = {
+  value : Rel.Value.t;
+  fraction : float;  (** exact fraction of non-null rows carrying [value] *)
+}
+
+type t
+
+val build : k:int -> Rel.Value.t array -> t option
+(** [build ~k values] tracks the [k] most frequent non-null values.
+    Returns [None] when the column has no non-null values.
+    @raise Invalid_argument when [k < 1]. *)
+
+val entries : t -> entry list
+(** Tracked values, most frequent first. *)
+
+val lookup : t -> Rel.Value.t -> float option
+(** Exact fraction of rows with the given value, when tracked. *)
+
+val covered_fraction : t -> float
+(** Total fraction of rows covered by the tracked values. *)
+
+val tracked_count : t -> int
+
+val remainder_eq_selectivity : t -> distinct:int -> float
+(** Equality selectivity for an untracked value: the uncovered mass spread
+    uniformly over the untracked distinct values; 0 when the sketch covers
+    the whole column. *)
+
+val pp : Format.formatter -> t -> unit

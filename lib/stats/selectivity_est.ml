@@ -1,0 +1,136 @@
+let default_eq = 0.1
+let default_range = 1. /. 3.
+
+let clamp01 x = Float.min 1. (Float.max 0. x)
+
+let as_float v =
+  match v with
+  | Rel.Value.Int x -> Some (float_of_int x)
+  | Rel.Value.Float x -> Some x
+  | Rel.Value.Null | Rel.Value.String _ | Rel.Value.Bool _ -> None
+
+let is_int = function
+  | Rel.Value.Int _ -> true
+  | Rel.Value.Null | Rel.Value.Float _ | Rel.Value.String _ | Rel.Value.Bool _
+    ->
+    false
+
+(* Fraction of the column's value domain lying strictly below [c]
+   (and, separately, at or below [c]) by linear interpolation between the
+   recorded bounds. Integer domains count discrete values so that
+   [x < 100] over 1..1000 yields 99/1000 and not 99/999. *)
+let interpolate stats c =
+  match stats.Col_stats.min_value, stats.Col_stats.max_value with
+  | Some lo_v, Some hi_v -> begin
+    match as_float lo_v, as_float hi_v, as_float c with
+    | Some lo, Some hi, Some x ->
+      if is_int lo_v && is_int hi_v then begin
+        let width = hi -. lo +. 1. in
+        let below = clamp01 ((x -. lo) /. width) in
+        let at_or_below = clamp01 ((x -. lo +. 1.) /. width) in
+        Some (below, at_or_below)
+      end
+      else begin
+        let width = hi -. lo in
+        if width <= 0. then
+          (* Single-point domain. *)
+          if x < lo then Some (0., 0.)
+          else if x > lo then Some (1., 1.)
+          else Some (0., 1.)
+        else begin
+          let f = clamp01 ((x -. lo) /. width) in
+          Some (f, f)
+        end
+      end
+    | _, _, _ -> None
+  end
+  | _, _ -> None
+
+let eq_selectivity stats c =
+  let d = stats.Col_stats.distinct in
+  let out_of_bounds =
+    match stats.Col_stats.min_value, stats.Col_stats.max_value with
+    | Some lo, Some hi when not (Rel.Value.is_null c) ->
+      Rel.Value.compare c lo < 0 || Rel.Value.compare c hi > 0
+    | _, _ -> false
+  in
+  if out_of_bounds then 0.
+  else
+    (* An MCV sketch beats the uniform rule: exact frequency for tracked
+       values, the uniform remainder for the rest. *)
+    match stats.Col_stats.mcv with
+    | Some mcv -> begin
+      match Mcv.lookup mcv c with
+      | Some fraction -> fraction
+      | None -> Mcv.remainder_eq_selectivity mcv ~distinct:d
+    end
+    | None -> if d > 0 then 1. /. float_of_int d else default_eq
+
+let comparison stats op c =
+  if Rel.Value.is_null c then 0.
+  else
+    (* MCV sketches carry exact per-value frequencies, so they take
+       precedence over the histogram for (in)equality predicates. *)
+    let mcv_applies =
+      stats.Col_stats.mcv <> None
+      &&
+      match op with
+      | Rel.Cmp.Eq | Rel.Cmp.Ne -> true
+      | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Gt | Rel.Cmp.Ge -> false
+    in
+    let from_histogram =
+      match stats.Col_stats.histogram, as_float c with
+      | Some h, Some x when not mcv_applies ->
+        Some (Histogram.selectivity h op x)
+      | _, _ -> None
+    in
+    match from_histogram with
+    | Some s -> s
+    | None -> begin
+      match op with
+      | Rel.Cmp.Eq -> eq_selectivity stats c
+      | Rel.Cmp.Ne -> clamp01 (1. -. eq_selectivity stats c)
+      | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Gt | Rel.Cmp.Ge -> begin
+        match interpolate stats c with
+        | Some (below, at_or_below) -> begin
+          match op with
+          | Rel.Cmp.Lt -> below
+          | Rel.Cmp.Le -> at_or_below
+          | Rel.Cmp.Gt -> clamp01 (1. -. at_or_below)
+          | Rel.Cmp.Ge -> clamp01 (1. -. below)
+          | Rel.Cmp.Eq | Rel.Cmp.Ne -> assert false
+        end
+        | None -> default_range
+      end
+    end
+
+let range_pair stats ~lower ~upper =
+  (* P(l < x <= u) = F(u) - F(l), with each side's inclusiveness folded
+     into which cumulative estimate we take. *)
+  let mass_below_upper =
+    match upper with
+    | None -> 1.
+    | Some (op, c) ->
+      let op =
+        match op with
+        | Rel.Cmp.Lt -> Rel.Cmp.Lt
+        | Rel.Cmp.Le | Rel.Cmp.Eq -> Rel.Cmp.Le
+        | Rel.Cmp.Gt | Rel.Cmp.Ge | Rel.Cmp.Ne ->
+          invalid_arg "Selectivity_est.range_pair: not an upper bound"
+      in
+      comparison stats op c
+  in
+  let mass_below_lower =
+    match lower with
+    | None -> 0.
+    | Some (op, c) ->
+      let op =
+        match op with
+        | Rel.Cmp.Gt -> Rel.Cmp.Le (* exclude x <= c *)
+        | Rel.Cmp.Ge | Rel.Cmp.Eq -> Rel.Cmp.Lt (* exclude x < c *)
+        | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Ne ->
+          invalid_arg "Selectivity_est.range_pair: not a lower bound"
+      in
+      comparison stats op c
+  in
+  clamp01 (mass_below_upper -. mass_below_lower)

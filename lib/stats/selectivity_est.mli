@@ -1,0 +1,30 @@
+(** Local-predicate selectivity from column statistics.
+
+    Implements Section 4, step 3: "assign to each local predicate a
+    selectivity estimate that incorporates any distribution statistics."
+    Preference order: histogram when available and the constant is numeric,
+    then min/max interpolation, then the uniform [1/d] rule, then classic
+    System R default fractions as a last resort. Equality predicates
+    additionally consult a most-common-value sketch ({!Mcv}) when one was
+    collected, relaxing the uniformity assumption for skewed (e.g. Zipf)
+    columns exactly as the paper's future-work section proposes. *)
+
+val default_eq : float
+(** Fallback equality selectivity (1/10, the System R default). *)
+
+val default_range : float
+(** Fallback range selectivity (1/3, the System R default). *)
+
+val comparison : Col_stats.t -> Rel.Cmp.t -> Rel.Value.t -> float
+(** [comparison stats op c] estimates the fraction of a column's rows [v]
+    satisfying [v op c]. Result lies in [[0, 1]]. *)
+
+val range_pair :
+  Col_stats.t ->
+  lower:(Rel.Cmp.t * Rel.Value.t) option ->
+  upper:(Rel.Cmp.t * Rel.Value.t) option ->
+  float
+(** Selectivity of a conjunction of a lower and an upper bound on the same
+    column, estimated jointly (not as an independent product) so that
+    [x > 10 AND x <= 20] is the mass of the interval. Missing sides default
+    to the column bounds. *)

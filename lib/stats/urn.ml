@@ -1,0 +1,17 @@
+(* (1 - 1/n)^k = exp (k * log1p (-1/n)); log1p keeps precision for large n
+   and the exponential form avoids pow underflow for large k. *)
+let expected_distinct ~urns ~balls =
+  if urns <= 0. || balls <= 0. then 0.
+  else if urns = 1. then 1.
+  else
+    let miss = exp (balls *. Float.log1p (-1. /. urns)) in
+    urns *. (1. -. miss)
+
+let expected_distinct_int ~urns ~balls =
+  let est =
+    expected_distinct ~urns:(float_of_int urns) ~balls:(float_of_int balls)
+  in
+  int_of_float (Float.ceil est)
+
+let survival_fraction ~urns ~balls =
+  if urns <= 0. then 0. else expected_distinct ~urns ~balls /. urns

@@ -1,0 +1,22 @@
+(** Ball/urn occupancy model (Section 5 of the paper).
+
+    Throwing [k] balls (selected tuples) uniformly into [n] urns (distinct
+    column values), the expected number of non-empty urns is
+    [n * (1 - (1 - 1/n)^k)]. The paper uses this to estimate how a local
+    predicate on one column thins the distinct count of {e another} column
+    of the same table.
+
+    All computations run in log space so that database-scale [n] and [k]
+    (e.g. 1e4 urns, 1e5 balls) neither underflow nor lose precision. *)
+
+val expected_distinct : urns:float -> balls:float -> float
+(** Expected number of non-empty urns. Total: returns [0.] when either
+    argument is [<= 0.]; result always lies in [[0, min urns balls]]. *)
+
+val expected_distinct_int : urns:int -> balls:int -> int
+(** Ceiling of {!expected_distinct}, matching the ⌈·⌉ in the paper's
+    formulas. *)
+
+val survival_fraction : urns:float -> balls:float -> float
+(** [expected_distinct / urns]: the fraction of distinct values expected to
+    survive the selection. *)

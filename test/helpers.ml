@@ -1,0 +1,94 @@
+(* Shared test utilities: catalogs from catalog numbers alone, and the
+   paper's worked-example databases. *)
+
+let check_float ?(eps = 1e-9) what expected actual =
+  Alcotest.(check (float eps)) what expected actual
+
+(* A stats-only table of integer columns given (name, distinct) pairs. *)
+let stats_table name rows cols =
+  let schema =
+    Rel.Schema.make
+      (List.map
+         (fun (c, _) -> Rel.Schema.column ~table:name ~name:c Rel.Value.Ty_int)
+         cols)
+  in
+  Catalog.Table.stats_only ~name ~schema ~row_count:rows
+    ~column_stats:
+      (List.map
+         (fun (c, d) -> (c, Stats.Col_stats.trivial ~distinct:d))
+         cols)
+
+let db_of_tables tables =
+  let db = Catalog.Db.create () in
+  List.iter (Catalog.Db.add db) tables;
+  db
+
+(* Example 1a/1b of the paper: R1(x), R2(y), R3(z) with
+   ‖R1‖=100, ‖R2‖=1000, ‖R3‖=1000, d_x=10, d_y=100, d_z=1000 and
+   predicates (R1.x = R2.y) AND (R2.y = R3.z). *)
+let example1_db () =
+  db_of_tables
+    [
+      stats_table "r1" 100 [ ("x", 10) ];
+      stats_table "r2" 1000 [ ("y", 100) ];
+      stats_table "r3" 1000 [ ("z", 1000) ];
+    ]
+
+let example1_query () =
+  let x = Query.Cref.v "r1" "x"
+  and y = Query.Cref.v "r2" "y"
+  and z = Query.Cref.v "r3" "z" in
+  Query.make ~tables:[ "r1"; "r2"; "r3" ]
+    [ Query.Predicate.col_eq x y; Query.Predicate.col_eq y z ]
+
+(* Section 6 example: R1(x) ⋈ R2(y, w) on x=y and x=w, with
+   ‖R1‖=100, ‖R2‖=1000, d_x=100, d_y=10, d_w=50. *)
+let section6_db () =
+  db_of_tables
+    [
+      stats_table "r1" 100 [ ("x", 100) ];
+      stats_table "r2" 1000 [ ("y", 10); ("w", 50) ];
+    ]
+
+let section6_query () =
+  let x = Query.Cref.v "r1" "x"
+  and y = Query.Cref.v "r2" "y"
+  and w = Query.Cref.v "r2" "w" in
+  Query.make ~tables:[ "r1"; "r2" ]
+    [ Query.Predicate.col_eq x y; Query.Predicate.col_eq x w ]
+
+(* Section 8 catalog numbers: S, M, B, G with key join columns. *)
+let section8_stats_db () =
+  let key_table name rows =
+    let col = String.sub name 0 1 in
+    let schema =
+      Rel.Schema.make [ Rel.Schema.column ~table:name ~name:col Rel.Value.Ty_int ]
+    in
+    Catalog.Table.stats_only ~name ~schema ~row_count:rows
+      ~column_stats:
+        [
+          ( col,
+            Stats.Col_stats.with_bounds ~distinct:rows ~lo:(Rel.Value.Int 1)
+              ~hi:(Rel.Value.Int rows) );
+        ]
+  in
+  db_of_tables
+    [
+      key_table "s" 1000;
+      key_table "m" 10000;
+      key_table "b" 50000;
+      key_table "g" 100000;
+    ]
+
+let section8_query () =
+  let s = Query.Cref.v "s" "s"
+  and m = Query.Cref.v "m" "m"
+  and b = Query.Cref.v "b" "b"
+  and g = Query.Cref.v "g" "g" in
+  Query.make ~projection:Query.Count_star ~tables:[ "s"; "m"; "b"; "g" ]
+    [
+      Query.Predicate.col_eq s m;
+      Query.Predicate.col_eq m b;
+      Query.Predicate.col_eq b g;
+      Query.Predicate.cmp s Rel.Cmp.Lt (Rel.Value.Int 100);
+    ]

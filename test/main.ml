@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "elsdb"
+    [
+      ("rel", Test_rel.suite);
+      ("csv", Test_csv.suite);
+      ("stats", Test_stats.suite);
+      ("mcv", Test_mcv.suite);
+      ("query", Test_query.suite);
+      ("sqlfront", Test_sqlfront.suite);
+      ("aliases", Test_aliases.suite);
+      ("catalog", Test_catalog.suite);
+      ("eqclass", Test_eqclass.suite);
+      ("closure", Test_closure.suite);
+      ("local-pred", Test_local_pred.suite);
+      ("els-paper", Test_els_paper.suite);
+      ("els-api", Test_els_api.suite);
+      ("profile", Test_profile.suite);
+      ("incremental", Test_incremental.suite);
+      ("exec", Test_exec.suite);
+      ("multikey", Test_multikey.suite);
+      ("index", Test_index.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("enumerators", Test_enumerators.suite);
+      ("datagen", Test_datagen.suite);
+      ("harness", Test_harness.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite);
+      ("accuracy", Test_accuracy.suite);
+    ]

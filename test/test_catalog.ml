@@ -1,0 +1,126 @@
+(* Unit tests for catalog: table metadata, the registry, ANALYZE. *)
+
+let int_ n = Rel.Value.Int n
+
+let stored_table () =
+  let schema =
+    Rel.Schema.make
+      [
+        Rel.Schema.column ~table:"t" ~name:"a" Rel.Value.Ty_int;
+        Rel.Schema.column ~table:"t" ~name:"b" Rel.Value.Ty_int;
+      ]
+  in
+  let r = Rel.Relation.create schema in
+  List.iter
+    (fun (a, b) -> Rel.Relation.insert_values r [ int_ a; int_ b ])
+    [ (1, 7); (2, 7); (3, 8); (3, 9) ];
+  r
+
+(* --- Table --- *)
+
+let test_table_accessors () =
+  let t = Helpers.stats_table "T" 100 [ ("A", 10) ] in
+  Alcotest.(check string) "name lower-cased" "t" t.Catalog.Table.name;
+  Alcotest.(check int) "row count" 100 t.Catalog.Table.row_count;
+  Alcotest.(check int) "distinct by stats" 10 (Catalog.Table.distinct t "a");
+  Alcotest.(check int) "distinct fallback = rows" 100
+    (Catalog.Table.distinct t "nostats");
+  Alcotest.(check bool) "has_column" true (Catalog.Table.has_column t "a");
+  Alcotest.(check bool) "missing column" false (Catalog.Table.has_column t "z");
+  Alcotest.(check bool) "stats-only has no data" true
+    (t.Catalog.Table.data = None)
+
+let test_table_col_stats () =
+  let t = Helpers.stats_table "t" 100 [ ("a", 10) ] in
+  Alcotest.(check bool) "col_stats found" true
+    (Catalog.Table.col_stats t "A" <> None);
+  Alcotest.(check bool) "col_stats missing" true
+    (Catalog.Table.col_stats t "z" = None);
+  Alcotest.check_raises "col_stats_exn" Not_found (fun () ->
+      ignore (Catalog.Table.col_stats_exn t "z"))
+
+(* --- Db --- *)
+
+let test_db_registry () =
+  let db = Catalog.Db.create () in
+  Catalog.Db.add db (Helpers.stats_table "t" 10 [ ("a", 2) ]);
+  Catalog.Db.add db (Helpers.stats_table "u" 20 [ ("b", 3) ]);
+  Alcotest.(check bool) "mem" true (Catalog.Db.mem db "T");
+  Alcotest.(check int) "tables in order" 2 (List.length (Catalog.Db.tables db));
+  Alcotest.(check string) "registration order preserved" "t"
+    (List.hd (Catalog.Db.tables db)).Catalog.Table.name;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Catalog.Db.add: duplicate table t") (fun () ->
+      Catalog.Db.add db (Helpers.stats_table "t" 1 []));
+  Alcotest.check_raises "find_exn missing" Not_found (fun () ->
+      ignore (Catalog.Db.find_exn db "zz"))
+
+let test_db_resolve_column () =
+  let db = Catalog.Db.create () in
+  Catalog.Db.add db (Helpers.stats_table "t" 10 [ ("a", 2); ("b", 2) ]);
+  Catalog.Db.add db (Helpers.stats_table "u" 10 [ ("a", 2); ("c", 2) ]);
+  Alcotest.(check (option (pair string string)))
+    "unique resolves" (Some ("t", "b"))
+    (Catalog.Db.resolve_column db "b");
+  Alcotest.(check (option (pair string string)))
+    "ambiguous is None" None
+    (Catalog.Db.resolve_column db "a");
+  Alcotest.(check (option (pair string string)))
+    "missing is None" None
+    (Catalog.Db.resolve_column db "zz")
+
+let test_db_relation_exn () =
+  let db = Catalog.Db.create () in
+  Catalog.Db.add db (Helpers.stats_table "t" 10 [ ("a", 2) ]);
+  Alcotest.(check bool) "stats-only rejected" true
+    (match Catalog.Db.relation_exn db "t" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Analyze --- *)
+
+let test_analyze_exact_stats () =
+  let entry = Catalog.Analyze.table ~name:"t" (stored_table ()) in
+  Alcotest.(check int) "rows" 4 entry.Catalog.Table.row_count;
+  Alcotest.(check int) "distinct a" 3 (Catalog.Table.distinct entry "a");
+  Alcotest.(check int) "distinct b" 3 (Catalog.Table.distinct entry "b");
+  let stats = Catalog.Table.col_stats_exn entry "a" in
+  Alcotest.(check bool) "min a" true
+    (stats.Stats.Col_stats.min_value = Some (int_ 1));
+  Alcotest.(check bool) "max a" true
+    (stats.Stats.Col_stats.max_value = Some (int_ 3));
+  Alcotest.(check bool) "stored" true (entry.Catalog.Table.data <> None)
+
+let test_analyze_histograms () =
+  let entry =
+    Catalog.Analyze.table ~histogram:Stats.Histogram.Equi_depth
+      ~histogram_buckets:2 ~name:"t" (stored_table ())
+  in
+  let stats = Catalog.Table.col_stats_exn entry "a" in
+  Alcotest.(check bool) "histogram built" true
+    (stats.Stats.Col_stats.histogram <> None)
+
+let test_analyze_register () =
+  let db = Catalog.Db.create () in
+  let entry = Catalog.Analyze.register db ~name:"t" (stored_table ()) in
+  Alcotest.(check bool) "registered" true (Catalog.Db.mem db "t");
+  Alcotest.(check int) "same entry" entry.Catalog.Table.row_count
+    (Catalog.Db.find_exn db "t").Catalog.Table.row_count;
+  (* The stored relation is requalified under the catalog name. *)
+  let rel = Catalog.Db.relation_exn db "t" in
+  Alcotest.(check string) "schema requalified" "t"
+    (Rel.Schema.get (Rel.Relation.schema rel) 0).Rel.Schema.table
+
+let suite =
+  [
+    Alcotest.test_case "table: accessors" `Quick test_table_accessors;
+    Alcotest.test_case "table: col_stats" `Quick test_table_col_stats;
+    Alcotest.test_case "db: registry" `Quick test_db_registry;
+    Alcotest.test_case "db: resolve_column" `Quick test_db_resolve_column;
+    Alcotest.test_case "db: relation_exn on stats-only" `Quick
+      test_db_relation_exn;
+    Alcotest.test_case "analyze: exact statistics" `Quick
+      test_analyze_exact_stats;
+    Alcotest.test_case "analyze: histograms" `Quick test_analyze_histograms;
+    Alcotest.test_case "analyze: register" `Quick test_analyze_register;
+  ]

@@ -1,0 +1,153 @@
+(* Unit tests for predicate transitive closure (Section 4, step 2).
+   One test per derivation variant 2a-2e, plus canonicity and soundness. *)
+
+module P = Query.Predicate
+
+let c t col = Query.Cref.v t col
+let eq a b = P.col_eq a b
+let lt col k = P.cmp col Rel.Cmp.Lt (Rel.Value.Int k)
+
+let has expected actual = List.exists (P.equal expected) actual
+
+let test_rule_2a () =
+  (* (R1.x = R2.y) AND (R2.y = R3.z) ==> (R1.x = R3.z) *)
+  let implied =
+    Els.Closure.implied
+      [ eq (c "r1" "x") (c "r2" "y"); eq (c "r2" "y") (c "r3" "z") ]
+  in
+  Alcotest.(check bool) "join implied" true
+    (has (eq (c "r1" "x") (c "r3" "z")) implied);
+  Alcotest.(check int) "exactly one" 1 (List.length implied)
+
+let test_rule_2b () =
+  (* (R1.x = R2.y) AND (R1.x = R2.w) ==> (R2.y = R2.w) *)
+  let implied =
+    Els.Closure.implied
+      [ eq (c "r1" "x") (c "r2" "y"); eq (c "r1" "x") (c "r2" "w") ]
+  in
+  Alcotest.(check bool) "local implied" true
+    (has (eq (c "r2" "y") (c "r2" "w")) implied)
+
+let test_rule_2c () =
+  (* (R1.x = R1.y) AND (R1.y = R1.z) ==> (R1.x = R1.z) *)
+  let implied =
+    Els.Closure.implied
+      [ eq (c "r1" "x") (c "r1" "y"); eq (c "r1" "y") (c "r1" "z") ]
+  in
+  Alcotest.(check bool) "local implied" true
+    (has (eq (c "r1" "x") (c "r1" "z")) implied)
+
+let test_rule_2d () =
+  (* (R1.x = R2.y) AND (R1.x = R1.v) ==> (R2.y = R1.v) *)
+  let implied =
+    Els.Closure.implied
+      [ eq (c "r1" "x") (c "r2" "y"); eq (c "r1" "x") (c "r1" "v") ]
+  in
+  Alcotest.(check bool) "join implied" true
+    (has (eq (c "r1" "v") (c "r2" "y")) implied)
+
+let test_rule_2e () =
+  (* (R1.x = R2.y) AND (R1.x op c) ==> (R2.y op c), for every comparison. *)
+  List.iter
+    (fun op ->
+      let implied =
+        Els.Closure.implied
+          [
+            eq (c "r1" "x") (c "r2" "y");
+            P.cmp (c "r1" "x") op (Rel.Value.Int 500);
+          ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "constant propagated through %s" (Rel.Cmp.to_string op))
+        true
+        (has (P.cmp (c "r2" "y") op (Rel.Value.Int 500)) implied))
+    Rel.Cmp.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let test_duplicates_removed () =
+  let p = lt (c "r1" "x") 500 in
+  let closed = (Els.Closure.compute [ p; p; p ]).Els.Closure.predicates in
+  Alcotest.(check int) "deduplicated" 1 (List.length closed)
+
+let test_canonical_for_equivalent_queries () =
+  (* Two spellings of the same query close to the same conjunction. *)
+  let a =
+    [ eq (c "r1" "x") (c "r2" "y"); eq (c "r2" "y") (c "r3" "z") ]
+  in
+  let b =
+    [ eq (c "r3" "z") (c "r2" "y"); eq (c "r1" "x") (c "r3" "z") ]
+  in
+  let ca = (Els.Closure.compute a).Els.Closure.predicates in
+  let cb = (Els.Closure.compute b).Els.Closure.predicates in
+  Alcotest.(check (list string))
+    "same closed set"
+    (List.map P.to_string ca)
+    (List.map P.to_string cb)
+
+let test_section8_closure () =
+  (* The paper's Section 8 rewrite: 3 join predicates and one local
+     predicate close to 6 join predicates and 4 local predicates. *)
+  let q = Helpers.section8_query () in
+  let closed = (Els.Closure.compute q.Query.predicates).Els.Closure.predicates in
+  let joins = List.filter P.is_join closed in
+  let locals = List.filter P.is_local closed in
+  Alcotest.(check int) "6 join predicates" 6 (List.length joins);
+  Alcotest.(check int) "4 local predicates" 4 (List.length locals);
+  Alcotest.(check bool) "m < 100 implied" true
+    (has (lt (c "m" "m") 100) locals);
+  Alcotest.(check bool) "g < 100 implied" true (has (lt (c "g" "g") 100) locals)
+
+let test_closure_idempotent () =
+  let preds = (Helpers.section8_query ()).Query.predicates in
+  let once = (Els.Closure.compute preds).Els.Closure.predicates in
+  let twice = (Els.Closure.compute once).Els.Closure.predicates in
+  Alcotest.(check (list string))
+    "closing twice adds nothing"
+    (List.map P.to_string once)
+    (List.map P.to_string twice)
+
+(* Soundness: every implied predicate holds on the actual join result. *)
+let test_closure_sound_on_data () =
+  let db = Datagen.Section8.build ~scale:20 ~seed:3 () in
+  let q = Datagen.Section8.query_scaled ~scale:20 in
+  let closed = Els.Closure.close_query q in
+  (* Execute the original query (all columns) and check every implied
+     predicate against every result tuple. *)
+  let result =
+    Exec.Executor.run_query db (Query.make ~tables:q.Query.tables q.Query.predicates)
+  in
+  let schema = Rel.Relation.schema result.Exec.Executor.relation in
+  Alcotest.(check bool) "nonempty result" true (result.Exec.Executor.row_count > 0);
+  List.iter
+    (fun p ->
+      let holds = Query.Eval.compile schema p in
+      Rel.Relation.iter
+        (fun tuple ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s holds on result" (P.to_string p))
+            true (holds tuple))
+        result.Exec.Executor.relation)
+    closed.Query.predicates
+
+let test_close_query () =
+  let q = Helpers.section8_query () in
+  let closed = Els.Closure.close_query q in
+  Alcotest.(check int) "10 predicates" 10 (List.length closed.Query.predicates);
+  Alcotest.(check (list string)) "tables unchanged" q.Query.tables
+    closed.Query.tables
+
+let suite =
+  [
+    Alcotest.test_case "rule 2a: join+join -> join" `Quick test_rule_2a;
+    Alcotest.test_case "rule 2b: join+join -> local" `Quick test_rule_2b;
+    Alcotest.test_case "rule 2c: local+local -> local" `Quick test_rule_2c;
+    Alcotest.test_case "rule 2d: join+local -> join" `Quick test_rule_2d;
+    Alcotest.test_case "rule 2e: constant propagation" `Quick test_rule_2e;
+    Alcotest.test_case "duplicates removed" `Quick test_duplicates_removed;
+    Alcotest.test_case "canonical for equivalent queries" `Quick
+      test_canonical_for_equivalent_queries;
+    Alcotest.test_case "section 8 closure" `Quick test_section8_closure;
+    Alcotest.test_case "idempotent" `Quick test_closure_idempotent;
+    Alcotest.test_case "sound on executed data" `Quick
+      test_closure_sound_on_data;
+    Alcotest.test_case "close_query" `Quick test_close_query;
+  ]

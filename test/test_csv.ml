@@ -1,0 +1,138 @@
+(* Unit tests for CSV ingestion. *)
+
+let load ?separator text = Rel.Csv.relation_of_string ?separator ~table:"t" text
+
+let col_ty rel i = (Rel.Schema.get (Rel.Relation.schema rel) i).Rel.Schema.ty
+
+let test_basic_load () =
+  let rel = load "id,name,score\n1,alice,3.5\n2,bob,4\n" in
+  Alcotest.(check int) "rows" 2 (Rel.Relation.cardinality rel);
+  Alcotest.(check int) "cols" 3 (Rel.Schema.arity (Rel.Relation.schema rel));
+  Alcotest.(check string) "int col" "int" (Rel.Value.ty_name (col_ty rel 0));
+  Alcotest.(check string) "string col" "string"
+    (Rel.Value.ty_name (col_ty rel 1));
+  (* 4 widens to float because 3.5 appeared. *)
+  Alcotest.(check string) "float col" "float" (Rel.Value.ty_name (col_ty rel 2));
+  Alcotest.(check bool) "value read" true
+    (Rel.Value.equal (Rel.Relation.get rel 1).(1) (Rel.Value.String "bob"));
+  Alcotest.(check bool) "int widened" true
+    (Rel.Value.equal (Rel.Relation.get rel 1).(2) (Rel.Value.Float 4.))
+
+let test_nulls_and_bools () =
+  let rel = load "flag,v\ntrue,1\n,2\nfalse,\n" in
+  Alcotest.(check string) "bool col survives nulls" "bool"
+    (Rel.Value.ty_name (col_ty rel 0));
+  Alcotest.(check bool) "null flag" true
+    (Rel.Value.is_null (Rel.Relation.get rel 1).(0));
+  Alcotest.(check bool) "null v" true
+    (Rel.Value.is_null (Rel.Relation.get rel 2).(1));
+  Alcotest.(check int) "distinct skips null" 2 (Rel.Relation.distinct_count rel 0)
+
+let test_quoting () =
+  let rel = load "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n\"line\nbreak\",2\n" in
+  Alcotest.(check bool) "separator inside quotes" true
+    (Rel.Value.equal (Rel.Relation.get rel 0).(0) (Rel.Value.String "x,y"));
+  Alcotest.(check bool) "escaped quote" true
+    (Rel.Value.equal (Rel.Relation.get rel 0).(1)
+       (Rel.Value.String "say \"hi\""));
+  Alcotest.(check bool) "newline inside quotes" true
+    (Rel.Value.equal (Rel.Relation.get rel 1).(0)
+       (Rel.Value.String "line\nbreak"))
+
+let test_quoted_empty_vs_missing () =
+  let rel = load "a\n\"\"\n\n5\n" in
+  (* "" is the empty string; in a single-column file a blank line is a
+     NULL row. *)
+  Alcotest.(check int) "three rows" 3 (Rel.Relation.cardinality rel);
+  Alcotest.(check string) "column typed string" "string"
+    (Rel.Value.ty_name (col_ty rel 0));
+  Alcotest.(check bool) "empty string kept" true
+    (Rel.Value.equal (Rel.Relation.get rel 0).(0) (Rel.Value.String ""));
+  Alcotest.(check bool) "blank line is NULL" true
+    (Rel.Value.is_null (Rel.Relation.get rel 1).(0));
+  (* In a two-column file the blank line is dropped. *)
+  let rel2 = load "a,b\n1,2\n\n3,4\n" in
+  Alcotest.(check int) "blank dropped" 2 (Rel.Relation.cardinality rel2)
+
+let test_crlf_and_no_trailing_newline () =
+  let rel = load "a,b\r\n1,2\r\n3,4" in
+  Alcotest.(check int) "rows" 2 (Rel.Relation.cardinality rel);
+  Alcotest.(check bool) "last row kept" true
+    (Rel.Value.equal (Rel.Relation.get rel 1).(1) (Rel.Value.Int 4))
+
+let test_custom_separator () =
+  let rel = load ~separator:';' "a;b\n1;2\n" in
+  Alcotest.(check int) "cols" 2 (Rel.Schema.arity (Rel.Relation.schema rel))
+
+let test_errors () =
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) text true
+        (match load text with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [
+      "";                (* empty input *)
+      "a,b\n1\n";        (* ragged row *)
+      "a,a\n1,2\n";      (* duplicate column *)
+      ",b\n1,2\n";       (* empty header name *)
+      "a\n\"open\n";     (* unterminated quote *)
+    ]
+
+let test_file_roundtrip_and_query () =
+  let path = Filename.temp_file "elsdb_test" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "uid,dept\n1,10\n2,10\n3,20\n4,20\n5,20\n";
+      close_out oc;
+      let rel = Rel.Csv.relation_of_file ~table:"emp" path in
+      let db = Catalog.Db.create () in
+      ignore (Catalog.Analyze.register db ~name:"emp" rel);
+      (* The loaded table is immediately queryable end to end. *)
+      let q =
+        Sqlfront.Binder.compile_exn db
+          "SELECT COUNT(*) FROM emp WHERE dept = 20"
+      in
+      Alcotest.(check int) "query over CSV" 3
+        (Exec.Executor.run_query db q).Exec.Executor.row_count)
+
+let test_to_string () =
+  let rel = load "a,b\n1,x\n,\"q,r\"\n" in
+  let text = Rel.Csv.to_string rel in
+  Alcotest.(check string) "rendering" "a,b\n1,x\n,\"q,r\"\n" text;
+  (* And it parses back to the same values. *)
+  let back = Rel.Csv.relation_of_string ~table:"t" text in
+  Alcotest.(check int) "rows back" 2 (Rel.Relation.cardinality back);
+  Alcotest.(check bool) "null back" true
+    (Rel.Value.is_null (Rel.Relation.get back 1).(0))
+
+let test_to_file_roundtrip () =
+  let rel = load "k,v\n1,10\n2,20\n" in
+  let path = Filename.temp_file "elsdb_out" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rel.Csv.to_file rel path;
+      let back = Rel.Csv.relation_of_file ~table:"t" path in
+      Alcotest.(check bool) "equal rows" true
+        (List.for_all2 Rel.Tuple.equal (Rel.Relation.to_list rel)
+           (Rel.Relation.to_list back)))
+
+let suite =
+  [
+    Alcotest.test_case "basic load and inference" `Quick test_basic_load;
+    Alcotest.test_case "nulls and booleans" `Quick test_nulls_and_bools;
+    Alcotest.test_case "quoting" `Quick test_quoting;
+    Alcotest.test_case "quoted empty vs missing" `Quick
+      test_quoted_empty_vs_missing;
+    Alcotest.test_case "CRLF and trailing newline" `Quick
+      test_crlf_and_no_trailing_newline;
+    Alcotest.test_case "custom separator" `Quick test_custom_separator;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "file roundtrip + query" `Quick
+      test_file_roundtrip_and_query;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "to_file roundtrip" `Quick test_to_file_roundtrip;
+  ]

@@ -1,0 +1,203 @@
+(* Unit tests for data/workload generation. *)
+
+let check_float = Helpers.check_float
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Datagen.Prng.create 123 and b = Datagen.Prng.create 123 in
+  let xs = List.init 20 (fun _ -> Datagen.Prng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Datagen.Prng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys;
+  let c = Datagen.Prng.create 124 in
+  let zs = List.init 20 (fun _ -> Datagen.Prng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_prng_bounds () =
+  let rng = Datagen.Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Datagen.Prng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10);
+    let y = Datagen.Prng.int_in rng 5 9 in
+    Alcotest.(check bool) "in [5,9]" true (y >= 5 && y <= 9);
+    let f = Datagen.Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done;
+  Alcotest.(check bool) "bad bound" true
+    (match Datagen.Prng.int rng 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_prng_shuffle_is_permutation () =
+  let rng = Datagen.Prng.create 5 in
+  let arr = Array.init 100 Fun.id in
+  Datagen.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 100 Fun.id)
+
+(* --- Distribution --- *)
+
+let test_exact_uniform_counts () =
+  let rng = Datagen.Prng.create 9 in
+  let values =
+    Datagen.Distribution.generate Datagen.Distribution.Exact_uniform rng
+      ~rows:1000 ~distinct:10
+  in
+  let counts = Hashtbl.create 10 in
+  Array.iter
+    (fun v ->
+      Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+    values;
+  Alcotest.(check int) "exactly d distinct" 10 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun v n -> Alcotest.(check int) (Printf.sprintf "value %d count" v) 100 n)
+    counts
+
+let test_random_uniform_domain () =
+  let rng = Datagen.Prng.create 9 in
+  let values =
+    Datagen.Distribution.generate Datagen.Distribution.Random_uniform rng
+      ~rows:5000 ~distinct:50
+  in
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in domain" true (v >= 1 && v <= 50))
+    values
+
+let test_zipf_weights () =
+  let w = Datagen.Distribution.zipf_weights ~theta:1. ~n:100 in
+  check_float ~eps:1e-9 "normalized" 1. (Array.fold_left ( +. ) 0. w);
+  Alcotest.(check bool) "descending" true (w.(0) > w.(50));
+  let w0 = Datagen.Distribution.zipf_weights ~theta:0. ~n:10 in
+  check_float ~eps:1e-9 "theta 0 uniform" 0.1 w0.(3)
+
+let test_zipf_skew () =
+  let rng = Datagen.Prng.create 3 in
+  let values =
+    Datagen.Distribution.generate (Datagen.Distribution.Zipf 1.2) rng
+      ~rows:10000 ~distinct:100
+  in
+  let ones = Array.fold_left (fun acc v -> if v = 1 then acc + 1 else acc) 0 values in
+  Alcotest.(check bool) "rank 1 dominates" true (ones > 1000);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in domain" true (v >= 1 && v <= 100))
+    values
+
+(* --- Tablegen --- *)
+
+let test_tablegen_relation () =
+  let rng = Datagen.Prng.create 1 in
+  let rel =
+    Datagen.Tablegen.relation rng ~table:"t" ~rows:100
+      [
+        Datagen.Tablegen.key_column "k" ~rows:100;
+        Datagen.Tablegen.column "v" ~distinct:10;
+      ]
+  in
+  Alcotest.(check int) "rows" 100 (Rel.Relation.cardinality rel);
+  Alcotest.(check int) "key distinct" 100 (Rel.Relation.distinct_count rel 0);
+  Alcotest.(check int) "v distinct" 10 (Rel.Relation.distinct_count rel 1)
+
+let test_tablegen_register_stats () =
+  let db = Catalog.Db.create () in
+  let rng = Datagen.Prng.create 1 in
+  let entry =
+    Datagen.Tablegen.register rng db ~table:"t" ~rows:50
+      [ Datagen.Tablegen.column "v" ~distinct:5 ]
+  in
+  Alcotest.(check int) "analyzed distinct" 5 (Catalog.Table.distinct entry "v");
+  Alcotest.(check bool) "registered and stored" true
+    (Rel.Relation.cardinality (Catalog.Db.relation_exn db "t") = 50)
+
+(* --- Section8 --- *)
+
+let test_section8_db () =
+  let db = Datagen.Section8.build ~scale:100 ~seed:1 () in
+  List.iter
+    (fun (t, rows) ->
+      let entry = Catalog.Db.find_exn db t in
+      Alcotest.(check int) (t ^ " rows") rows entry.Catalog.Table.row_count;
+      Alcotest.(check int) (t ^ " key distinct") rows
+        (Catalog.Table.distinct entry t))
+    [ ("s", 10); ("m", 100); ("b", 500); ("g", 1000) ];
+  Alcotest.(check bool) "scale validation" true
+    (match Datagen.Section8.build ~scale:0 ~seed:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_section8_true_size () =
+  (* The defining property: with key joins and s < cutoff, the full join
+     has exactly cutoff-1 rows. *)
+  let db = Datagen.Section8.build ~scale:20 ~seed:7 () in
+  let q = Datagen.Section8.query_scaled ~scale:20 in
+  Alcotest.(check int) "exactly cutoff-1 rows" 4
+    (Exec.Executor.run_query db q).Exec.Executor.row_count
+
+(* --- Workload --- *)
+
+let test_chain_workload () =
+  let spec = Datagen.Workload.chain ~seed:4 ~n_tables:4 () in
+  Alcotest.(check int) "tables" 4
+    (List.length spec.Datagen.Workload.query.Query.tables);
+  Alcotest.(check int) "chain predicates" 3
+    (List.length spec.Datagen.Workload.query.Query.predicates);
+  (* All join columns collapse into one class after closure. *)
+  let closure =
+    Els.Closure.compute spec.Datagen.Workload.query.Query.predicates
+  in
+  Alcotest.(check int) "single class" 1
+    (List.length
+       (List.filter
+          (fun cls -> List.length cls > 1)
+          (Els.Eqclass.classes closure.Els.Closure.classes)));
+  Alcotest.(check bool) "tables stored" true
+    (Rel.Relation.cardinality
+       (Catalog.Db.relation_exn spec.Datagen.Workload.db "t1")
+    > 0)
+
+let test_star_workload () =
+  let spec = Datagen.Workload.star ~seed:4 ~n_dims:3 () in
+  Alcotest.(check int) "tables" 4
+    (List.length spec.Datagen.Workload.query.Query.tables);
+  Alcotest.(check int) "predicates" 3
+    (List.length spec.Datagen.Workload.query.Query.predicates);
+  let closure =
+    Els.Closure.compute spec.Datagen.Workload.query.Query.predicates
+  in
+  Alcotest.(check int) "three classes" 3
+    (List.length
+       (List.filter
+          (fun cls -> List.length cls > 1)
+          (Els.Eqclass.classes closure.Els.Closure.classes)))
+
+let test_workload_validation () =
+  Alcotest.(check bool) "chain needs 2" true
+    (match Datagen.Workload.chain ~seed:1 ~n_tables:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "star needs 1" true
+    (match Datagen.Workload.star ~seed:1 ~n_dims:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "prng: deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng: bounds" `Quick test_prng_bounds;
+    Alcotest.test_case "prng: shuffle permutes" `Quick
+      test_prng_shuffle_is_permutation;
+    Alcotest.test_case "distribution: exact uniform" `Quick
+      test_exact_uniform_counts;
+    Alcotest.test_case "distribution: random uniform domain" `Quick
+      test_random_uniform_domain;
+    Alcotest.test_case "distribution: zipf weights" `Quick test_zipf_weights;
+    Alcotest.test_case "distribution: zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "tablegen: relation" `Quick test_tablegen_relation;
+    Alcotest.test_case "tablegen: register" `Quick test_tablegen_register_stats;
+    Alcotest.test_case "section8: catalog numbers" `Quick test_section8_db;
+    Alcotest.test_case "section8: true size" `Quick test_section8_true_size;
+    Alcotest.test_case "workload: chain" `Quick test_chain_workload;
+    Alcotest.test_case "workload: star" `Quick test_star_workload;
+    Alcotest.test_case "workload: validation" `Quick test_workload_validation;
+  ]

@@ -1,0 +1,117 @@
+(* The paper's worked examples, checked number by number. *)
+
+let check_float = Helpers.check_float
+
+(* Example 1b: join selectivities from Equation 2. *)
+let test_example1b_selectivities () =
+  let db = Helpers.example1_db () in
+  let q = Helpers.example1_query () in
+  let profile = Els.prepare Els.Config.els db q in
+  let sel a b =
+    Els.Selectivity.join profile
+      (Query.Predicate.col_eq
+         (Query.Cref.v (fst a) (snd a))
+         (Query.Cref.v (fst b) (snd b)))
+  in
+  check_float "S_J1" 0.01 (sel ("r1", "x") ("r2", "y"));
+  check_float "S_J2" 0.001 (sel ("r2", "y") ("r3", "z"));
+  check_float "S_J3" 0.001 (sel ("r1", "x") ("r3", "z"))
+
+(* Example 1b: ‖R2 ⋈ R3‖ = 1000 and ‖R1 ⋈ R2 ⋈ R3‖ = 1000. *)
+let test_example1b_sizes () =
+  let db = Helpers.example1_db () in
+  let q = Helpers.example1_query () in
+  let profile = Els.prepare Els.Config.els db q in
+  let st = Els.Incremental.estimate_order profile [ "r2"; "r3" ] in
+  check_float "‖R2 ⋈ R3‖" 1000. st.Els.Incremental.size;
+  check_float "‖R1 ⋈ R2 ⋈ R3‖" 1000.
+    (Els.Incremental.final_size profile [ "r1"; "r2"; "r3" ])
+
+(* Example 2: Rule M estimates (R2 ⋈ R3) ⋈ R1 as 1 (the correct answer is
+   1000). *)
+let test_example2_rule_m () =
+  let db = Helpers.example1_db () in
+  let q = Helpers.example1_query () in
+  let profile = Els.prepare (Els.Config.sm ~ptc:true) db q in
+  check_float "Rule M underestimate" 1.
+    (Els.Incremental.final_size profile [ "r2"; "r3"; "r1" ])
+
+(* Example 3: Rule SS estimates 100; Rule LS estimates 1000 (correct). *)
+let test_example3_rules_ss_ls () =
+  let db = Helpers.example1_db () in
+  let q = Helpers.example1_query () in
+  let p_ss = Els.prepare Els.Config.sss db q in
+  check_float "Rule SS underestimate" 100.
+    (Els.Incremental.final_size p_ss [ "r2"; "r3"; "r1" ]);
+  let p_ls = Els.prepare Els.Config.els db q in
+  check_float "Rule LS correct" 1000.
+    (Els.Incremental.final_size p_ls [ "r2"; "r3"; "r1" ])
+
+(* Rule LS is order-independent on the example: every join order of the
+   single equivalence class yields 1000. *)
+let test_example_ls_order_independent () =
+  let db = Helpers.example1_db () in
+  let q = Helpers.example1_query () in
+  let profile = Els.prepare Els.Config.els db q in
+  let orders =
+    [
+      [ "r1"; "r2"; "r3" ]; [ "r1"; "r3"; "r2" ]; [ "r2"; "r1"; "r3" ];
+      [ "r2"; "r3"; "r1" ]; [ "r3"; "r1"; "r2" ]; [ "r3"; "r2"; "r1" ];
+    ]
+  in
+  List.iter
+    (fun order ->
+      check_float
+        (Printf.sprintf "order %s" (String.concat "," order))
+        1000.
+        (Els.Incremental.final_size profile order))
+    orders
+
+(* Section 5 numeric example: the urn model vs the linear estimate. *)
+let test_section5_urn_example () =
+  Alcotest.(check int)
+    "urn estimate d'_x" 9933
+    (Stats.Urn.expected_distinct_int ~urns:10000 ~balls:50000);
+  Alcotest.(check int)
+    "no reduction when ‖R‖' = ‖R‖" 10000
+    (Stats.Urn.expected_distinct_int ~urns:10000 ~balls:100000)
+
+(* Section 6 example: ‖R2‖' = 20 and effective join cardinality 9. *)
+let test_section6_example () =
+  let db = Helpers.section6_db () in
+  let q = Helpers.section6_query () in
+  let profile = Els.prepare Els.Config.els db q in
+  let r2 = Els.Profile.table profile "r2" in
+  check_float "‖R2‖'" 20. r2.Els.Profile.rows;
+  let y = Query.Cref.v "r2" "y" and w = Query.Cref.v "r2" "w" in
+  check_float "effective card of y" 9. (Els.Profile.join_card profile y);
+  check_float "effective card of w" 9. (Els.Profile.join_card profile w)
+
+(* The implied intra-table predicate (R2.y = R2.w) appears via closure. *)
+let test_section6_closure_adds_local () =
+  let q = Helpers.section6_query () in
+  let implied = Els.Closure.implied q.Query.predicates in
+  let expected =
+    Query.Predicate.col_eq (Query.Cref.v "r2" "y") (Query.Cref.v "r2" "w")
+  in
+  Alcotest.(check bool)
+    "y = w implied" true
+    (List.exists (Query.Predicate.equal expected) implied)
+
+let suite =
+  [
+    Alcotest.test_case "example 1b: selectivities" `Quick
+      test_example1b_selectivities;
+    Alcotest.test_case "example 1b: sizes" `Quick test_example1b_sizes;
+    Alcotest.test_case "example 2: rule M" `Quick test_example2_rule_m;
+    Alcotest.test_case "example 3: rules SS vs LS" `Quick
+      test_example3_rules_ss_ls;
+    Alcotest.test_case "rule LS order independence" `Quick
+      test_example_ls_order_independent;
+    Alcotest.test_case "section 5: urn example" `Quick
+      test_section5_urn_example;
+    Alcotest.test_case "section 6: single-table example" `Quick
+      test_section6_example;
+    Alcotest.test_case "section 6: implied local predicate" `Quick
+      test_section6_closure_adds_local;
+  ]

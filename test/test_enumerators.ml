@@ -1,0 +1,118 @@
+(* Unit tests for the greedy and randomized join enumerators. *)
+
+let chain seed n =
+  let spec =
+    Datagen.Workload.chain ~rows_range:(50, 200) ~distinct_range:(10, 60)
+      ~seed ~n_tables:n ()
+  in
+  (spec.Datagen.Workload.db, spec.Datagen.Workload.query)
+
+let methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ]
+
+let test_greedy_full_plan () =
+  let db, q = chain 3 5 in
+  let profile = Els.prepare Els.Config.els db q in
+  let node = Optimizer.Greedy.optimize ~methods profile q in
+  Alcotest.(check (list string))
+    "covers all tables"
+    (List.sort compare q.Query.tables)
+    (List.sort compare (Exec.Plan.join_order node.Optimizer.Dp.plan));
+  Alcotest.(check bool) "cost positive" true (node.Optimizer.Dp.cost > 0.)
+
+let test_greedy_never_beats_dp () =
+  (* DP is exhaustive over left-deep plans, so greedy's estimated cost can
+     never be lower. *)
+  List.iter
+    (fun seed ->
+      let db, q = chain seed 5 in
+      let profile = Els.prepare Els.Config.els db q in
+      let dp = Optimizer.Dp.optimize ~methods profile q in
+      let greedy = Optimizer.Greedy.optimize ~methods profile q in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: dp <= greedy" seed)
+        true
+        (dp.Optimizer.Dp.cost <= greedy.Optimizer.Dp.cost +. 1e-6))
+    [ 1; 2; 3; 4 ]
+
+let test_random_walk_never_beats_dp () =
+  List.iter
+    (fun seed ->
+      let db, q = chain seed 5 in
+      let profile = Els.prepare Els.Config.els db q in
+      let dp = Optimizer.Dp.optimize ~methods profile q in
+      let rw = Optimizer.Random_walk.optimize ~methods ~seed:7 profile q in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: dp <= random" seed)
+        true
+        (dp.Optimizer.Dp.cost <= rw.Optimizer.Dp.cost +. 1e-6))
+    [ 1; 2; 3 ]
+
+let test_random_walk_deterministic () =
+  let db, q = chain 2 5 in
+  let profile = Els.prepare Els.Config.els db q in
+  let a = Optimizer.Random_walk.optimize ~methods ~seed:5 profile q in
+  let b = Optimizer.Random_walk.optimize ~methods ~seed:5 profile q in
+  Alcotest.(check (list string))
+    "same seed, same plan"
+    (Exec.Plan.join_order a.Optimizer.Dp.plan)
+    (Exec.Plan.join_order b.Optimizer.Dp.plan);
+  Helpers.check_float "same cost" a.Optimizer.Dp.cost b.Optimizer.Dp.cost
+
+let test_plan_of_order () =
+  let db, q = chain 1 4 in
+  let profile = Els.prepare Els.Config.els db q in
+  let node =
+    Optimizer.Random_walk.plan_of_order ~methods profile q.Query.tables
+  in
+  Alcotest.(check (list string))
+    "order respected" q.Query.tables
+    (Exec.Plan.join_order node.Optimizer.Dp.plan)
+
+let test_enumerator_plans_execute () =
+  let db, q = chain 4 5 in
+  let expected = (Exec.Executor.run_query db q).Exec.Executor.row_count in
+  List.iter
+    (fun enumerator ->
+      let choice = Optimizer.choose ~enumerator Els.Config.els db q in
+      let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
+      Alcotest.(check int) "correct result" expected rows)
+    [
+      Optimizer.Exhaustive; Optimizer.Greedy_order; Optimizer.Randomized 3;
+    ]
+
+let test_single_and_two_tables () =
+  let db = Datagen.Section8.build ~scale:100 ~seed:1 () in
+  let one = Query.make ~tables:[ "s" ] [] in
+  let two =
+    Query.make ~tables:[ "s"; "m" ]
+      [ Query.Predicate.col_eq (Query.Cref.v "s" "s") (Query.Cref.v "m" "m") ]
+  in
+  List.iter
+    (fun q ->
+      let profile = Els.prepare Els.Config.els db q in
+      List.iter
+        (fun node ->
+          Alcotest.(check int) "tables covered"
+            (List.length q.Query.tables)
+            (List.length (Exec.Plan.join_order node.Optimizer.Dp.plan)))
+        [
+          Optimizer.Greedy.optimize ~methods profile q;
+          Optimizer.Random_walk.optimize ~methods ~seed:1 profile q;
+        ])
+    [ one; two ]
+
+let suite =
+  [
+    Alcotest.test_case "greedy: full plan" `Quick test_greedy_full_plan;
+    Alcotest.test_case "greedy: never beats DP" `Quick
+      test_greedy_never_beats_dp;
+    Alcotest.test_case "random walk: never beats DP" `Quick
+      test_random_walk_never_beats_dp;
+    Alcotest.test_case "random walk: deterministic" `Quick
+      test_random_walk_deterministic;
+    Alcotest.test_case "plan_of_order" `Quick test_plan_of_order;
+    Alcotest.test_case "all enumerators execute correctly" `Quick
+      test_enumerator_plans_execute;
+    Alcotest.test_case "degenerate table counts" `Quick
+      test_single_and_two_tables;
+  ]

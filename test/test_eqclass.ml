@@ -1,0 +1,77 @@
+(* Unit tests for the union-find equivalence classes. *)
+
+let c t col = Query.Cref.v t col
+
+let test_singletons () =
+  let e = Els.Eqclass.create () in
+  Els.Eqclass.add e (c "t" "a");
+  Alcotest.(check bool) "own representative" true
+    (Query.Cref.equal (Els.Eqclass.find e (c "t" "a")) (c "t" "a"));
+  Alcotest.(check bool) "unknown column is its own class" true
+    (Query.Cref.equal (Els.Eqclass.find e (c "zz" "q")) (c "zz" "q"));
+  Alcotest.(check int) "one class" 1 (List.length (Els.Eqclass.classes e))
+
+let test_union_transitivity () =
+  let e = Els.Eqclass.create () in
+  Els.Eqclass.union e (c "r1" "x") (c "r2" "y");
+  Els.Eqclass.union e (c "r2" "y") (c "r3" "z");
+  Alcotest.(check bool) "x ~ z transitively" true
+    (Els.Eqclass.same e (c "r1" "x") (c "r3" "z"));
+  Alcotest.(check int) "members" 3
+    (List.length (Els.Eqclass.members e (c "r3" "z")));
+  Alcotest.(check int) "single class" 1 (List.length (Els.Eqclass.classes e))
+
+let test_disjoint_classes () =
+  let e = Els.Eqclass.create () in
+  Els.Eqclass.union e (c "a" "x") (c "b" "y");
+  Els.Eqclass.union e (c "c" "u") (c "d" "v");
+  Alcotest.(check bool) "disjoint" false
+    (Els.Eqclass.same e (c "a" "x") (c "c" "u"));
+  Alcotest.(check int) "two classes" 2 (List.length (Els.Eqclass.classes e));
+  (* Merging the two classes joins everything. *)
+  Els.Eqclass.union e (c "b" "y") (c "d" "v");
+  Alcotest.(check int) "merged" 1 (List.length (Els.Eqclass.classes e));
+  Alcotest.(check int) "four members" 4
+    (List.length (Els.Eqclass.members e (c "a" "x")))
+
+let test_idempotent_union () =
+  let e = Els.Eqclass.create () in
+  Els.Eqclass.union e (c "a" "x") (c "b" "y");
+  Els.Eqclass.union e (c "a" "x") (c "b" "y");
+  Els.Eqclass.union e (c "b" "y") (c "a" "x");
+  Alcotest.(check int) "still two members" 2
+    (List.length (Els.Eqclass.members e (c "a" "x")))
+
+let test_of_predicates () =
+  let preds =
+    [
+      Query.Predicate.col_eq (c "r1" "x") (c "r2" "y");
+      Query.Predicate.col_eq (c "r2" "y") (c "r2" "w");
+      Query.Predicate.cmp (c "r9" "solo") Rel.Cmp.Lt (Rel.Value.Int 5);
+    ]
+  in
+  let e = Els.Eqclass.of_predicates preds in
+  Alcotest.(check int) "classes incl. singleton" 2
+    (List.length (Els.Eqclass.classes e));
+  Alcotest.(check bool) "x ~ w" true (Els.Eqclass.same e (c "r1" "x") (c "r2" "w"));
+  Alcotest.(check bool) "solo is singleton" true
+    (List.length (Els.Eqclass.members e (c "r9" "solo")) = 1)
+
+let test_classes_sorted () =
+  let e = Els.Eqclass.create () in
+  Els.Eqclass.union e (c "z" "q") (c "a" "b");
+  match Els.Eqclass.classes e with
+  | [ [ first; second ] ] ->
+    Alcotest.(check string) "sorted members" "a.b" (Query.Cref.to_string first);
+    Alcotest.(check string) "second" "z.q" (Query.Cref.to_string second)
+  | _ -> Alcotest.fail "expected one class of two"
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union transitivity" `Quick test_union_transitivity;
+    Alcotest.test_case "disjoint classes" `Quick test_disjoint_classes;
+    Alcotest.test_case "idempotent union" `Quick test_idempotent_union;
+    Alcotest.test_case "of_predicates" `Quick test_of_predicates;
+    Alcotest.test_case "classes sorted" `Quick test_classes_sorted;
+  ]

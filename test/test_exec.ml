@@ -1,0 +1,263 @@
+(* Unit tests for the execution engine: operators, joins, counters,
+   reference execution. *)
+
+let int_ n = Rel.Value.Int n
+let c t col = Query.Cref.v t col
+
+let mk_relation table cols rows =
+  let schema =
+    Rel.Schema.make
+      (List.map
+         (fun name -> Rel.Schema.column ~table ~name Rel.Value.Ty_int)
+         cols)
+  in
+  Rel.Relation.of_tuples schema
+    (List.map (fun vals -> Rel.Tuple.of_list (List.map (fun v -> int_ v) vals)) rows)
+
+(* r(a, b) and s(a, c) with a small overlap, including duplicates. *)
+let r () = mk_relation "r" [ "a"; "b" ] [ [1;10]; [2;20]; [2;21]; [3;30]; [5;50] ]
+let s () = mk_relation "s" [ "a"; "c" ] [ [2;200]; [2;201]; [3;300]; [4;400] ]
+
+let join_pred = Query.Predicate.col_eq (c "r" "a") (c "s" "a")
+
+(* Expected r ⋈ s on a: 2 r-rows with a=2 x 2 s-rows + 1x1 for a=3 = 5. *)
+let expected_join_count = 5
+
+let sorted_rows rel =
+  List.sort compare
+    (List.map Array.to_list (Rel.Relation.to_list rel))
+
+let run_join method_ =
+  let counters = Exec.Counters.create () in
+  let outer () = Exec.Operator.of_relation (r ()) in
+  let inner () = Exec.Operator.of_relation (s ()) in
+  let op =
+    match method_ with
+    | `Nl ->
+      Exec.Nested_loop.join counters [ join_pred ] ~outer:(outer ())
+        ~make_inner:inner
+    | `Hash ->
+      Exec.Hash_join.join counters [ join_pred ] ~outer:(outer ())
+        ~inner:(inner ())
+    | `Sm ->
+      Exec.Sort_merge.join counters [ join_pred ] ~outer:(outer ())
+        ~inner:(inner ())
+  in
+  (Exec.Operator.to_relation op, counters)
+
+let test_scan_and_filter () =
+  let counters = Exec.Counters.create () in
+  let op =
+    Exec.Scan.relation counters
+      ~filters:[ Query.Predicate.cmp (c "r" "a") Rel.Cmp.Ge (int_ 2) ]
+      (r ())
+  in
+  let out = Exec.Operator.to_relation op in
+  Alcotest.(check int) "filtered rows" 4 (Rel.Relation.cardinality out);
+  Alcotest.(check int) "all tuples read" 5 counters.Exec.Counters.tuples_read;
+  Alcotest.(check int) "one comparison per tuple" 5
+    counters.Exec.Counters.comparisons
+
+let test_three_join_methods_agree () =
+  let nl, _ = run_join `Nl in
+  let hj, _ = run_join `Hash in
+  let sm, _ = run_join `Sm in
+  Alcotest.(check int) "NL count" expected_join_count (Rel.Relation.cardinality nl);
+  Alcotest.(check int) "HJ count" expected_join_count (Rel.Relation.cardinality hj);
+  Alcotest.(check int) "SM count" expected_join_count (Rel.Relation.cardinality sm);
+  Alcotest.(check bool) "NL = HJ rows" true (sorted_rows nl = sorted_rows hj);
+  Alcotest.(check bool) "NL = SM rows" true (sorted_rows nl = sorted_rows sm)
+
+let test_join_output_schema () =
+  let out, _ = run_join `Hash in
+  let schema = Rel.Relation.schema out in
+  Alcotest.(check int) "arity 4" 4 (Rel.Schema.arity schema);
+  Alcotest.(check (option int)) "left columns first" (Some 0)
+    (Rel.Schema.index_of schema ~table:"r" ~name:"a");
+  Alcotest.(check (option int)) "right columns after" (Some 2)
+    (Rel.Schema.index_of schema ~table:"s" ~name:"a")
+
+let test_null_keys_never_match () =
+  let r =
+    Rel.Relation.of_tuples
+      (Rel.Schema.make [ Rel.Schema.column ~table:"r" ~name:"a" Rel.Value.Ty_int ])
+      [ [| Rel.Value.Null |]; [| int_ 1 |] ]
+  in
+  let s =
+    Rel.Relation.of_tuples
+      (Rel.Schema.make [ Rel.Schema.column ~table:"s" ~name:"a" Rel.Value.Ty_int ])
+      [ [| Rel.Value.Null |]; [| int_ 1 |] ]
+  in
+  let pred = Query.Predicate.col_eq (c "r" "a") (c "s" "a") in
+  let count method_ =
+    let counters = Exec.Counters.create () in
+    let out =
+      match method_ with
+      | `Nl ->
+        Exec.Nested_loop.join counters [ pred ]
+          ~outer:(Exec.Operator.of_relation r)
+          ~make_inner:(fun () -> Exec.Operator.of_relation s)
+      | `Hash ->
+        Exec.Hash_join.join counters [ pred ]
+          ~outer:(Exec.Operator.of_relation r)
+          ~inner:(Exec.Operator.of_relation s)
+      | `Sm ->
+        Exec.Sort_merge.join counters [ pred ]
+          ~outer:(Exec.Operator.of_relation r)
+          ~inner:(Exec.Operator.of_relation s)
+    in
+    Exec.Operator.count out
+  in
+  Alcotest.(check int) "NL" 1 (count `Nl);
+  Alcotest.(check int) "HJ" 1 (count `Hash);
+  Alcotest.(check int) "SM" 1 (count `Sm)
+
+let test_cartesian_nested_loop () =
+  let counters = Exec.Counters.create () in
+  let op =
+    Exec.Nested_loop.join counters []
+      ~outer:(Exec.Operator.of_relation (r ()))
+      ~make_inner:(fun () -> Exec.Operator.of_relation (s ()))
+  in
+  Alcotest.(check int) "cross product" 20 (Exec.Operator.count op)
+
+let test_equi_methods_require_keys () =
+  let counters = Exec.Counters.create () in
+  Alcotest.(check bool) "hash join needs a key" true
+    (match
+       Exec.Hash_join.join counters []
+         ~outer:(Exec.Operator.of_relation (r ()))
+         ~inner:(Exec.Operator.of_relation (s ()))
+     with
+    | exception Invalid_argument _ -> true
+    | (_ : Exec.Operator.t) -> false);
+  Alcotest.(check bool) "sort-merge needs a key" true
+    (match
+       Exec.Sort_merge.join counters []
+         ~outer:(Exec.Operator.of_relation (r ()))
+         ~inner:(Exec.Operator.of_relation (s ()))
+     with
+    | exception Invalid_argument _ -> true
+    | (_ : Exec.Operator.t) -> false)
+
+let test_residual_predicates () =
+  (* Join on a with residual c > 200: keeps (2,200.. no), (2,201),
+     (3,300): residual drops c=200 pair; counts 2x matches: rows with a=2
+     pair (2 r-rows x s(2,201)) + a=3 -> 2 + 1 = 3. *)
+  let residual = Query.Predicate.cmp (c "s" "c") Rel.Cmp.Gt (int_ 200) in
+  let counters = Exec.Counters.create () in
+  let out =
+    Exec.Hash_join.join counters [ join_pred; residual ]
+      ~outer:(Exec.Operator.of_relation (r ()))
+      ~inner:(Exec.Operator.of_relation (s ()))
+  in
+  Alcotest.(check int) "residual applied" 3 (Exec.Operator.count out)
+
+let test_nested_loop_rescans_charge () =
+  let counters = Exec.Counters.create () in
+  let inner_rel = s () in
+  let op =
+    Exec.Nested_loop.join counters [ join_pred ]
+      ~outer:(Exec.Operator.of_relation (r ()))
+      ~make_inner:(fun () -> Exec.Scan.relation counters inner_rel)
+  in
+  ignore (Exec.Operator.count op);
+  (* 5 outer tuples x 4 inner tuples read per rescan. *)
+  Alcotest.(check int) "rescans charged" 20 counters.Exec.Counters.tuples_read
+
+let test_project_and_count () =
+  let op = Exec.Operator.of_relation (r ()) in
+  let projected = Exec.Project.columns [ c "r" "b" ] op in
+  let out = Exec.Operator.to_relation projected in
+  Alcotest.(check int) "arity 1" 1 (Rel.Schema.arity (Rel.Relation.schema out));
+  Alcotest.(check int) "rows kept" 5 (Rel.Relation.cardinality out);
+  Alcotest.(check int) "count_star" 5
+    (Exec.Project.count_star (Exec.Operator.of_relation (r ())))
+
+let test_operator_utilities () =
+  let schema =
+    Rel.Schema.make [ Rel.Schema.column ~table:"t" ~name:"a" Rel.Value.Ty_int ]
+  in
+  let op = Exec.Operator.of_list schema [ [| int_ 1 |]; [| int_ 2 |] ] in
+  Alcotest.(check int) "fold sum" 3
+    (Exec.Operator.fold (fun acc t -> acc + Rel.Value.int_exn t.(0)) 0 op);
+  let op2 = Exec.Operator.of_list schema [] in
+  Alcotest.(check int) "empty count" 0 (Exec.Operator.count op2)
+
+(* Executor over a stored catalog. *)
+let exec_db () =
+  let db = Catalog.Db.create () in
+  ignore (Catalog.Analyze.register db ~name:"r" (mk_relation "r" [ "a"; "b" ]
+    [ [1;10]; [2;20]; [2;21]; [3;30]; [5;50] ]));
+  ignore (Catalog.Analyze.register db ~name:"s" (mk_relation "s" [ "a"; "c" ]
+    [ [2;200]; [2;201]; [3;300]; [4;400] ]));
+  db
+
+let test_executor_run_plan () =
+  let db = exec_db () in
+  let plan =
+    Exec.Plan.Join
+      {
+        method_ = Exec.Plan.Hash;
+        outer = Exec.Plan.scan ~filters:[] "r";
+        inner = Exec.Plan.scan ~filters:[] "s";
+        predicates = [ join_pred ];
+      }
+  in
+  let result = Exec.Executor.run db plan in
+  Alcotest.(check int) "rows" expected_join_count result.Exec.Executor.row_count;
+  Alcotest.(check bool) "work recorded" true
+    (Exec.Counters.total_work result.Exec.Executor.counters > 0);
+  let rows, _, _ = Exec.Executor.count db plan in
+  Alcotest.(check int) "count agrees" expected_join_count rows
+
+let test_executor_run_query () =
+  let db = exec_db () in
+  let q =
+    Query.make ~tables:[ "r"; "s" ]
+      [ join_pred; Query.Predicate.cmp (c "s" "c") Rel.Cmp.Gt (int_ 200) ]
+  in
+  let result = Exec.Executor.run_query db q in
+  Alcotest.(check int) "reference result" 3 result.Exec.Executor.row_count
+
+let test_executor_cartesian_query () =
+  let db = exec_db () in
+  let q = Query.make ~tables:[ "r"; "s" ] [] in
+  Alcotest.(check int) "cartesian" 20
+    (Exec.Executor.run_query db q).Exec.Executor.row_count
+
+let test_plan_rendering () =
+  let plan =
+    Exec.Plan.Join
+      {
+        method_ = Exec.Plan.Sort_merge;
+        outer = Exec.Plan.scan ~filters:[] "r";
+        inner = Exec.Plan.scan ~filters:[] "s";
+        predicates = [ join_pred ];
+      }
+  in
+  Alcotest.(check string) "one-liner" "(r SM s)" (Exec.Plan.to_string plan);
+  Alcotest.(check (list string)) "join order" [ "r"; "s" ]
+    (Exec.Plan.join_order plan)
+
+let suite =
+  [
+    Alcotest.test_case "scan with filters" `Quick test_scan_and_filter;
+    Alcotest.test_case "three join methods agree" `Quick
+      test_three_join_methods_agree;
+    Alcotest.test_case "join output schema" `Quick test_join_output_schema;
+    Alcotest.test_case "null keys never match" `Quick test_null_keys_never_match;
+    Alcotest.test_case "cartesian nested loop" `Quick test_cartesian_nested_loop;
+    Alcotest.test_case "equi methods require keys" `Quick
+      test_equi_methods_require_keys;
+    Alcotest.test_case "residual predicates" `Quick test_residual_predicates;
+    Alcotest.test_case "nested loop rescans charged" `Quick
+      test_nested_loop_rescans_charge;
+    Alcotest.test_case "project and count" `Quick test_project_and_count;
+    Alcotest.test_case "operator utilities" `Quick test_operator_utilities;
+    Alcotest.test_case "executor: run plan" `Quick test_executor_run_plan;
+    Alcotest.test_case "executor: run query" `Quick test_executor_run_query;
+    Alcotest.test_case "executor: cartesian query" `Quick
+      test_executor_cartesian_query;
+    Alcotest.test_case "plan rendering" `Quick test_plan_rendering;
+  ]

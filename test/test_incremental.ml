@@ -1,0 +1,175 @@
+(* Unit tests for incremental estimation (step 6, Section 7). *)
+
+let check_float = Helpers.check_float
+
+let profile_of config =
+  Els.prepare config (Helpers.example1_db ()) (Helpers.example1_query ())
+
+let test_start () =
+  let p = profile_of Els.Config.els in
+  let st = Els.Incremental.start p "r2" in
+  check_float "initial size is effective rows" 1000. st.Els.Incremental.size;
+  Alcotest.(check (list string)) "joined" [ "r2" ] st.Els.Incremental.joined;
+  Alcotest.(check (list (float 0.))) "history empty" []
+    st.Els.Incremental.history
+
+let test_eligible () =
+  let p = profile_of Els.Config.els in
+  let st = Els.Incremental.start p "r2" in
+  (* Joining r1 next: with closure on, only J1 (x=y) links r1 to {r2}. *)
+  let elig = Els.Incremental.eligible p st "r1" in
+  Alcotest.(check int) "one eligible" 1 (List.length elig);
+  (* After extending with r3 as well, r1 has two eligible predicates. *)
+  let st2 = Els.Incremental.extend p st "r3" in
+  Alcotest.(check int) "two eligible" 2
+    (List.length (Els.Incremental.eligible p st2 "r1"))
+
+let test_step_selectivity_rules () =
+  let state config =
+    let p = profile_of config in
+    let st = Els.Incremental.estimate_order p [ "r2"; "r3" ] in
+    (p, st)
+  in
+  (* Joining r1: eligible selectivities are {0.01, 0.001} in one class. *)
+  let p, st = state (Els.Config.sm ~ptc:true) in
+  check_float ~eps:1e-12 "rule M multiplies" 1e-5
+    (Els.Incremental.step_selectivity p st "r1");
+  let p, st = state Els.Config.sss in
+  check_float "rule SS takes min" 0.001
+    (Els.Incremental.step_selectivity p st "r1");
+  let p, st = state Els.Config.els in
+  check_float "rule LS takes max" 0.01
+    (Els.Incremental.step_selectivity p st "r1")
+
+let test_cartesian_selectivity () =
+  let p = profile_of Els.Config.els in
+  let st = Els.Incremental.start p "r1" in
+  (* r1-r3 have an implied predicate under closure; without closure the
+     pair is disconnected and the step is a cartesian product. *)
+  let p_nc = profile_of (Els.Config.sm ~ptc:false) in
+  let st_nc = Els.Incremental.start p_nc "r1" in
+  check_float "cartesian step" 1.
+    (Els.Incremental.step_selectivity p_nc st_nc "r3");
+  check_float "closure connects" 0.001
+    (Els.Incremental.step_selectivity p st "r3")
+
+let test_extend_errors () =
+  let p = profile_of Els.Config.els in
+  let st = Els.Incremental.start p "r1" in
+  Alcotest.(check bool) "duplicate table" true
+    (match Els.Incremental.extend p st "r1" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unknown table" true
+    (match Els.Incremental.extend p st "zz" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_history () =
+  let p = profile_of Els.Config.els in
+  let st = Els.Incremental.estimate_order p [ "r1"; "r2"; "r3" ] in
+  Alcotest.(check int) "history length" 2
+    (List.length st.Els.Incremental.history);
+  check_float "final matches size" st.Els.Incremental.size
+    (List.nth st.Els.Incremental.history 1);
+  Alcotest.(check bool) "empty order rejected" true
+    (match Els.Incremental.estimate_order p [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Rule M's final estimate is order-independent (each predicate counted
+   exactly once), even though it is wrong; rule LS is order-independent
+   and right; rule SS is genuinely order-dependent on this query. *)
+let all_orders = [
+    [ "r1"; "r2"; "r3" ]; [ "r1"; "r3"; "r2" ]; [ "r2"; "r1"; "r3" ];
+    [ "r2"; "r3"; "r1" ]; [ "r3"; "r1"; "r2" ]; [ "r3"; "r2"; "r1" ];
+  ]
+
+let final_sizes config =
+  let p = profile_of config in
+  List.map (fun order -> Els.Incremental.final_size p order) all_orders
+
+let test_order_dependence () =
+  (* Distinct values up to relative rounding noise: multiplication order
+     may differ across join orders. *)
+  let distinct sizes =
+    let sorted = List.sort Float.compare sizes in
+    let rec count prev = function
+      | [] -> 0
+      | x :: rest ->
+        let fresh =
+          match prev with
+          | None -> 1
+          | Some p ->
+            if Float.abs (x -. p) <= 1e-9 *. Float.max (Float.abs x) 1. then 0
+            else 1
+        in
+        fresh + count (Some x) rest
+    in
+    count None sorted
+  in
+  Alcotest.(check int) "M consistent" 1
+    (distinct (final_sizes (Els.Config.sm ~ptc:true)));
+  Alcotest.(check int) "LS consistent" 1 (distinct (final_sizes Els.Config.els));
+  Alcotest.(check bool) "SS inconsistent" true
+    (distinct (final_sizes Els.Config.sss) > 1)
+
+(* For any fixed order, est_M <= est_SS <= est_LS: multiplying more
+   selectivities can only shrink the estimate, and min <= max. *)
+let test_rule_ordering () =
+  List.iter
+    (fun order ->
+      let est config =
+        Els.Incremental.final_size (profile_of config) order
+      in
+      let m = est (Els.Config.sm ~ptc:true)
+      and ss = est Els.Config.sss
+      and ls = est Els.Config.els in
+      Alcotest.(check bool)
+        (Printf.sprintf "M <= SS on %s" (String.concat "," order))
+        true (m <= ss +. 1e-9);
+      Alcotest.(check bool)
+        (Printf.sprintf "SS <= LS on %s" (String.concat "," order))
+        true (ss <= ls +. 1e-9))
+    all_orders
+
+let test_join_states () =
+  let p = profile_of Els.Config.els in
+  let s12 =
+    Els.Incremental.join_states p
+      (Els.Incremental.start p "r1")
+      (Els.Incremental.start p "r2")
+  in
+  check_float "r1 x r2" (100. *. 1000. *. 0.01) s12.Els.Incremental.size;
+  let s3 = Els.Incremental.start p "r3" in
+  let bushy = Els.Incremental.join_states p s12 s3 in
+  check_float "bushy total = 1000" 1000. bushy.Els.Incremental.size;
+  Alcotest.(check int) "all tables" 3
+    (List.length bushy.Els.Incremental.joined);
+  Alcotest.(check bool) "overlap rejected" true
+    (match Els.Incremental.join_states p s12 s12 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Disconnected sides combine as a cartesian product. *)
+  let p_nc = profile_of (Els.Config.sm ~ptc:false) in
+  let cart =
+    Els.Incremental.join_states p_nc
+      (Els.Incremental.start p_nc "r1")
+      (Els.Incremental.start p_nc "r3")
+  in
+  check_float "cartesian" 100000. cart.Els.Incremental.size
+
+let suite =
+  [
+    Alcotest.test_case "start state" `Quick test_start;
+    Alcotest.test_case "eligible predicates" `Quick test_eligible;
+    Alcotest.test_case "step selectivity per rule" `Quick
+      test_step_selectivity_rules;
+    Alcotest.test_case "cartesian steps" `Quick test_cartesian_selectivity;
+    Alcotest.test_case "extend errors" `Quick test_extend_errors;
+    Alcotest.test_case "history bookkeeping" `Quick test_history;
+    Alcotest.test_case "order (in)dependence per rule" `Quick
+      test_order_dependence;
+    Alcotest.test_case "M <= SS <= LS" `Quick test_rule_ordering;
+    Alcotest.test_case "join_states (bushy)" `Quick test_join_states;
+  ]

@@ -1,0 +1,179 @@
+(* Unit tests for hash indexes and index nested-loop joins. *)
+
+let int_ n = Rel.Value.Int n
+let c t col = Query.Cref.v t col
+
+let rel table cols rows =
+  let schema =
+    Rel.Schema.make
+      (List.map
+         (fun name -> Rel.Schema.column ~table ~name Rel.Value.Ty_int)
+         cols)
+  in
+  Rel.Relation.of_tuples schema
+    (List.map (fun vals -> Rel.Tuple.of_list (List.map (fun v -> int_ v) vals)) rows)
+
+let s_rel () = rel "s" [ "a"; "c" ] [ [2;200]; [2;201]; [3;300]; [4;400] ]
+
+let test_index_build_lookup () =
+  let idx = Exec.Index.build (s_rel ()) ~column:0 in
+  Alcotest.(check int) "keys" 3 (Exec.Index.key_count idx);
+  Alcotest.(check int) "column" 0 (Exec.Index.column idx);
+  Alcotest.(check int) "duplicates kept" 2
+    (List.length (Exec.Index.lookup idx (int_ 2)));
+  Alcotest.(check int) "missing key" 0
+    (List.length (Exec.Index.lookup idx (int_ 99)));
+  Alcotest.(check int) "null probe" 0
+    (List.length (Exec.Index.lookup idx Rel.Value.Null))
+
+let test_index_skips_nulls () =
+  let r =
+    Rel.Relation.of_tuples
+      (Rel.Schema.make [ Rel.Schema.column ~table:"t" ~name:"a" Rel.Value.Ty_int ])
+      [ [| Rel.Value.Null |]; [| int_ 1 |] ]
+  in
+  let idx = Exec.Index.build r ~column:0 in
+  Alcotest.(check int) "only non-null keys" 1 (Exec.Index.key_count idx)
+
+let test_inl_matches_other_joins () =
+  let r = rel "r" [ "a"; "b" ] [ [1;10]; [2;20]; [2;21]; [3;30]; [5;50] ] in
+  let s = s_rel () in
+  let pred = Query.Predicate.col_eq (c "r" "a") (c "s" "a") in
+  let counters = Exec.Counters.create () in
+  let inl =
+    Exec.Index_nested_loop.join counters [ pred ] ~inner_filters:[]
+      ~outer:(Exec.Operator.of_relation r) ~inner:s
+  in
+  let hj =
+    Exec.Hash_join.join counters [ pred ]
+      ~outer:(Exec.Operator.of_relation r)
+      ~inner:(Exec.Operator.of_relation s)
+  in
+  let rows op =
+    List.sort compare
+      (List.map Array.to_list
+         (Rel.Relation.to_list (Exec.Operator.to_relation op)))
+  in
+  Alcotest.(check bool) "INL = HJ" true (rows inl = rows hj)
+
+let test_inl_inner_filters_and_residual () =
+  let r = rel "r" [ "a" ] [ [2]; [3] ] in
+  let s = s_rel () in
+  let pred = Query.Predicate.col_eq (c "r" "a") (c "s" "a") in
+  let counters = Exec.Counters.create () in
+  let out =
+    Exec.Index_nested_loop.join counters
+      [ pred; Query.Predicate.cmp (c "s" "c") Rel.Cmp.Gt (int_ 200) ]
+      ~inner_filters:[ Query.Predicate.cmp (c "s" "c") Rel.Cmp.Lt (int_ 400) ]
+      ~outer:(Exec.Operator.of_relation r) ~inner:s
+  in
+  (* matches: r.2 x s(2,201) and r.3 x s(3,300); s(2,200) fails the
+     residual, s(4,400) fails the inner filter and never matches anyway. *)
+  Alcotest.(check int) "filters applied" 2 (Exec.Operator.count out)
+
+let test_inl_requires_key () =
+  let r = rel "r" [ "a" ] [ [1] ] in
+  let counters = Exec.Counters.create () in
+  Alcotest.(check bool) "no key rejected" true
+    (match
+       Exec.Index_nested_loop.join counters [] ~inner_filters:[]
+         ~outer:(Exec.Operator.of_relation r) ~inner:(s_rel ())
+     with
+    | exception Invalid_argument _ -> true
+    | (_ : Exec.Operator.t) -> false)
+
+let test_inl_work_less_than_nl () =
+  (* On a selective outer, INL touches far fewer tuples than plain NL. *)
+  let rng = Datagen.Prng.create 2 in
+  let db = Catalog.Db.create () in
+  ignore
+    (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:"o" ~rows:10
+       [ Datagen.Tablegen.key_column "k" ~rows:10 ]);
+  ignore
+    (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:"i"
+       ~rows:5000
+       [ Datagen.Tablegen.column "k" ~distinct:1000 ]);
+  let pred = Query.Predicate.col_eq (c "o" "k") (c "i" "k") in
+  let work method_ =
+    let plan =
+      Exec.Plan.Join
+        {
+          method_;
+          outer = Exec.Plan.scan ~filters:[] "o";
+          inner = Exec.Plan.scan ~filters:[] "i";
+          predicates = [ pred ];
+        }
+    in
+    let rows, counters, _ = Exec.Executor.count db plan in
+    (rows, Exec.Counters.total_work counters)
+  in
+  let nl_rows, nl_work = work Exec.Plan.Nested_loop in
+  let inl_rows, inl_work = work Exec.Plan.Index_nested_loop in
+  Alcotest.(check int) "same result" nl_rows inl_rows;
+  Alcotest.(check bool) "INL cheaper" true (inl_work * 4 < nl_work)
+
+let test_inl_requires_base_inner () =
+  let db = Datagen.Section8.build ~scale:100 ~seed:1 () in
+  let bad_plan =
+    Exec.Plan.Join
+      {
+        method_ = Exec.Plan.Index_nested_loop;
+        outer = Exec.Plan.scan ~filters:[] "s";
+        inner =
+          Exec.Plan.Join
+            {
+              method_ = Exec.Plan.Hash;
+              outer = Exec.Plan.scan ~filters:[] "m";
+              inner = Exec.Plan.scan ~filters:[] "b";
+              predicates =
+                [ Query.Predicate.col_eq (c "m" "m") (c "b" "b") ];
+            };
+        predicates = [ Query.Predicate.col_eq (c "s" "s") (c "m" "m") ];
+      }
+  in
+  Alcotest.(check bool) "composite inner rejected" true
+    (match Exec.Executor.count db bad_plan with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_dp_uses_inl_when_cheap () =
+  (* A very selective outer joined to a large inner: with correct (ELS)
+     estimates the enumerator should prefer an index access path over
+     scanning methods when all are allowed. *)
+  let db = Datagen.Section8.build ~scale:10 ~seed:1 () in
+  let q = Datagen.Section8.query_scaled ~scale:10 in
+  let choice =
+    Optimizer.choose
+      ~methods:
+        [
+          Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash;
+          Exec.Plan.Index_nested_loop;
+        ]
+      (Els.Config.sm ~ptc:false) db q
+  in
+  let rec methods_of = function
+    | Exec.Plan.Scan _ -> []
+    | Exec.Plan.Join { method_; outer; inner; _ } ->
+      (method_ :: methods_of outer) @ methods_of inner
+  in
+  Alcotest.(check bool) "INL chosen somewhere" true
+    (List.mem Exec.Plan.Index_nested_loop (methods_of choice.Optimizer.plan));
+  let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
+  Alcotest.(check int) "still correct" 9 rows
+
+let suite =
+  [
+    Alcotest.test_case "index: build and lookup" `Quick test_index_build_lookup;
+    Alcotest.test_case "index: null keys skipped" `Quick test_index_skips_nulls;
+    Alcotest.test_case "inl: agrees with hash join" `Quick
+      test_inl_matches_other_joins;
+    Alcotest.test_case "inl: inner filters and residuals" `Quick
+      test_inl_inner_filters_and_residual;
+    Alcotest.test_case "inl: requires a key" `Quick test_inl_requires_key;
+    Alcotest.test_case "inl: cheaper than NL on selective outer" `Quick
+      test_inl_work_less_than_nl;
+    Alcotest.test_case "inl: requires base-table inner" `Quick
+      test_inl_requires_base_inner;
+    Alcotest.test_case "dp: picks INL when estimates are honest" `Quick
+      test_dp_uses_inl_when_cheap;
+  ]

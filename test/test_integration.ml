@@ -1,0 +1,167 @@
+(* End-to-end integration tests: SQL text -> binder -> estimator ->
+   optimizer -> executor, cross-checked against reference execution. *)
+
+let all_configs =
+  [
+    Els.Config.sm ~ptc:false; Els.Config.sm ~ptc:true; Els.Config.sss;
+    Els.Config.els;
+  ]
+
+(* SQL-driven Example 1b on a stats-only catalog. *)
+let test_sql_to_estimate () =
+  let db = Helpers.example1_db () in
+  let q =
+    Sqlfront.Binder.compile_exn db
+      "SELECT * FROM r1, r2, r3 WHERE r1.x = r2.y AND r2.y = r3.z"
+  in
+  Helpers.check_float "estimate via SQL" 1000.
+    (Els.estimate Els.Config.els db q [ "r2"; "r3"; "r1" ])
+
+(* The SQL spelling of the Section 8 query binds to the same predicates as
+   the programmatic construction. *)
+let test_sql_matches_programmatic () =
+  let db = Datagen.Section8.build ~scale:50 ~seed:1 () in
+  let from_sql =
+    Sqlfront.Binder.compile_exn db
+      "SELECT COUNT(*) FROM s, m, b, g WHERE s = m AND m = b AND b = g AND s \
+       < 2"
+  in
+  let programmatic = Datagen.Section8.query_scaled ~scale:50 in
+  let canon q =
+    List.sort Query.Predicate.compare q.Query.predicates
+    |> List.map Query.Predicate.to_string
+  in
+  Alcotest.(check (list string)) "same predicates" (canon programmatic)
+    (canon from_sql)
+
+(* All four algorithms, both method repertoires: every chosen plan
+   computes the same, correct count. *)
+let test_section8_all_algorithms_all_methods () =
+  let db = Datagen.Section8.build ~scale:20 ~seed:5 () in
+  let q = Datagen.Section8.query_scaled ~scale:20 in
+  let expected = (Exec.Executor.run_query db q).Exec.Executor.row_count in
+  Alcotest.(check int) "reference" 4 expected;
+  List.iter
+    (fun methods ->
+      List.iter
+        (fun config ->
+          let choice = Optimizer.choose ~methods config db q in
+          let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
+          Alcotest.(check int)
+            (Printf.sprintf "%s with %d methods" (Els.Config.name config)
+               (List.length methods))
+            expected rows)
+        all_configs)
+    [
+      [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge ];
+      [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ];
+      [ Exec.Plan.Hash ];
+    ]
+
+(* Chain workloads: the optimizer's plan computes the reference count
+   under every estimation algorithm (plans differ, results must not). *)
+let test_chain_workloads_all_algorithms () =
+  List.iter
+    (fun seed ->
+      let spec =
+        Datagen.Workload.chain ~rows_range:(50, 200) ~distinct_range:(10, 50)
+          ~seed ~n_tables:4 ()
+      in
+      let db = spec.Datagen.Workload.db in
+      let q = spec.Datagen.Workload.query in
+      let expected = (Exec.Executor.run_query db q).Exec.Executor.row_count in
+      List.iter
+        (fun config ->
+          let choice = Optimizer.choose config db q in
+          let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d %s" seed (Els.Config.name config))
+            expected rows)
+        all_configs)
+    [ 1; 2; 3 ]
+
+let test_star_workload_all_algorithms () =
+  let spec = Datagen.Workload.star ~fact_rows:800 ~seed:6 ~n_dims:3 () in
+  let db = spec.Datagen.Workload.db in
+  let q = spec.Datagen.Workload.query in
+  let expected = (Exec.Executor.run_query db q).Exec.Executor.row_count in
+  List.iter
+    (fun config ->
+      let choice = Optimizer.choose config db q in
+      let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
+      Alcotest.(check int) (Els.Config.name config) expected rows)
+    all_configs
+
+(* A query mixing everything: local range + equality + intra-table
+   equality via closure + a join, through SQL. *)
+let test_mixed_query_end_to_end () =
+  let rng = Datagen.Prng.create 17 in
+  let db = Catalog.Db.create () in
+  ignore
+    (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:"e" ~rows:400
+       [
+         Datagen.Tablegen.column "dept" ~distinct:20;
+         Datagen.Tablegen.column "mgr" ~distinct:20;
+       ]);
+  ignore
+    (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:"d" ~rows:20
+       [ Datagen.Tablegen.key_column "id" ~rows:20 ]);
+  let q =
+    Sqlfront.Binder.compile_exn db
+      "SELECT COUNT(*) FROM e, d WHERE e.dept = d.id AND e.dept = e.mgr AND \
+       d.id <= 10"
+  in
+  let expected = (Exec.Executor.run_query db q).Exec.Executor.row_count in
+  List.iter
+    (fun config ->
+      let choice = Optimizer.choose config db q in
+      let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
+      Alcotest.(check int) (Els.Config.name config) expected rows)
+    all_configs;
+  (* ELS's estimate should be within a small factor of the truth here:
+     dept = mgr thins e by ~1/20, d.id <= 10 halves d. *)
+  let est = Els.estimate Els.Config.els db q q.Query.tables in
+  Alcotest.(check bool)
+    (Printf.sprintf "ELS in the right ballpark (est %g, true %d)" est expected)
+    true
+    (expected = 0 || (est > float_of_int expected /. 5. && est < float_of_int expected *. 5.))
+
+(* The paper's core claim end to end at reduced scale: the ELS-chosen
+   plan never does more work than the SM+PTC- or SSS-chosen plans. *)
+let test_els_never_worse () =
+  List.iter
+    (fun seed ->
+      let db = Datagen.Section8.build ~scale:20 ~seed () in
+      let q = Datagen.Section8.query_scaled ~scale:20 in
+      let work config =
+        let choice =
+          Optimizer.choose
+            ~methods:[ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge ]
+            config db q
+        in
+        let _, counters, _ = Exec.Executor.count db choice.Optimizer.plan in
+        Exec.Counters.total_work counters
+      in
+      let els = work Els.Config.els in
+      Alcotest.(check bool) "ELS <= SM+PTC" true
+        (els <= work (Els.Config.sm ~ptc:true));
+      Alcotest.(check bool) "ELS <= SSS" true (els <= work Els.Config.sss))
+    [ 1; 2; 3 ]
+
+let suite =
+  [
+    Alcotest.test_case "SQL to estimate (example 1b)" `Quick
+      test_sql_to_estimate;
+    Alcotest.test_case "SQL matches programmatic query" `Quick
+      test_sql_matches_programmatic;
+    Alcotest.test_case "section 8: all algorithms, all methods" `Quick
+      test_section8_all_algorithms_all_methods;
+    Alcotest.test_case "chain workloads: all algorithms" `Quick
+      test_chain_workloads_all_algorithms;
+    Alcotest.test_case "star workload: all algorithms" `Quick
+      test_star_workload_all_algorithms;
+    Alcotest.test_case "mixed query end to end" `Quick
+      test_mixed_query_end_to_end;
+    Alcotest.test_case "ELS plan never worse (scaled section 8)" `Quick
+      test_els_never_worse;
+  ]

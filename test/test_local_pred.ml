@@ -1,0 +1,135 @@
+(* Unit tests for combining multiple local predicates on one column
+   (Section 4 step 3 / companion report rule). *)
+
+module LP = Els.Local_pred
+
+let check_float = Helpers.check_float
+let int_ n = Rel.Value.Int n
+
+(* A column over 1..100 with 100 distinct values. *)
+let stats () =
+  Stats.Col_stats.with_bounds ~distinct:100 ~lo:(int_ 1) ~hi:(int_ 100)
+
+let test_empty () =
+  let r = LP.combine (stats ()) [] in
+  check_float "selectivity 1" 1. r.LP.selectivity;
+  Alcotest.(check bool) "unrestricted" true (r.LP.restriction = LP.Unrestricted)
+
+let test_single_equality () =
+  let r = LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 7) ] in
+  check_float "1/d" 0.01 r.LP.selectivity;
+  Alcotest.(check bool) "pinned" true (r.LP.restriction = LP.Equality (int_ 7));
+  check_float "d' = 1" 1. (LP.reduced_distinct (stats ()) r)
+
+let test_duplicate_equalities () =
+  let r = LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 7); (Rel.Cmp.Eq, int_ 7) ] in
+  check_float "duplicates do not compound" 0.01 r.LP.selectivity
+
+let test_conflicting_equalities () =
+  let r = LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 7); (Rel.Cmp.Eq, int_ 8) ] in
+  check_float "contradiction" 0. r.LP.selectivity;
+  Alcotest.(check bool) "marked" true (r.LP.restriction = LP.Contradiction);
+  check_float "d' = 0" 0. (LP.reduced_distinct (stats ()) r)
+
+let test_equality_dominates_ranges () =
+  (* x = 7 AND x < 50: the equality is the most restrictive predicate. *)
+  let r =
+    LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 7); (Rel.Cmp.Lt, int_ 50) ]
+  in
+  check_float "equality wins" 0.01 r.LP.selectivity;
+  (* x = 70 AND x < 50 is empty. *)
+  let r2 =
+    LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 70); (Rel.Cmp.Lt, int_ 50) ]
+  in
+  check_float "incompatible" 0. r2.LP.selectivity
+
+let test_equality_vs_ne () =
+  let r = LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 7); (Rel.Cmp.Ne, int_ 7) ] in
+  check_float "x=7 and x<>7 empty" 0. r.LP.selectivity;
+  let r2 = LP.combine (stats ()) [ (Rel.Cmp.Eq, int_ 7); (Rel.Cmp.Ne, int_ 9) ] in
+  check_float "x=7 and x<>9 fine" 0.01 r2.LP.selectivity
+
+let test_tightest_range_pair () =
+  (* x > 10 AND x > 30 AND x <= 80 AND x <= 90: the tightest pair is
+     (30, 80]: (80 - 30) / 100. *)
+  let r =
+    LP.combine (stats ())
+      [
+        (Rel.Cmp.Gt, int_ 10); (Rel.Cmp.Gt, int_ 30); (Rel.Cmp.Le, int_ 80);
+        (Rel.Cmp.Le, int_ 90);
+      ]
+  in
+  check_float ~eps:1e-9 "tightest pair" 0.5 r.LP.selectivity;
+  Alcotest.(check bool) "range restriction" true
+    (match r.LP.restriction with
+    | LP.Range _ -> true
+    | _ -> false)
+
+let test_tie_exclusive_wins () =
+  (* x > 10 is tighter than x >= 10. *)
+  let r =
+    LP.combine (stats ()) [ (Rel.Cmp.Ge, int_ 10); (Rel.Cmp.Gt, int_ 10) ]
+  in
+  let r_exclusive = LP.combine (stats ()) [ (Rel.Cmp.Gt, int_ 10) ] in
+  check_float "exclusive bound wins tie" r_exclusive.LP.selectivity
+    r.LP.selectivity
+
+let test_empty_interval () =
+  let r =
+    LP.combine (stats ()) [ (Rel.Cmp.Gt, int_ 80); (Rel.Cmp.Lt, int_ 20) ]
+  in
+  check_float "empty interval" 0. r.LP.selectivity;
+  (* Touching bounds: x >= 50 AND x <= 50 admits exactly one value. *)
+  let r2 =
+    LP.combine (stats ()) [ (Rel.Cmp.Ge, int_ 50); (Rel.Cmp.Le, int_ 50) ]
+  in
+  Alcotest.(check bool) "point interval nonempty" true (r2.LP.selectivity > 0.);
+  (* x > 50 AND x <= 50 is empty. *)
+  let r3 =
+    LP.combine (stats ()) [ (Rel.Cmp.Gt, int_ 50); (Rel.Cmp.Le, int_ 50) ]
+  in
+  check_float "half-open point empty" 0. r3.LP.selectivity
+
+let test_ne_within_range () =
+  (* x <= 50 AND x <> 10: the <> removes one value's worth of mass. *)
+  let r =
+    LP.combine (stats ()) [ (Rel.Cmp.Le, int_ 50); (Rel.Cmp.Ne, int_ 10) ]
+  in
+  check_float ~eps:1e-9 "range times ne" (0.5 *. 0.99) r.LP.selectivity;
+  (* x <= 50 AND x <> 90: the <> is outside the interval, no effect. *)
+  let r2 =
+    LP.combine (stats ()) [ (Rel.Cmp.Le, int_ 50); (Rel.Cmp.Ne, int_ 90) ]
+  in
+  check_float ~eps:1e-9 "ne outside ignored" 0.5 r2.LP.selectivity;
+  (* Duplicate <> counted once. *)
+  let r3 =
+    LP.combine (stats ())
+      [ (Rel.Cmp.Le, int_ 50); (Rel.Cmp.Ne, int_ 10); (Rel.Cmp.Ne, int_ 10) ]
+  in
+  check_float ~eps:1e-9 "duplicate ne once" (0.5 *. 0.99) r3.LP.selectivity
+
+let test_null_constant () =
+  let r = LP.combine (stats ()) [ (Rel.Cmp.Lt, Rel.Value.Null) ] in
+  check_float "null comparison empties" 0. r.LP.selectivity
+
+let test_reduced_distinct_range () =
+  let r = LP.combine (stats ()) [ (Rel.Cmp.Le, int_ 50) ] in
+  check_float ~eps:1e-9 "d' = d * s" 50. (LP.reduced_distinct (stats ()) r)
+
+let suite =
+  [
+    Alcotest.test_case "empty conjunction" `Quick test_empty;
+    Alcotest.test_case "single equality" `Quick test_single_equality;
+    Alcotest.test_case "duplicate equalities" `Quick test_duplicate_equalities;
+    Alcotest.test_case "conflicting equalities" `Quick
+      test_conflicting_equalities;
+    Alcotest.test_case "equality dominates ranges" `Quick
+      test_equality_dominates_ranges;
+    Alcotest.test_case "equality vs <>" `Quick test_equality_vs_ne;
+    Alcotest.test_case "tightest range pair" `Quick test_tightest_range_pair;
+    Alcotest.test_case "exclusive wins ties" `Quick test_tie_exclusive_wins;
+    Alcotest.test_case "empty intervals" `Quick test_empty_interval;
+    Alcotest.test_case "<> within range" `Quick test_ne_within_range;
+    Alcotest.test_case "null constants" `Quick test_null_constant;
+    Alcotest.test_case "reduced distinct" `Quick test_reduced_distinct_range;
+  ]

@@ -1,0 +1,115 @@
+(* Unit tests for most-common-value sketches and skew-aware equality
+   selectivities. *)
+
+let int_ n = Rel.Value.Int n
+let check_float = Helpers.check_float
+
+(* 60% value 1, 30% value 2, 10% spread over 3..12 (1% each). *)
+let skewed_values () =
+  Array.init 1000 (fun i ->
+      if i < 600 then int_ 1
+      else if i < 900 then int_ 2
+      else int_ (3 + (i mod 10)))
+
+let test_build_ranks () =
+  let mcv = Option.get (Stats.Mcv.build ~k:2 (skewed_values ())) in
+  Alcotest.(check int) "tracked" 2 (Stats.Mcv.tracked_count mcv);
+  match Stats.Mcv.entries mcv with
+  | [ e1; e2 ] ->
+    Alcotest.(check bool) "rank 1 is value 1" true
+      (Rel.Value.equal e1.Stats.Mcv.value (int_ 1));
+    check_float ~eps:1e-9 "fraction 1" 0.6 e1.Stats.Mcv.fraction;
+    Alcotest.(check bool) "rank 2 is value 2" true
+      (Rel.Value.equal e2.Stats.Mcv.value (int_ 2));
+    check_float ~eps:1e-9 "fraction 2" 0.3 e2.Stats.Mcv.fraction;
+    check_float ~eps:1e-9 "covered" 0.9 (Stats.Mcv.covered_fraction mcv)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_lookup_and_remainder () =
+  let mcv = Option.get (Stats.Mcv.build ~k:2 (skewed_values ())) in
+  Alcotest.(check (option (float 1e-9))) "tracked lookup" (Some 0.6)
+    (Stats.Mcv.lookup mcv (int_ 1));
+  Alcotest.(check (option (float 1e-9))) "untracked lookup" None
+    (Stats.Mcv.lookup mcv (int_ 7));
+  (* 12 distinct, 2 tracked: remaining 10% over 10 values = 1% each. *)
+  check_float ~eps:1e-9 "remainder" 0.01
+    (Stats.Mcv.remainder_eq_selectivity mcv ~distinct:12)
+
+let test_full_coverage () =
+  let values = Array.init 100 (fun i -> int_ (i mod 3)) in
+  let mcv = Option.get (Stats.Mcv.build ~k:10 values) in
+  Alcotest.(check int) "only 3 values tracked" 3 (Stats.Mcv.tracked_count mcv);
+  check_float ~eps:1e-9 "fully covered" 1. (Stats.Mcv.covered_fraction mcv);
+  check_float "remainder zero" 0.
+    (Stats.Mcv.remainder_eq_selectivity mcv ~distinct:3)
+
+let test_edge_cases () =
+  Alcotest.(check bool) "all-null column" true
+    (Stats.Mcv.build ~k:3 [| Rel.Value.Null; Rel.Value.Null |] = None);
+  Alcotest.(check bool) "empty column" true (Stats.Mcv.build ~k:3 [||] = None);
+  Alcotest.(check bool) "k < 1 rejected" true
+    (match Stats.Mcv.build ~k:0 [| int_ 1 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* Nulls are excluded from fractions. *)
+  let mcv =
+    Option.get (Stats.Mcv.build ~k:1 [| int_ 5; Rel.Value.Null; int_ 5 |])
+  in
+  check_float ~eps:1e-9 "null-free fraction" 1.
+    (Stats.Mcv.covered_fraction mcv)
+
+let test_selectivity_integration () =
+  let stats = Stats.Col_stats.of_values ~mcv:2 (skewed_values ()) in
+  Alcotest.(check bool) "sketch recorded" true (stats.Stats.Col_stats.mcv <> None);
+  check_float ~eps:1e-9 "tracked equality exact" 0.6
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Eq (int_ 1));
+  check_float ~eps:1e-9 "untracked equality via remainder" 0.01
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Eq (int_ 7));
+  check_float ~eps:1e-9 "ne complements" 0.4
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Ne (int_ 1));
+  (* Without the sketch the uniform rule is badly off on the head value. *)
+  let uniform = Stats.Col_stats.of_values (skewed_values ()) in
+  check_float ~eps:1e-9 "uniform rule on skew" (1. /. 12.)
+    (Stats.Selectivity_est.comparison uniform Rel.Cmp.Eq (int_ 1))
+
+let test_mcv_beats_histogram_for_equality () =
+  (* With both statistics present, equality uses the sketch. *)
+  let stats =
+    Stats.Col_stats.of_values ~histogram:Stats.Histogram.Equi_depth ~mcv:2
+      (skewed_values ())
+  in
+  check_float ~eps:1e-9 "sketch wins" 0.6
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Eq (int_ 1));
+  (* Range predicates still use the histogram. *)
+  let range = Stats.Selectivity_est.comparison stats Rel.Cmp.Le (int_ 2) in
+  Alcotest.(check bool) "range from histogram" true
+    (Float.abs (range -. 0.9) < 0.05)
+
+let test_skew_experiment_shape () =
+  let points =
+    Harness.Skew_accuracy.run ~rows:5000 ~distinct:200 ~mcv_entries:20
+      ~ranks:[ 1; 5; 100 ] ()
+  in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  let head = List.hd points in
+  (* MCV is exact on the head value; the uniform rule is far off. *)
+  check_float ~eps:1e-6 "mcv exact on head"
+    (float_of_int head.Harness.Skew_accuracy.true_rows)
+    head.Harness.Skew_accuracy.mcv_est;
+  Alcotest.(check bool) "uniform far off" true
+    (head.Harness.Skew_accuracy.uniform_est
+    < float_of_int head.Harness.Skew_accuracy.true_rows /. 5.)
+
+let suite =
+  [
+    Alcotest.test_case "build ranks" `Quick test_build_ranks;
+    Alcotest.test_case "lookup and remainder" `Quick test_lookup_and_remainder;
+    Alcotest.test_case "full coverage" `Quick test_full_coverage;
+    Alcotest.test_case "edge cases" `Quick test_edge_cases;
+    Alcotest.test_case "selectivity integration" `Quick
+      test_selectivity_integration;
+    Alcotest.test_case "mcv vs histogram precedence" `Quick
+      test_mcv_beats_histogram_for_equality;
+    Alcotest.test_case "skew experiment shape" `Quick
+      test_skew_experiment_shape;
+  ]

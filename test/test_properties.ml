@@ -1,0 +1,482 @@
+(* Property-based tests (qcheck, registered through qcheck-alcotest).
+
+   The centerpiece is the testable content of the paper's correctness
+   proof for Rule LS: on data satisfying the uniformity and containment
+   assumptions exactly, the incremental LS estimate equals Equation 3 and
+   equals the executed true size, for every join order. *)
+
+let count = 100
+
+(* --- generators --- *)
+
+(* A single-equivalence-class chain: n tables, table i has distinct count
+   d_i and every value appears exactly m_i times (rows = d_i * m_i), with
+   domains 1..d_i (containment holds exactly). *)
+type chain_spec = {
+  dims : (int * int) list; (* (distinct, multiplicity) per table *)
+  seed : int;
+}
+
+let gen_chain_spec =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* dims = list_repeat n (pair (int_range 2 12) (int_range 1 5)) in
+    let* seed = int_range 0 10000 in
+    return { dims; seed })
+
+let print_chain_spec spec =
+  Printf.sprintf "seed=%d dims=[%s]" spec.seed
+    (String.concat "; "
+       (List.map (fun (d, m) -> Printf.sprintf "(%d,%d)" d m) spec.dims))
+
+let build_chain spec =
+  let rng = Datagen.Prng.create spec.seed in
+  let db = Catalog.Db.create () in
+  let names = List.mapi (fun i _ -> Printf.sprintf "t%d" (i + 1)) spec.dims in
+  List.iter2
+    (fun name (distinct, mult) ->
+      ignore
+        (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:name
+           ~rows:(distinct * mult)
+           [ Datagen.Tablegen.column "a" ~distinct ]))
+    names spec.dims;
+  let rec links = function
+    | a :: (b :: _ as rest) ->
+      Query.Predicate.col_eq (Query.Cref.v a "a") (Query.Cref.v b "a")
+      :: links rest
+    | [ _ ] | [] -> []
+  in
+  (db, Query.make ~tables:names (links names), names)
+
+let equation3 spec =
+  let ds = List.map fst spec.dims in
+  let d_min = List.fold_left min max_int ds in
+  let rows = List.fold_left (fun acc (d, m) -> acc *. float_of_int (d * m)) 1. spec.dims in
+  let denom =
+    (* all distinct counts except one occurrence of the smallest *)
+    let prod = List.fold_left (fun acc d -> acc *. float_of_int d) 1. ds in
+    prod /. float_of_int d_min
+  in
+  rows /. denom
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let close a b =
+  Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+(* Theorem (Section 7): Rule LS agrees with Equation 3 and with the true
+   size, for every join order. *)
+let prop_ls_equals_truth =
+  QCheck2.Test.make ~count ~name:"LS = Equation 3 = executed size (all orders)"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      let eq3 = equation3 spec in
+      let truth =
+        float_of_int
+          (Exec.Executor.run_query db query).Exec.Executor.row_count
+      in
+      let profile = Els.prepare Els.Config.els db query in
+      close eq3 truth
+      && List.for_all
+           (fun order -> close (Els.Incremental.final_size profile order) eq3)
+           (permutations names))
+
+(* Bushy generalization of the theorem: every binary bracketing of the
+   tables (built with join_states) yields the Equation 3 size under LS. *)
+let rec bracketings profile = function
+  | [] -> []
+  | [ t ] -> [ Els.Incremental.start profile t ]
+  | tables ->
+    (* Split at each point; to bound the blow-up only the first two split
+       positions are explored per level. *)
+    let n = List.length tables in
+    List.concat_map
+      (fun k ->
+        let left = List.filteri (fun i _ -> i < k) tables in
+        let right = List.filteri (fun i _ -> i >= k) tables in
+        List.concat_map
+          (fun ls ->
+            List.map
+              (fun rs -> Els.Incremental.join_states profile ls rs)
+              (bracketings profile right))
+          (bracketings profile left))
+      (List.filteri (fun i _ -> i < 2) (List.init (n - 1) (fun i -> i + 1)))
+
+let prop_ls_bushy =
+  QCheck2.Test.make ~count:60 ~name:"LS bushy bracketings = Equation 3"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      let eq3 = equation3 spec in
+      let profile = Els.prepare Els.Config.els db query in
+      List.for_all
+        (fun st -> close st.Els.Incremental.size eq3)
+        (bracketings profile names))
+
+(* Rule M's and Rule SS's estimates never exceed Rule LS's. *)
+let prop_rule_ordering =
+  QCheck2.Test.make ~count ~name:"est_M <= est_SS <= est_LS"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      let est config =
+        Els.estimate config db query names
+      in
+      let m = est (Els.Config.sm ~ptc:true)
+      and ss = est Els.Config.sss
+      and ls = est Els.Config.els in
+      m <= ss +. 1e-9 && ss <= ls +. 1e-9)
+
+(* Closure soundness: every derived predicate holds on every tuple of the
+   executed join result. *)
+let prop_closure_sound =
+  QCheck2.Test.make ~count:40 ~name:"closure is sound on executed data"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, _ = build_chain spec in
+      let closed = Els.Closure.close_query query in
+      let result = Exec.Executor.run_query db query in
+      let schema = Rel.Relation.schema result.Exec.Executor.relation in
+      List.for_all
+        (fun p ->
+          let holds = Query.Eval.compile schema p in
+          Rel.Relation.fold
+            (fun acc tuple -> acc && holds tuple)
+            true result.Exec.Executor.relation)
+        closed.Query.predicates)
+
+(* The three join algorithms produce identical multisets of rows. *)
+let gen_join_inputs =
+  QCheck2.Gen.(
+    let value = int_range 1 8 in
+    let* left = list_size (int_range 0 30) value in
+    let* right = list_size (int_range 0 30) value in
+    return (left, right))
+
+let prop_join_methods_agree =
+  QCheck2.Test.make ~count ~name:"NL = HJ = SMJ on random bags"
+    ~print:(fun (l, r) ->
+      Printf.sprintf "left=[%s] right=[%s]"
+        (String.concat ";" (List.map string_of_int l))
+        (String.concat ";" (List.map string_of_int r)))
+    gen_join_inputs
+    (fun (left, right) ->
+      let rel table vals =
+        Rel.Relation.of_tuples
+          (Rel.Schema.make
+             [ Rel.Schema.column ~table ~name:"a" Rel.Value.Ty_int ])
+          (List.map (fun v -> [| Rel.Value.Int v |]) vals)
+      in
+      let r = rel "r" left and s = rel "s" right in
+      let pred =
+        Query.Predicate.col_eq (Query.Cref.v "r" "a") (Query.Cref.v "s" "a")
+      in
+      let rows op =
+        List.sort compare
+          (List.map Array.to_list
+             (Rel.Relation.to_list (Exec.Operator.to_relation op)))
+      in
+      let counters = Exec.Counters.create () in
+      let nl =
+        rows
+          (Exec.Nested_loop.join counters [ pred ]
+             ~outer:(Exec.Operator.of_relation r)
+             ~make_inner:(fun () -> Exec.Operator.of_relation s))
+      in
+      let hj =
+        rows
+          (Exec.Hash_join.join counters [ pred ]
+             ~outer:(Exec.Operator.of_relation r)
+             ~inner:(Exec.Operator.of_relation s))
+      in
+      let sm =
+        rows
+          (Exec.Sort_merge.join counters [ pred ]
+             ~outer:(Exec.Operator.of_relation r)
+             ~inner:(Exec.Operator.of_relation s))
+      in
+      nl = hj && hj = sm)
+
+(* Urn model bounds: 0 <= E <= min(urns, balls), and monotonicity. *)
+let prop_urn_bounds =
+  QCheck2.Test.make ~count:500 ~name:"urn: 0 <= E <= min(n, k), monotone"
+    ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (n, k) ->
+      let e = Stats.Urn.expected_distinct ~urns:(float_of_int n) ~balls:(float_of_int k) in
+      let e_fewer =
+        Stats.Urn.expected_distinct ~urns:(float_of_int n)
+          ~balls:(float_of_int (max 1 (k / 2)))
+      in
+      e >= 0.
+      && e <= float_of_int (min n k) +. 1e-6
+      && e_fewer <= e +. 1e-9)
+
+(* Selectivity estimates always land in [0, 1]. *)
+let gen_sel_case =
+  QCheck2.Gen.(
+    let* d = int_range 1 1000 in
+    let* lo = int_range (-100) 100 in
+    let* width = int_range 0 1000 in
+    let* c = int_range (-300) 1300 in
+    let* op = oneofl Rel.Cmp.[ Eq; Ne; Lt; Le; Gt; Ge ] in
+    return (d, lo, lo + width, c, op))
+
+let prop_selectivity_in_unit =
+  QCheck2.Test.make ~count:500 ~name:"selectivity estimates in [0,1]"
+    ~print:(fun (d, lo, hi, c, op) ->
+      Printf.sprintf "d=%d lo=%d hi=%d c=%d op=%s" d lo hi c
+        (Rel.Cmp.to_string op))
+    gen_sel_case
+    (fun (d, lo, hi, c, op) ->
+      let stats =
+        Stats.Col_stats.with_bounds ~distinct:d ~lo:(Rel.Value.Int lo)
+          ~hi:(Rel.Value.Int hi)
+      in
+      let s = Stats.Selectivity_est.comparison stats op (Rel.Value.Int c) in
+      s >= 0. && s <= 1.)
+
+(* Combining local predicates never yields a selectivity outside [0,1],
+   and adding predicates never increases it. *)
+let gen_local_preds =
+  QCheck2.Gen.(
+    list_size (int_range 1 5)
+      (pair (oneofl Rel.Cmp.[ Eq; Ne; Lt; Le; Gt; Ge ]) (int_range 1 100)))
+
+let prop_combine_monotone =
+  QCheck2.Test.make ~count:500
+    ~name:"local predicate combination: bounded and monotone"
+    ~print:(fun preds ->
+      String.concat " AND "
+        (List.map
+           (fun (op, c) -> Printf.sprintf "x %s %d" (Rel.Cmp.to_string op) c)
+           preds))
+    gen_local_preds
+    (fun preds ->
+      let stats =
+        Stats.Col_stats.with_bounds ~distinct:100 ~lo:(Rel.Value.Int 1)
+          ~hi:(Rel.Value.Int 100)
+      in
+      let preds = List.map (fun (op, c) -> (op, Rel.Value.Int c)) preds in
+      let combined = Els.Local_pred.combine stats preds in
+      let s = combined.Els.Local_pred.selectivity in
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | p :: rest -> List.rev acc :: prefixes (p :: acc) rest
+      in
+      let monotone =
+        List.for_all
+          (fun prefix ->
+            (Els.Local_pred.combine stats prefix).Els.Local_pred.selectivity
+            >= s -. 1e-9)
+          (prefixes [] preds)
+      in
+      s >= 0. && s <= 1. && monotone)
+
+(* Closure is idempotent and only grows the predicate set. *)
+let gen_predicates =
+  QCheck2.Gen.(
+    let cref =
+      let* t = int_range 1 3 in
+      let* c = int_range 1 3 in
+      return (Query.Cref.v (Printf.sprintf "t%d" t) (Printf.sprintf "c%d" c))
+    in
+    list_size (int_range 1 6)
+      (oneof
+         [
+           (let* a = cref in
+            let* b = cref in
+            return
+              (if Query.Cref.equal a b then
+                 Query.Predicate.cmp a Rel.Cmp.Eq (Rel.Value.Int 1)
+               else Query.Predicate.col_eq a b));
+           (let* a = cref in
+            let* op = oneofl Rel.Cmp.[ Eq; Lt; Gt ] in
+            let* c = int_range 1 50 in
+            return (Query.Predicate.cmp a op (Rel.Value.Int c)));
+         ]))
+
+let prop_closure_idempotent =
+  QCheck2.Test.make ~count:300 ~name:"closure idempotent and extensive"
+    ~print:(fun preds ->
+      String.concat " AND " (List.map Query.Predicate.to_string preds))
+    gen_predicates
+    (fun preds ->
+      let once = (Els.Closure.compute preds).Els.Closure.predicates in
+      let twice = (Els.Closure.compute once).Els.Closure.predicates in
+      let module PS = Query.Predicate.Set in
+      PS.equal (PS.of_list once) (PS.of_list twice)
+      && PS.subset (PS.of_list preds) (PS.of_list once))
+
+(* Prng.shuffle produces a permutation. *)
+let prop_shuffle_permutes =
+  QCheck2.Test.make ~count:200 ~name:"shuffle is a permutation"
+    ~print:(fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 200))
+    (fun (seed, n) ->
+      let rng = Datagen.Prng.create seed in
+      let arr = Array.init n Fun.id in
+      Datagen.Prng.shuffle rng arr;
+      let sorted = Array.copy arr in
+      Array.sort Int.compare sorted;
+      sorted = Array.init n Fun.id)
+
+(* CSV round-trip: relations of ints, floats, bools, non-numeric strings
+   and NULLs survive to_string / relation_of_string unchanged. *)
+let gen_csv_relation =
+  QCheck2.Gen.(
+    let value ty =
+      let* null = int_range 0 9 in
+      if null = 0 then return Rel.Value.Null
+      else
+        match ty with
+        | `I ->
+          let* n = int_range (-1000) 1000 in
+          return (Rel.Value.Int n)
+        | `B ->
+          let* b = bool in
+          return (Rel.Value.Bool b)
+        | `S ->
+          (* Strings that cannot be mistaken for numbers or booleans,
+             exercising quoting. *)
+          let* tag = int_range 0 999 in
+          let* tricky = oneofl [ ""; ","; "\""; "\n"; "x y" ] in
+          return (Rel.Value.String (Printf.sprintf "s%d%s" tag tricky))
+    in
+    let* tys = list_size (int_range 1 4) (oneofl [ `I; `B; `S ]) in
+    let* rows = list_size (int_range 0 20) (flatten_l (List.map value tys)) in
+    return (tys, rows))
+
+let prop_csv_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"CSV round-trip"
+    ~print:(fun (tys, rows) ->
+      Printf.sprintf "%d cols, %d rows" (List.length tys) (List.length rows))
+    gen_csv_relation
+    (fun (tys, rows) ->
+      let schema =
+        Rel.Schema.make
+          (List.mapi
+             (fun i ty ->
+               Rel.Schema.column ~table:"t"
+                 ~name:(Printf.sprintf "c%d" i)
+                 (match ty with
+                 | `I -> Rel.Value.Ty_int
+                 | `B -> Rel.Value.Ty_bool
+                 | `S -> Rel.Value.Ty_string))
+             tys)
+      in
+      let rel =
+        Rel.Relation.of_tuples schema (List.map Array.of_list rows)
+      in
+      let back =
+        Rel.Csv.relation_of_string ~table:"t" (Rel.Csv.to_string rel)
+      in
+      Rel.Relation.cardinality back = Rel.Relation.cardinality rel
+      && List.for_all2 Rel.Tuple.equal (Rel.Relation.to_list rel)
+           (Rel.Relation.to_list back))
+
+(* Profile invariants on random chain queries with a local predicate:
+   effective rows and cardinalities are bounded by their base values, and
+   every rule's estimate is bounded by the filtered cartesian product. *)
+let gen_profiled_spec =
+  QCheck2.Gen.(
+    let* spec = gen_chain_spec in
+    let* cutoff = int_range 1 12 in
+    return (spec, cutoff))
+
+let prop_profile_invariants =
+  QCheck2.Test.make ~count:200 ~name:"profile invariants"
+    ~print:(fun (spec, cutoff) ->
+      Printf.sprintf "%s cutoff=%d" (print_chain_spec spec) cutoff)
+    gen_profiled_spec
+    (fun (spec, cutoff) ->
+      let db, query, names = build_chain spec in
+      let query =
+        Query.with_predicates query
+          (Query.Predicate.cmp
+             (Query.Cref.v (List.hd names) "a")
+             Rel.Cmp.Le (Rel.Value.Int cutoff)
+          :: query.Query.predicates)
+      in
+      List.for_all
+        (fun config ->
+          let profile = Els.prepare config db query in
+          let tables_ok =
+            List.for_all
+              (fun name ->
+                let tp = Els.Profile.table profile name in
+                tp.Els.Profile.rows >= 0.
+                && tp.Els.Profile.rows <= tp.Els.Profile.base_rows +. 1e-9
+                && Query.Cref.Map.for_all
+                     (fun _ col ->
+                       col.Els.Profile.join_distinct >= 0.
+                       && col.Els.Profile.join_distinct
+                          <= col.Els.Profile.base_distinct +. 1e-9)
+                     tp.Els.Profile.columns)
+              names
+          in
+          let cartesian_bound =
+            List.fold_left
+              (fun acc name ->
+                acc *. (Els.Profile.table profile name).Els.Profile.rows)
+              1. names
+          in
+          tables_ok
+          && Els.Incremental.final_size profile names
+             <= cartesian_bound +. 1e-6)
+        [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
+
+(* Cost model sanity: each join cost is monotone in the outer cardinality
+   and non-negative. *)
+let prop_cost_monotone =
+  QCheck2.Test.make ~count:300 ~name:"join costs monotone in outer rows"
+    ~print:(fun (o, i, r) -> Printf.sprintf "o=%g i=%g r=%g" o i r)
+    QCheck2.Gen.(
+      let pos = map float_of_int (int_range 0 100000) in
+      triple pos pos pos)
+    (fun (o, i, r) ->
+      let r = Float.min r i in
+      let bigger = o +. 17. in
+      let checks =
+        [
+          ( Optimizer.Cost.nested_loop ~outer_rows:o ~inner_base_rows:i
+              ~out_rows:0.,
+            Optimizer.Cost.nested_loop ~outer_rows:bigger ~inner_base_rows:i
+              ~out_rows:0. );
+          ( Optimizer.Cost.sort_merge ~outer_rows:o ~inner_base_rows:i
+              ~inner_rows:r ~out_rows:0.,
+            Optimizer.Cost.sort_merge ~outer_rows:bigger ~inner_base_rows:i
+              ~inner_rows:r ~out_rows:0. );
+          ( Optimizer.Cost.hash ~outer_rows:o ~inner_base_rows:i ~inner_rows:r
+              ~out_rows:0.,
+            Optimizer.Cost.hash ~outer_rows:bigger ~inner_base_rows:i
+              ~inner_rows:r ~out_rows:0. );
+          ( Optimizer.Cost.index_nested_loop ~outer_rows:o ~inner_base_rows:i
+              ~out_rows:0.,
+            Optimizer.Cost.index_nested_loop ~outer_rows:bigger
+              ~inner_base_rows:i ~out_rows:0. );
+        ]
+      in
+      List.for_all (fun (small, big) -> small >= 0. && small <= big +. 1e-9) checks)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_ls_equals_truth;
+      prop_rule_ordering;
+      prop_closure_sound;
+      prop_join_methods_agree;
+      prop_urn_bounds;
+      prop_selectivity_in_unit;
+      prop_combine_monotone;
+      prop_closure_idempotent;
+      prop_shuffle_permutes;
+      prop_csv_roundtrip;
+      prop_profile_invariants;
+      prop_cost_monotone;
+      prop_ls_bushy;
+    ]

@@ -1,0 +1,158 @@
+(* Unit tests for the typed query IR: column refs, predicates, queries,
+   predicate evaluation. *)
+
+module P = Query.Predicate
+
+let x = Query.Cref.v "r1" "x"
+let y = Query.Cref.v "r2" "y"
+let w = Query.Cref.v "r2" "w"
+
+(* --- Cref --- *)
+
+let test_cref () =
+  Alcotest.(check string) "lower-cased" "r1.x"
+    (Query.Cref.to_string (Query.Cref.v "R1" "X"));
+  Alcotest.(check bool) "equal" true (Query.Cref.equal x (Query.Cref.v "r1" "x"));
+  Alcotest.(check bool) "same_table" true (Query.Cref.same_table y w);
+  Alcotest.(check bool) "different tables" false (Query.Cref.same_table x y);
+  Alcotest.(check int) "set of refs" 2
+    (Query.Cref.Set.cardinal (Query.Cref.Set.of_list [ x; y; x ]))
+
+(* --- Predicate --- *)
+
+let test_predicate_canonical () =
+  let p1 = P.col_eq x y and p2 = P.col_eq y x in
+  Alcotest.(check bool) "orientation canonical" true (P.equal p1 p2);
+  Alcotest.(check int) "set dedups" 1
+    (P.Set.cardinal (P.Set.of_list [ p1; p2 ]));
+  Alcotest.check_raises "self equality rejected"
+    (Invalid_argument "Predicate.col_eq: column equated with itself")
+    (fun () -> ignore (P.col_eq x x))
+
+let test_predicate_classification () =
+  Alcotest.(check bool) "cross-table is join" true (P.is_join (P.col_eq x y));
+  Alcotest.(check bool) "same-table is local" true (P.is_local (P.col_eq y w));
+  Alcotest.(check bool) "cmp is local" true
+    (P.is_local (P.cmp x Rel.Cmp.Lt (Rel.Value.Int 5)));
+  Alcotest.(check (list string)) "tables of join" [ "r1"; "r2" ]
+    (P.tables (P.col_eq x y));
+  Alcotest.(check (list string)) "tables of local" [ "r2" ]
+    (P.tables (P.col_eq y w))
+
+let test_predicate_references () =
+  let p = P.col_eq x y in
+  Alcotest.(check bool) "covered" true (P.references_only [ "r1"; "r2" ] p);
+  Alcotest.(check bool) "not covered" false (P.references_only [ "r1" ] p);
+  Alcotest.(check string) "to_string" "r1.x = r2.y" (P.to_string p);
+  Alcotest.(check string) "cmp to_string" "r1.x < 5"
+    (P.to_string (P.cmp x Rel.Cmp.Lt (Rel.Value.Int 5)))
+
+(* --- Query --- *)
+
+let test_query_validation () =
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "Query.make: duplicate table in FROM") (fun () ->
+      ignore (Query.make ~tables:[ "a"; "a" ] []));
+  Alcotest.(check bool) "unknown table in predicate" true
+    (match Query.make ~tables:[ "r1" ] [ P.col_eq x y ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "unknown projected column" true
+    (match
+       Query.make ~projection:(Query.Columns [ y ]) ~tables:[ "r1" ] []
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_query_partitions () =
+  let q =
+    Query.make ~tables:[ "r1"; "r2" ]
+      [
+        P.col_eq x y;
+        P.col_eq y w;
+        P.cmp x Rel.Cmp.Gt (Rel.Value.Int 0);
+      ]
+  in
+  Alcotest.(check int) "join preds" 1 (List.length (Query.join_predicates q));
+  Alcotest.(check int) "local preds" 2 (List.length (Query.local_predicates q));
+  Alcotest.(check int) "locals on r2" 1
+    (List.length (Query.predicates_on_table q "r2"));
+  Alcotest.(check int) "locals on r1" 1
+    (List.length (Query.predicates_on_table q "r1"));
+  let q2 = Query.with_predicates q [] in
+  Alcotest.(check int) "with_predicates" 0 (List.length q2.Query.predicates)
+
+let test_query_to_string () =
+  let q =
+    Query.make ~projection:Query.Count_star ~tables:[ "r1"; "r2" ]
+      [ P.col_eq x y ]
+  in
+  Alcotest.(check string) "rendering"
+    "SELECT COUNT(*) FROM r1, r2 WHERE r1.x = r2.y" (Query.to_string q)
+
+(* --- Eval --- *)
+
+let eval_schema =
+  Rel.Schema.make
+    [
+      Rel.Schema.column ~table:"r1" ~name:"x" Rel.Value.Ty_int;
+      Rel.Schema.column ~table:"r2" ~name:"y" Rel.Value.Ty_int;
+    ]
+
+let tup a b = Rel.Tuple.of_list [ a; b ]
+
+let test_eval_col_eq () =
+  let p = P.col_eq x y in
+  let holds = Query.Eval.compile eval_schema p in
+  Alcotest.(check bool) "equal values" true
+    (holds (tup (Rel.Value.Int 3) (Rel.Value.Int 3)));
+  Alcotest.(check bool) "unequal" false
+    (holds (tup (Rel.Value.Int 3) (Rel.Value.Int 4)));
+  Alcotest.(check bool) "null never matches" false
+    (holds (tup Rel.Value.Null Rel.Value.Null))
+
+let test_eval_cmp () =
+  let p = P.cmp x Rel.Cmp.Le (Rel.Value.Int 10) in
+  let holds = Query.Eval.compile eval_schema p in
+  Alcotest.(check bool) "10 <= 10" true
+    (holds (tup (Rel.Value.Int 10) Rel.Value.Null));
+  Alcotest.(check bool) "11 > 10" false
+    (holds (tup (Rel.Value.Int 11) Rel.Value.Null));
+  Alcotest.(check bool) "null fails" false
+    (holds (tup Rel.Value.Null Rel.Value.Null))
+
+let test_eval_all_and_errors () =
+  let conj =
+    Query.Eval.compile_all eval_schema
+      [ P.cmp x Rel.Cmp.Gt (Rel.Value.Int 0); P.col_eq x y ]
+  in
+  Alcotest.(check bool) "conjunction holds" true
+    (conj (tup (Rel.Value.Int 2) (Rel.Value.Int 2)));
+  Alcotest.(check bool) "conjunction fails" false
+    (conj (tup (Rel.Value.Int 0) (Rel.Value.Int 0)));
+  Alcotest.(check bool) "empty conjunction true" true
+    ((Query.Eval.compile_all eval_schema []) (tup Rel.Value.Null Rel.Value.Null));
+  Alcotest.(check bool) "missing column rejected" true
+    (match
+       Query.Eval.compile eval_schema (P.col_eq x (Query.Cref.v "zz" "q"))
+         (tup Rel.Value.Null Rel.Value.Null)
+     with
+    | exception Invalid_argument _ -> true
+    | (_ : bool) -> false)
+
+let suite =
+  [
+    Alcotest.test_case "cref: basics" `Quick test_cref;
+    Alcotest.test_case "predicate: canonical form" `Quick
+      test_predicate_canonical;
+    Alcotest.test_case "predicate: join/local" `Quick
+      test_predicate_classification;
+    Alcotest.test_case "predicate: references" `Quick test_predicate_references;
+    Alcotest.test_case "query: validation" `Quick test_query_validation;
+    Alcotest.test_case "query: partitions" `Quick test_query_partitions;
+    Alcotest.test_case "query: rendering" `Quick test_query_to_string;
+    Alcotest.test_case "eval: column equality" `Quick test_eval_col_eq;
+    Alcotest.test_case "eval: comparison" `Quick test_eval_cmp;
+    Alcotest.test_case "eval: conjunction and errors" `Quick
+      test_eval_all_and_errors;
+  ]

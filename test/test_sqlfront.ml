@@ -1,0 +1,213 @@
+(* Unit tests for the SQL front end: lexer, parser, binder. *)
+
+let tokens_exn input =
+  match Sqlfront.Lexer.tokenize input with
+  | Ok toks -> toks
+  | Error e -> Alcotest.fail (Sqlfront.Lexer.error_to_string e)
+
+(* --- Lexer --- *)
+
+let test_lexer_basics () =
+  let toks = tokens_exn "SELECT * FROM t WHERE a = 1;" in
+  Alcotest.(check int) "token count" 10 (List.length toks);
+  Alcotest.(check bool) "keywords case-insensitive" true
+    (List.hd (tokens_exn "select") = Sqlfront.Token.Kw_select);
+  Alcotest.(check bool) "identifiers lower-cased" true
+    (List.hd (tokens_exn "MyTable") = Sqlfront.Token.Ident "mytable")
+
+let test_lexer_literals () =
+  Alcotest.(check bool) "int" true
+    (List.hd (tokens_exn "42") = Sqlfront.Token.Int_lit 42);
+  Alcotest.(check bool) "float" true
+    (List.hd (tokens_exn "2.5") = Sqlfront.Token.Float_lit 2.5);
+  Alcotest.(check bool) "exponent" true
+    (List.hd (tokens_exn "1e3") = Sqlfront.Token.Float_lit 1000.);
+  Alcotest.(check bool) "string" true
+    (List.hd (tokens_exn "'hi'") = Sqlfront.Token.String_lit "hi");
+  Alcotest.(check bool) "escaped quote" true
+    (List.hd (tokens_exn "'it''s'") = Sqlfront.Token.String_lit "it's")
+
+let test_lexer_operators () =
+  let ops input expected =
+    Alcotest.(check bool) input true
+      (List.hd (tokens_exn input) = Sqlfront.Token.Op expected)
+  in
+  ops "=" Rel.Cmp.Eq;
+  ops "<" Rel.Cmp.Lt;
+  ops "<=" Rel.Cmp.Le;
+  ops ">" Rel.Cmp.Gt;
+  ops ">=" Rel.Cmp.Ge;
+  ops "<>" Rel.Cmp.Ne;
+  ops "!=" Rel.Cmp.Ne
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (Result.is_error (Sqlfront.Lexer.tokenize "'oops"));
+  Alcotest.(check bool) "bad char" true
+    (Result.is_error (Sqlfront.Lexer.tokenize "a ? b"));
+  Alcotest.(check bool) "lone bang" true
+    (Result.is_error (Sqlfront.Lexer.tokenize "a ! b"))
+
+(* --- Parser --- *)
+
+let parse_exn input =
+  match Sqlfront.Parser.parse input with
+  | Ok q -> q
+  | Error e -> Alcotest.fail e
+
+let test_parser_shapes () =
+  let q = parse_exn "SELECT * FROM a, b WHERE a.x = b.y AND a.x > 3" in
+  Alcotest.(check (list string)) "from" [ "a"; "b" ]
+    (List.map (fun f -> f.Sqlfront.Ast.table) q.Sqlfront.Ast.from);
+  Alcotest.(check int) "conditions" 2 (List.length q.Sqlfront.Ast.where);
+  Alcotest.(check bool) "star" true (q.Sqlfront.Ast.select = Sqlfront.Ast.Sel_star);
+  let q2 = parse_exn "SELECT COUNT(*) FROM t" in
+  Alcotest.(check bool) "count star" true
+    (q2.Sqlfront.Ast.select = Sqlfront.Ast.Sel_count_star);
+  let q3 = parse_exn "SELECT COUNT() FROM t" in
+  Alcotest.(check bool) "count empty" true
+    (q3.Sqlfront.Ast.select = Sqlfront.Ast.Sel_count_star);
+  let q4 = parse_exn "SELECT t.a, b FROM t" in
+  Alcotest.(check bool) "column list" true
+    (match q4.Sqlfront.Ast.select with
+    | Sqlfront.Ast.Sel_columns [ c1; c2 ] ->
+      c1.Sqlfront.Ast.qualifier = Some "t" && c2.Sqlfront.Ast.qualifier = None
+    | _ -> false)
+
+let test_parser_literals_sides () =
+  let q = parse_exn "SELECT * FROM t WHERE 5 < a" in
+  Alcotest.(check bool) "literal lhs" true
+    (match q.Sqlfront.Ast.where with
+    | [ { lhs = Sqlfront.Ast.Lit (Rel.Value.Int 5); op = Rel.Cmp.Lt; _ } ] ->
+      true
+    | _ -> false)
+
+let test_parser_aliases () =
+  let q = parse_exn "SELECT * FROM emp e1, emp AS e2, dept" in
+  Alcotest.(check (list (pair string (option string))))
+    "aliases"
+    [ ("emp", Some "e1"); ("emp", Some "e2"); ("dept", None) ]
+    (List.map
+       (fun f -> (f.Sqlfront.Ast.table, f.Sqlfront.Ast.alias))
+       q.Sqlfront.Ast.from)
+
+let test_parser_between () =
+  let q = parse_exn "SELECT * FROM t WHERE a BETWEEN 3 AND 9 AND b = 1" in
+  Alcotest.(check int) "desugared into three conditions" 3
+    (List.length q.Sqlfront.Ast.where);
+  match q.Sqlfront.Ast.where with
+  | [ c1; c2; _ ] ->
+    Alcotest.(check bool) "lower bound" true (c1.Sqlfront.Ast.op = Rel.Cmp.Ge);
+    Alcotest.(check bool) "upper bound" true (c2.Sqlfront.Ast.op = Rel.Cmp.Le)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parser_errors () =
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool) sql true
+        (Result.is_error (Sqlfront.Parser.parse sql)))
+    [
+      "";
+      "SELECT";
+      "SELECT * FROM";
+      "SELECT * WHERE a = 1";
+      "SELECT * FROM t WHERE";
+      "SELECT * FROM t WHERE a";
+      "SELECT * FROM t WHERE a = ";
+      "SELECT * FROM t WHERE a BETWEEN 3";
+      "SELECT * FROM t WHERE a BETWEEN 3 AND";
+      "FROM t SELECT *";
+    ]
+
+(* --- Binder --- *)
+
+let binder_db () =
+  let db = Catalog.Db.create () in
+  List.iter (Catalog.Db.add db)
+    [
+      Helpers.stats_table "t" 100 [ ("a", 10); ("b", 20) ];
+      Helpers.stats_table "u" 50 [ ("a", 5); ("c", 7) ];
+    ];
+  db
+
+let compile_ok sql =
+  match Sqlfront.Binder.compile (binder_db ()) sql with
+  | Ok q -> q
+  | Error e -> Alcotest.fail e
+
+let compile_err sql =
+  match Sqlfront.Binder.compile (binder_db ()) sql with
+  | Ok _ -> Alcotest.fail (Printf.sprintf "expected error for %s" sql)
+  | Error e -> e
+
+let test_binder_resolution () =
+  let q = compile_ok "SELECT * FROM t, u WHERE t.a = u.a AND b < 5" in
+  Alcotest.(check int) "two predicates" 2 (List.length q.Query.predicates);
+  (* Unqualified b resolves to t.b (unique). *)
+  Alcotest.(check bool) "b bound to t" true
+    (List.exists
+       (fun p ->
+         match p with
+         | Query.Predicate.Cmp { col; _ } ->
+           Query.Cref.equal col (Query.Cref.v "t" "b")
+         | Query.Predicate.Col_eq _ -> false)
+       q.Query.predicates)
+
+let test_binder_normalization () =
+  (* Constant on the left is flipped to the right with the operator
+     mirrored: 5 < a becomes a > 5. *)
+  let q = compile_ok "SELECT * FROM t WHERE 5 < a" in
+  Alcotest.(check bool) "flip" true
+    (match q.Query.predicates with
+    | [ Query.Predicate.Cmp { op = Rel.Cmp.Gt; const = Rel.Value.Int 5; _ } ] ->
+      true
+    | _ -> false)
+
+let test_binder_tautologies () =
+  let q = compile_ok "SELECT * FROM t WHERE t.a = t.a AND 1 = 1" in
+  Alcotest.(check int) "tautologies dropped" 0 (List.length q.Query.predicates);
+  let err = compile_err "SELECT * FROM t WHERE 1 = 2" in
+  Alcotest.(check bool) "always-false rejected" true
+    (String.length err > 0)
+
+let test_binder_errors () =
+  List.iter
+    (fun sql -> ignore (compile_err sql))
+    [
+      "SELECT * FROM missing";
+      "SELECT * FROM t WHERE z = 1";
+      "SELECT * FROM t, u WHERE a = 1" (* ambiguous a *);
+      "SELECT * FROM t WHERE u.c = 1" (* u not in FROM *);
+      "SELECT * FROM t WHERE t.zz = 1";
+      "SELECT * FROM t, u WHERE t.a < u.a" (* non-equality join *);
+      "SELECT * FROM t WHERE a = 'text'" (* type mismatch *);
+      "SELECT zz FROM t";
+    ]
+
+let test_binder_between_estimation () =
+  (* BETWEEN folds into the tightest-range machinery of step 3. *)
+  let q = compile_ok "SELECT * FROM t WHERE a BETWEEN 2 AND 5" in
+  Alcotest.(check int) "two range predicates" 2 (List.length q.Query.predicates)
+
+let test_binder_count_star () =
+  let q = compile_ok "SELECT COUNT(*) FROM t" in
+  Alcotest.(check bool) "projection" true (q.Query.projection = Query.Count_star)
+
+let suite =
+  [
+    Alcotest.test_case "lexer: basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer: literals" `Quick test_lexer_literals;
+    Alcotest.test_case "lexer: operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer: errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser: query shapes" `Quick test_parser_shapes;
+    Alcotest.test_case "parser: literal sides" `Quick test_parser_literals_sides;
+    Alcotest.test_case "parser: aliases" `Quick test_parser_aliases;
+    Alcotest.test_case "parser: between" `Quick test_parser_between;
+    Alcotest.test_case "parser: errors" `Quick test_parser_errors;
+    Alcotest.test_case "binder: resolution" `Quick test_binder_resolution;
+    Alcotest.test_case "binder: normalization" `Quick test_binder_normalization;
+    Alcotest.test_case "binder: tautologies" `Quick test_binder_tautologies;
+    Alcotest.test_case "binder: errors" `Quick test_binder_errors;
+    Alcotest.test_case "binder: between" `Quick test_binder_between_estimation;
+    Alcotest.test_case "binder: count star" `Quick test_binder_count_star;
+  ]

@@ -1,0 +1,240 @@
+(* Unit tests for the statistics substrate: urn model, histograms,
+   column stats, local selectivity estimation. *)
+
+let check_float = Helpers.check_float
+
+(* --- Urn --- *)
+
+let test_urn_edges () =
+  check_float "no urns" 0. (Stats.Urn.expected_distinct ~urns:0. ~balls:10.);
+  check_float "no balls" 0. (Stats.Urn.expected_distinct ~urns:10. ~balls:0.);
+  check_float "one urn" 1. (Stats.Urn.expected_distinct ~urns:1. ~balls:5.);
+  check_float ~eps:1e-6 "one ball" 1.
+    (Stats.Urn.expected_distinct ~urns:1000. ~balls:1.)
+
+let test_urn_exact_small () =
+  (* n=2, k=2: 2*(1 - (1/2)^2) = 1.5 *)
+  check_float ~eps:1e-12 "2 urns 2 balls" 1.5
+    (Stats.Urn.expected_distinct ~urns:2. ~balls:2.);
+  (* n=3, k=2: 3*(1 - (2/3)^2) = 5/3 *)
+  check_float ~eps:1e-12 "3 urns 2 balls" (5. /. 3.)
+    (Stats.Urn.expected_distinct ~urns:3. ~balls:2.)
+
+let test_urn_bounds () =
+  List.iter
+    (fun (n, k) ->
+      let e = Stats.Urn.expected_distinct ~urns:n ~balls:k in
+      Alcotest.(check bool)
+        (Printf.sprintf "0 <= E <= min for n=%g k=%g" n k)
+        true
+        (e >= 0. && e <= Float.min n k +. 1e-9))
+    [ (1., 1.); (10., 5.); (5., 10.); (1e6, 3.); (3., 1e6); (1e5, 1e5) ]
+
+let test_urn_monotone () =
+  let prev = ref 0. in
+  List.iter
+    (fun k ->
+      let e = Stats.Urn.expected_distinct ~urns:1000. ~balls:k in
+      Alcotest.(check bool) "monotone in balls" true (e >= !prev);
+      prev := e)
+    [ 1.; 10.; 100.; 1000.; 10000. ]
+
+let test_urn_no_underflow () =
+  (* Large k must not underflow to a NaN or negative value. *)
+  let e = Stats.Urn.expected_distinct ~urns:10000. ~balls:1e9 in
+  Alcotest.(check bool) "huge k saturates" true
+    (Float.abs (e -. 10000.) < 1e-6);
+  let e2 = Stats.Urn.expected_distinct ~urns:1e9 ~balls:2. in
+  Alcotest.(check bool) "tiny fill stays ~k" true (Float.abs (e2 -. 2.) < 1e-6)
+
+let test_urn_survival () =
+  check_float ~eps:1e-9 "survival fraction" 0.75
+    (Stats.Urn.survival_fraction ~urns:2. ~balls:2.)
+
+(* --- Histogram --- *)
+
+let floats_of_ints l = Array.of_list (List.map float_of_int l)
+
+let test_histogram_build () =
+  let values = floats_of_ints [ 1; 2; 2; 3; 4; 5; 6; 7; 8; 100 ] in
+  let h = Option.get (Stats.Histogram.build Stats.Histogram.Equi_depth ~buckets:5 values) in
+  check_float "total count" 10. (Stats.Histogram.total_count h);
+  let buckets = Stats.Histogram.buckets h in
+  Alcotest.(check bool) "has buckets" true (List.length buckets >= 2);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "bucket bounds ordered" true
+        (b.Stats.Histogram.lo <= b.Stats.Histogram.hi);
+      Alcotest.(check bool) "bucket distinct <= count" true
+        (b.Stats.Histogram.distinct <= b.Stats.Histogram.count))
+    buckets
+
+let test_histogram_empty_and_errors () =
+  Alcotest.(check bool) "empty input" true
+    (Stats.Histogram.build Stats.Histogram.Equi_width ~buckets:4 [||] = None);
+  Alcotest.check_raises "zero buckets"
+    (Invalid_argument "Histogram.build: buckets < 1") (fun () ->
+      ignore (Stats.Histogram.build Stats.Histogram.Equi_width ~buckets:0 [| 1. |]))
+
+let exact_selectivity values op c =
+  let n = Array.length values in
+  let hits = Array.fold_left (fun acc v -> if Rel.Cmp.holds op (Float.compare v c) then acc + 1 else acc) 0 values in
+  float_of_int hits /. float_of_int n
+
+let test_histogram_selectivity_uniform () =
+  (* On uniform data with many buckets, the estimate should be close to
+     exact for range predicates. *)
+  let values = Array.init 1000 (fun i -> float_of_int (i + 1)) in
+  List.iter
+    (fun kind ->
+      let h = Option.get (Stats.Histogram.build kind ~buckets:20 values) in
+      List.iter
+        (fun (op, c) ->
+          let est = Stats.Histogram.selectivity h op c in
+          let exact = exact_selectivity values op c in
+          Alcotest.(check bool)
+            (Printf.sprintf "sel %s %g close" (Rel.Cmp.to_string op) c)
+            true
+            (Float.abs (est -. exact) < 0.03))
+        Rel.Cmp.[ (Lt, 100.); (Le, 500.); (Gt, 900.); (Ge, 1.); (Lt, 1500.); (Gt, 2000.) ])
+    Stats.Histogram.[ Equi_width; Equi_depth ]
+
+let test_histogram_selectivity_skewed () =
+  (* Heavy value 7 occupies 60% of rows; equi-depth should see it. *)
+  let values =
+    Array.concat
+      [ Array.make 600 7.; Array.init 400 (fun i -> float_of_int (i + 10)) ]
+  in
+  let h = Option.get (Stats.Histogram.build Stats.Histogram.Equi_depth ~buckets:10 values) in
+  let est = Stats.Histogram.selectivity h Rel.Cmp.Eq 7. in
+  Alcotest.(check bool) "heavy hitter found" true (est > 0.3);
+  let est_absent = Stats.Histogram.selectivity h Rel.Cmp.Eq 8. in
+  Alcotest.(check bool) "absent value small" true (est_absent < 0.05)
+
+let test_histogram_clamped () =
+  let values = floats_of_ints [ 1; 2; 3 ] in
+  let h = Option.get (Stats.Histogram.build Stats.Histogram.Equi_width ~buckets:2 values) in
+  List.iter
+    (fun (op, c) ->
+      let s = Stats.Histogram.selectivity h op c in
+      Alcotest.(check bool) "in [0,1]" true (s >= 0. && s <= 1.))
+    Rel.Cmp.[ (Lt, -5.); (Gt, -5.); (Le, 100.); (Ge, 100.); (Eq, 2.); (Ne, 2.) ]
+
+(* --- Col_stats --- *)
+
+let test_col_stats_of_values () =
+  let values =
+    [| Rel.Value.Int 5; Rel.Value.Int 5; Rel.Value.Null; Rel.Value.Int 9 |]
+  in
+  let s = Stats.Col_stats.of_values values in
+  Alcotest.(check int) "distinct" 2 s.Stats.Col_stats.distinct;
+  Alcotest.(check int) "nulls" 1 s.Stats.Col_stats.nulls;
+  Alcotest.(check bool) "min" true
+    (s.Stats.Col_stats.min_value = Some (Rel.Value.Int 5));
+  Alcotest.(check bool) "max" true
+    (s.Stats.Col_stats.max_value = Some (Rel.Value.Int 9));
+  Alcotest.(check bool) "no histogram unless asked" true
+    (s.Stats.Col_stats.histogram = None)
+
+let test_col_stats_histogram_request () =
+  let values = Array.init 100 (fun i -> Rel.Value.Int i) in
+  let s =
+    Stats.Col_stats.of_values ~histogram:Stats.Histogram.Equi_depth
+      ~histogram_buckets:8 values
+  in
+  Alcotest.(check bool) "histogram built" true
+    (s.Stats.Col_stats.histogram <> None);
+  let strings = Array.make 5 (Rel.Value.String "x") in
+  let s2 = Stats.Col_stats.of_values ~histogram:Stats.Histogram.Equi_depth strings in
+  Alcotest.(check bool) "no numeric histogram on strings" true
+    (s2.Stats.Col_stats.histogram = None)
+
+(* --- Selectivity_est --- *)
+
+let bounded_stats ~d ~lo ~hi =
+  Stats.Col_stats.with_bounds ~distinct:d ~lo:(Rel.Value.Int lo)
+    ~hi:(Rel.Value.Int hi)
+
+let test_sel_equality () =
+  let s = bounded_stats ~d:100 ~lo:1 ~hi:100 in
+  check_float "eq = 1/d" 0.01
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Eq (Rel.Value.Int 50));
+  check_float "eq outside bounds" 0.
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Eq (Rel.Value.Int 500));
+  check_float "ne complements" 0.99
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Ne (Rel.Value.Int 50))
+
+let test_sel_range_int_interpolation () =
+  (* The Section 8 case: s < 100 over keys 1..1000 is 99/1000. *)
+  let s = bounded_stats ~d:1000 ~lo:1 ~hi:1000 in
+  check_float "s < 100" 0.099
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Lt (Rel.Value.Int 100));
+  check_float "s <= 100" 0.1
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Le (Rel.Value.Int 100));
+  check_float "s > 900" 0.1
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Gt (Rel.Value.Int 900));
+  check_float "s >= 1" 1.
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Ge (Rel.Value.Int 1));
+  check_float "clamped below" 0.
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Lt (Rel.Value.Int (-5)));
+  check_float "clamped above" 1.
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Le (Rel.Value.Int 99999))
+
+let test_sel_defaults () =
+  let s = Stats.Col_stats.trivial ~distinct:0 in
+  check_float "default equality" Stats.Selectivity_est.default_eq
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Eq (Rel.Value.Int 1));
+  check_float "default range" Stats.Selectivity_est.default_range
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Lt (Rel.Value.Int 1));
+  check_float "null constant" 0.
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Eq Rel.Value.Null)
+
+let test_sel_range_pair () =
+  let s = bounded_stats ~d:1000 ~lo:1 ~hi:1000 in
+  (* 100 < x <= 200: mass(<=200) - mass(<=100) = 0.2 - 0.1 *)
+  check_float ~eps:1e-9 "interval" 0.1
+    (Stats.Selectivity_est.range_pair s
+       ~lower:(Some (Rel.Cmp.Gt, Rel.Value.Int 100))
+       ~upper:(Some (Rel.Cmp.Le, Rel.Value.Int 200)));
+  check_float "unbounded" 1.
+    (Stats.Selectivity_est.range_pair s ~lower:None ~upper:None);
+  check_float "empty interval clamps to 0" 0.
+    (Stats.Selectivity_est.range_pair s
+       ~lower:(Some (Rel.Cmp.Ge, Rel.Value.Int 900))
+       ~upper:(Some (Rel.Cmp.Le, Rel.Value.Int 100)))
+
+let test_sel_histogram_priority () =
+  (* With a histogram present, estimates come from it, not min/max. *)
+  let values = Array.init 1000 (fun i -> Rel.Value.Int (i + 1)) in
+  let s = Stats.Col_stats.of_values ~histogram:Stats.Histogram.Equi_depth values in
+  let est = Stats.Selectivity_est.comparison s Rel.Cmp.Lt (Rel.Value.Int 100) in
+  Alcotest.(check bool) "histogram-based estimate close" true
+    (Float.abs (est -. 0.099) < 0.02)
+
+let suite =
+  [
+    Alcotest.test_case "urn: edge cases" `Quick test_urn_edges;
+    Alcotest.test_case "urn: exact small cases" `Quick test_urn_exact_small;
+    Alcotest.test_case "urn: bounds" `Quick test_urn_bounds;
+    Alcotest.test_case "urn: monotone in balls" `Quick test_urn_monotone;
+    Alcotest.test_case "urn: no under/overflow" `Quick test_urn_no_underflow;
+    Alcotest.test_case "urn: survival fraction" `Quick test_urn_survival;
+    Alcotest.test_case "histogram: build invariants" `Quick test_histogram_build;
+    Alcotest.test_case "histogram: empty and errors" `Quick
+      test_histogram_empty_and_errors;
+    Alcotest.test_case "histogram: uniform accuracy" `Quick
+      test_histogram_selectivity_uniform;
+    Alcotest.test_case "histogram: skew detection" `Quick
+      test_histogram_selectivity_skewed;
+    Alcotest.test_case "histogram: clamping" `Quick test_histogram_clamped;
+    Alcotest.test_case "col_stats: of_values" `Quick test_col_stats_of_values;
+    Alcotest.test_case "col_stats: histogram request" `Quick
+      test_col_stats_histogram_request;
+    Alcotest.test_case "selectivity: equality" `Quick test_sel_equality;
+    Alcotest.test_case "selectivity: integer interpolation" `Quick
+      test_sel_range_int_interpolation;
+    Alcotest.test_case "selectivity: defaults" `Quick test_sel_defaults;
+    Alcotest.test_case "selectivity: range pairs" `Quick test_sel_range_pair;
+    Alcotest.test_case "selectivity: histogram priority" `Quick
+      test_sel_histogram_priority;
+  ]
