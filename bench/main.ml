@@ -15,9 +15,24 @@
      F6 — q-error study over mixed random workloads (supplementary)
      F7 — uniformity limits on skewed join columns (supplementary)
 
-   Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs). *)
+   Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs).
+   Passing experiment ids (e.g. `bench/main.exe f8 micro`) runs only
+   those. *)
 
 let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let experiment_ids =
+  [
+    "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
+    "f7"; "f8"; "micro";
+  ]
+
+let selected =
+  List.filter
+    (fun id -> Array.exists (String.equal id) Sys.argv)
+    experiment_ids
+
+let wants id = selected = [] || List.mem id selected
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -112,6 +127,106 @@ let run_f6 () =
   section "F6: q-error study over mixed random workloads";
   let seeds = if quick then [ 1; 2; 3 ] else List.init 8 (fun i -> i + 1) in
   print_string (Harness.Accuracy.render (Harness.Accuracy.run ~seeds ()))
+
+(* F8: the tentpole measurement — DP-style enumeration over all 2ⁿ
+   left-deep prefixes, comparing the retained list-scan estimation path
+   (explicit joined-table lists, full working-conjunction scans, no memo
+   caches) against the indexed bitset hot path (per-table predicate index,
+   O(1) membership, memoized class selectivities). Both enumerate the same
+   states and must agree on the full-join size bit-for-bit. *)
+let run_f8 () =
+  section "F8: DP-enumeration hot path — indexed bitset vs list-scan baseline";
+  let sizes = if quick then [ 12 ] else [ 12; 14; 16 ] in
+  let rec popcount m =
+    if m = 0 then 0 else (m land 1) + popcount (m lsr 1)
+  in
+  Printf.printf "%-4s %10s %12s %8s  %16s %14s\n" "n" "scan (s)" "indexed (s)"
+    "speedup" "cache hit/miss" "scans avoided";
+  List.iter
+    (fun n ->
+      let chain =
+        Datagen.Workload.chain ~rows_range:(100, 300) ~distinct_range:(20, 100)
+          ~seed:1 ~n_tables:n ()
+      in
+      let profile =
+        Els.prepare Els.Config.els chain.Datagen.Workload.db
+          chain.Datagen.Workload.query
+      in
+      let names = Array.of_list chain.Datagen.Workload.query.Query.tables in
+      let full = (1 lsl n) - 1 in
+      let by_size = Array.make (n + 1) [] in
+      for mask = full downto 1 do
+        let c = popcount mask in
+        by_size.(c) <- mask :: by_size.(c)
+      done;
+      (* Baseline: joined-table string lists + per-step conjunction scans. *)
+      let t0 = Unix.gettimeofday () in
+      let states = Array.make (full + 1) None in
+      for i = 0 to n - 1 do
+        states.(1 lsl i) <-
+          Some
+            ( [ names.(i) ],
+              (Els.Profile.table profile names.(i)).Els.Profile.rows )
+      done;
+      for size = 1 to n - 1 do
+        List.iter
+          (fun mask ->
+            match states.(mask) with
+            | None -> ()
+            | Some (joined, rows) ->
+              for i = 0 to n - 1 do
+                if mask land (1 lsl i) = 0 then begin
+                  let next = names.(i) in
+                  let s =
+                    Els.Incremental.step_selectivity_scan profile joined next
+                  in
+                  let rows' =
+                    rows
+                    *. (Els.Profile.table profile next).Els.Profile.rows
+                    *. s
+                  in
+                  let mask' = mask lor (1 lsl i) in
+                  if states.(mask') = None then
+                    states.(mask') <- Some (joined @ [ next ], rows')
+                end
+              done)
+          by_size.(size)
+      done;
+      let scan_s = Unix.gettimeofday () -. t0 in
+      (* Indexed: bitset states, index probes, memoized selectivities. *)
+      Els.Profile.reset_cache_stats profile;
+      let t1 = Unix.gettimeofday () in
+      let istates = Array.make (full + 1) None in
+      for i = 0 to n - 1 do
+        istates.(1 lsl i) <- Some (Els.Incremental.start profile names.(i))
+      done;
+      for size = 1 to n - 1 do
+        List.iter
+          (fun mask ->
+            match istates.(mask) with
+            | None -> ()
+            | Some st ->
+              for i = 0 to n - 1 do
+                if mask land (1 lsl i) = 0 then begin
+                  let mask' = mask lor (1 lsl i) in
+                  let st' = Els.Incremental.extend profile st names.(i) in
+                  if istates.(mask') = None then istates.(mask') <- Some st'
+                end
+              done)
+          by_size.(size)
+      done;
+      let idx_s = Unix.gettimeofday () -. t1 in
+      (match (states.(full), istates.(full)) with
+      | Some (_, a), Some st when Float.equal a st.Els.Incremental.size -> ()
+      | _ -> failwith "F8: scan and indexed paths disagree on the full join");
+      let stats = Els.Profile.cache_stats profile in
+      Printf.printf "%-4d %10.3f %12.3f %7.1fx  %16s %14d\n" n scan_s idx_s
+        (scan_s /. idx_s)
+        (Printf.sprintf "%d/%d"
+           (stats.Els.Profile.sel_hits + stats.Els.Profile.group_hits)
+           (stats.Els.Profile.sel_misses + stats.Els.Profile.group_misses))
+        stats.Els.Profile.scans_avoided)
+    sizes
 
 (* --- bechamel micro-benchmarks: one Test.make per experiment --- *)
 
@@ -216,18 +331,14 @@ let run_micro () =
     (Harness.Report.table ~header:[ "benchmark"; "ns/run"; "r2" ] rows)
 
 let () =
-  run_t1 ();
-  run_t1_ablation ();
-  run_e1 ();
-  run_s5 ();
-  run_s6 ();
-  run_f1 ();
-  run_f2 ();
-  run_f3 ();
-  run_f4 ();
-  run_f5 ();
-  run_f6 ();
-  run_f7 ();
-  run_micro ();
+  let experiments =
+    [
+      ("t1", run_t1); ("t1-ablation", run_t1_ablation); ("e1", run_e1);
+      ("s5", run_s5); ("s6", run_s6); ("f1", run_f1); ("f2", run_f2);
+      ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
+      ("f7", run_f7); ("f8", run_f8); ("micro", run_micro);
+    ]
+  in
+  List.iter (fun (id, run) -> if wants id then run ()) experiments;
   print_newline ();
   print_endline "All experiments completed."

@@ -21,6 +21,16 @@ let sss =
 let els =
   { closure = true; rule = Largest; local_aware = true; single_table = true }
 
+let combine t sels =
+  match t.rule with
+  | Multiplicative -> List.fold_left ( *. ) 1. sels
+  | Smallest -> List.fold_left Float.min 1. sels
+  | Largest -> begin
+    match sels with
+    | [] -> 1.
+    | s :: rest -> List.fold_left Float.max s rest
+  end
+
 let rule_name = function
   | Multiplicative -> "M"
   | Smallest -> "SS"

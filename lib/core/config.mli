@@ -43,6 +43,11 @@ val sss : t
 val els : t
 (** Algorithm ELS. *)
 
+val combine : t -> float list -> float
+(** Fold one equivalence class's eligible join selectivities under the
+    configured rule: product for Rule M, minimum for Rule SS, maximum for
+    Rule LS. The empty list combines to 1 (a cartesian step). *)
+
 val name : t -> string
 (** Short display name: "SM", "SM+PTC", "SSS", "ELS", or a descriptive
     fallback for custom configurations. *)

@@ -6,11 +6,11 @@ module Profile = Profile
 module Selectivity = Selectivity
 module Incremental = Incremental
 
-let prepare = Profile.build
+let prepare ?memoize config db query = Profile.build ?memoize config db query
 
 let estimate config db query order =
   Incremental.final_size (prepare config db query) order
 
 let intermediate_sizes config db query order =
-  (Incremental.estimate_order (prepare config db query) order)
-    .Incremental.history
+  Incremental.history
+    (Incremental.estimate_order (prepare config db query) order)

@@ -22,10 +22,12 @@ module Profile = Profile
 module Selectivity = Selectivity
 module Incremental = Incremental
 
-val prepare : Config.t -> Catalog.Db.t -> Query.t -> Profile.t
+val prepare : ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> Profile.t
 (** The preliminary phase (steps 1–5): dedup, closure, equivalence classes,
-    local-predicate effects, single-table handling and everything join
-    selectivities need. Alias of {!Profile.build}. *)
+    local-predicate effects, single-table handling, the hot-path predicate
+    indexes and everything join selectivities need. Alias of
+    {!Profile.build}; [memoize] (default [true]) controls the profile's
+    selectivity caches. *)
 
 val estimate : Config.t -> Catalog.Db.t -> Query.t -> string list -> float
 (** One-shot: prepare and estimate the final join result size along the

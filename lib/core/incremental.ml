@@ -1,88 +1,150 @@
 module Predicate = Query.Predicate
 
 type state = {
-  joined : string list;
+  mask : int;
   size : float;
-  history : float list;
+  rev_history : float list;
 }
 
+let joined profile state =
+  let names = ref [] in
+  for bit = Profile.table_count profile - 1 downto 0 do
+    if state.mask land (1 lsl bit) <> 0 then
+      names := Profile.table_name profile bit :: !names
+  done;
+  !names
+
+let history state = List.rev state.rev_history
+
 let start profile name =
-  let name = String.lowercase_ascii name in
-  let table = Profile.table profile name in
-  { joined = [ name ]; size = table.Profile.rows; history = [] }
+  let bit = Profile.table_bit profile name in
+  let table = Profile.table_at profile bit in
+  { mask = 1 lsl bit; size = table.Profile.rows; rev_history = [] }
+
+(* Ids of the join predicates linking [bit]'s table to [mask], via the
+   per-table adjacency index: O(degree) instead of a scan of the whole
+   working conjunction. Ascending id order = conjunction order. *)
+let eligible_ids profile mask bit =
+  let index = profile.Profile.index in
+  let ids = index.Profile.join_preds_by_table.(bit) in
+  let stats = profile.Profile.stats in
+  stats.Profile.eligible_probes <-
+    stats.Profile.eligible_probes + Array.length ids;
+  stats.Profile.scans_avoided <-
+    stats.Profile.scans_avoided
+    + (Array.length index.Profile.pred_infos - Array.length ids);
+  Array.fold_right
+    (fun id acc ->
+      match index.Profile.pred_infos.(id).Profile.endpoints with
+      | Some (a, b) ->
+        let other = if a = bit then b else a in
+        if mask land (1 lsl other) <> 0 then id :: acc else acc
+      | None -> acc)
+    ids []
 
 let eligible profile state name =
-  let name = String.lowercase_ascii name in
-  List.filter
-    (fun p ->
-      Predicate.is_join p
-      &&
-      match Predicate.tables p with
-      | [ a; b ] ->
-        (String.equal a name && List.mem b state.joined)
-        || (String.equal b name && List.mem a state.joined)
-      | _ -> false)
-    profile.Profile.predicates
+  let bit = Profile.table_bit profile name in
+  List.map
+    (fun id -> (Profile.pred profile id).Profile.pred)
+    (eligible_ids profile state.mask bit)
 
-let combine_group profile group =
-  let sels = List.map (Selectivity.join profile) group in
-  match profile.Profile.config.Config.rule with
-  | Config.Multiplicative -> List.fold_left ( *. ) 1. sels
-  | Config.Smallest -> List.fold_left Float.min 1. sels
-  | Config.Largest -> begin
-    match sels with
-    | [] -> 1.
-    | s :: rest -> List.fold_left Float.max s rest
-  end
+(* Partition eligible predicate ids by their (precomputed) equivalence-
+   class root; groups in first-occurrence order, members in id order. All
+   roots of one class are the same physically-shared Cref (resolved once at
+   build), so the common single-class step short-circuits on [==] without
+   allocating group structure. *)
+let class_groups profile ids =
+  match ids with
+  | [] -> []
+  | first :: rest ->
+    let root0 = (Profile.pred profile first).Profile.root in
+    let same r = r == root0 || Query.Cref.equal r root0 in
+    if
+      List.for_all
+        (fun id -> same (Profile.pred profile id).Profile.root)
+        rest
+    then [ ids ]
+    else begin
+      let groups = ref [] in
+      List.iter
+        (fun id ->
+          let r = (Profile.pred profile id).Profile.root in
+          match List.assoc_opt r !groups with
+          | Some members -> members := id :: !members
+          | None -> groups := (r, ref [ id ]) :: !groups)
+        ids;
+      List.rev_map (fun (_, members) -> List.rev !members) !groups
+    end
+
+let selectivity_of_ids profile ids =
+  List.fold_left
+    (fun acc group -> acc *. Profile.class_selectivity profile group)
+    1. (class_groups profile ids)
 
 let step_selectivity profile state name =
-  let preds = eligible profile state name in
-  let groups = Selectivity.group_by_class profile preds in
-  List.fold_left (fun acc g -> acc *. combine_group profile g) 1. groups
+  let bit = Profile.table_bit profile name in
+  selectivity_of_ids profile (eligible_ids profile state.mask bit)
+
+(* Join predicate ids bridging the two (disjoint) masks: one pass over the
+   join predicates with O(1) endpoint tests. *)
+let eligible_ids_between profile m1 m2 =
+  let index = profile.Profile.index in
+  let stats = profile.Profile.stats in
+  stats.Profile.eligible_probes <-
+    stats.Profile.eligible_probes + Array.length index.Profile.join_pred_ids;
+  stats.Profile.scans_avoided <-
+    stats.Profile.scans_avoided
+    + (Array.length index.Profile.pred_infos
+      - Array.length index.Profile.join_pred_ids);
+  Array.fold_right
+    (fun id acc ->
+      match index.Profile.pred_infos.(id).Profile.endpoints with
+      | Some (a, b) ->
+        let ba = 1 lsl a and bb = 1 lsl b in
+        if
+          (m1 land ba <> 0 && m2 land bb <> 0)
+          || (m1 land bb <> 0 && m2 land ba <> 0)
+        then id :: acc
+        else acc
+      | None -> acc)
+    index.Profile.join_pred_ids []
 
 let eligible_between profile s1 s2 =
-  List.filter
-    (fun p ->
-      Predicate.is_join p
-      &&
-      match Predicate.tables p with
-      | [ a; b ] ->
-        (List.mem a s1.joined && List.mem b s2.joined)
-        || (List.mem b s1.joined && List.mem a s2.joined)
-      | _ -> false)
-    profile.Profile.predicates
+  List.map
+    (fun id -> (Profile.pred profile id).Profile.pred)
+    (eligible_ids_between profile s1.mask s2.mask)
 
 let join_states profile s1 s2 =
-  List.iter
-    (fun t ->
-      if List.mem t s2.joined then
-        invalid_arg
-          (Printf.sprintf "Incremental.join_states: %s on both sides" t))
-    s1.joined;
-  let preds = eligible_between profile s1 s2 in
-  let groups = Selectivity.group_by_class profile preds in
+  let overlap = s1.mask land s2.mask in
+  if overlap <> 0 then begin
+    let rec first_bit b = if overlap land (1 lsl b) <> 0 then b else first_bit (b + 1) in
+    invalid_arg
+      (Printf.sprintf "Incremental.join_states: %s on both sides"
+         (Profile.table_name profile (first_bit 0)))
+  end;
   let s =
-    List.fold_left (fun acc g -> acc *. combine_group profile g) 1. groups
+    selectivity_of_ids profile (eligible_ids_between profile s1.mask s2.mask)
   in
   let size = s1.size *. s2.size *. s in
   {
-    joined = s1.joined @ s2.joined;
+    mask = s1.mask lor s2.mask;
     size;
-    history = s1.history @ s2.history @ [ size ];
+    rev_history = size :: List.append s2.rev_history s1.rev_history;
   }
 
 let extend profile state name =
-  let name = String.lowercase_ascii name in
-  if List.mem name state.joined then
+  let bit = Profile.table_bit profile name in
+  if state.mask land (1 lsl bit) <> 0 then
     invalid_arg
-      (Printf.sprintf "Incremental.extend: %s already joined" name);
-  let table = Profile.table profile name in
-  let s = step_selectivity profile state name in
+      (Printf.sprintf "Incremental.extend: %s already joined"
+         (Profile.normalize name));
+  let table = Profile.table_at profile bit in
+  let s = selectivity_of_ids profile (eligible_ids profile state.mask bit) in
   let size = state.size *. table.Profile.rows *. s in
   {
-    joined = state.joined @ [ name ];
+    mask = state.mask lor (1 lsl bit);
     size;
-    history = state.history @ [ size ];
+    rev_history = size :: state.rev_history;
   }
 
 let estimate_order profile order =
@@ -93,3 +155,33 @@ let estimate_order profile order =
       rest
 
 let final_size profile order = (estimate_order profile order).size
+
+(* --- reference list-scan implementations -------------------------------
+
+   The pre-index hot path, kept as the baseline the property tests and the
+   DP-enumeration benchmark compare against: eligibility by scanning the
+   whole working conjunction with List.mem over the joined set, and
+   uncached rule combination. *)
+
+let eligible_scan profile joined name =
+  let name = Profile.normalize name in
+  List.filter
+    (fun p ->
+      Predicate.is_join p
+      &&
+      match Predicate.tables p with
+      | [ a; b ] ->
+        (String.equal a name && List.mem b joined)
+        || (String.equal b name && List.mem a joined)
+      | _ -> false)
+    profile.Profile.predicates
+
+let step_selectivity_scan profile joined name =
+  let preds = eligible_scan profile joined name in
+  let groups = Selectivity.group_by_class profile preds in
+  List.fold_left
+    (fun acc g ->
+      acc
+      *. Config.combine profile.Profile.config
+           (List.map (Selectivity.join profile) g))
+    1. groups

@@ -10,15 +10,32 @@
     rule (M: product of all; SS: smallest; LS: largest), and classes
     multiply together by independence.
 
-    [size(I ⋈ R) = size(I) × ‖R‖′ × ∏_classes S_class]. *)
+    [size(I ⋈ R) = size(I) × ‖R‖′ × ∏_classes S_class].
+
+    This is the inner loop of exact DP enumeration (2ⁿ subsets), so the
+    state carries the joined set as an int bitset over the profile's
+    canonical table → bit mapping, eligibility is an O(degree) probe of the
+    profile's per-table predicate index, and per-class selectivities come
+    from the profile's memo caches. The pre-index list-scan implementation
+    is kept as {!eligible_scan}/{!step_selectivity_scan} for differential
+    tests and benchmarking. *)
 
 type state = {
-  joined : string list;  (** tables in the intermediate result, join order *)
+  mask : int;
+      (** bitset of the tables in the intermediate result, over
+          {!Profile.table_bit}'s canonical mapping *)
   size : float;  (** estimated cardinality of the intermediate result *)
-  history : float list;
-      (** size after each extension, oldest first; empty for a single
-          table *)
+  rev_history : float list;
+      (** size after each extension, {e newest} first (O(1) extension);
+          empty for a single table. Use {!history} for the oldest-first
+          view. *)
 }
+
+val joined : Profile.t -> state -> string list
+(** Tables in the intermediate result, in canonical (FROM) order. *)
+
+val history : state -> float list
+(** Size after each extension, oldest first; empty for a single table. *)
 
 val start : Profile.t -> string -> state
 (** Intermediate result consisting of one base table; size is its effective
@@ -26,7 +43,7 @@ val start : Profile.t -> string -> state
 
 val eligible : Profile.t -> state -> string -> Query.Predicate.t list
 (** Join predicates of the working conjunction linking the given table to
-    the current intermediate result. *)
+    the current intermediate result, in conjunction order. *)
 
 val step_selectivity : Profile.t -> state -> string -> float
 (** Combined selectivity the configured rule assigns to joining the given
@@ -34,8 +51,8 @@ val step_selectivity : Profile.t -> state -> string -> float
 
 val extend : Profile.t -> state -> string -> state
 (** Join one more table.
-    @raise Invalid_argument when the table is already in the result or not
-    part of the profiled query. *)
+    @raise Invalid_argument when the table is already in the result.
+    @raise Not_found when it is not part of the profiled query. *)
 
 val eligible_between : Profile.t -> state -> state -> Query.Predicate.t list
 (** Join predicates of the working conjunction linking the two (disjoint)
@@ -54,3 +71,18 @@ val estimate_order : Profile.t -> string list -> state
 
 val final_size : Profile.t -> string list -> float
 (** Estimated size of the full join along the given order. *)
+
+(** {2 Reference list-scan baseline}
+
+    The pre-index implementation over an explicit joined-table list,
+    scanning the entire working conjunction per call. Kept for
+    differential property tests and as the baseline of the DP-enumeration
+    benchmark; produces exactly the same predicates and selectivities as
+    the indexed path. *)
+
+val eligible_scan :
+  Profile.t -> string list -> string -> Query.Predicate.t list
+(** [eligible_scan profile joined name] — O(#predicates × #joined). *)
+
+val step_selectivity_scan : Profile.t -> string list -> string -> float
+(** Uncached grouping and rule combination over {!eligible_scan}. *)

@@ -120,5 +120,9 @@ let reduced_distinct stats combined =
   match combined.restriction with
   | Unrestricted -> d
   | Equality _ -> 1.
-  | Range s -> Float.max 1e-300 (d *. s)
+  | Range s ->
+    (* A satisfiable restriction leaves at least one value (d′ ≥ 1,
+       Section 5); letting d′ drop below 1 would turn the downstream
+       1/max(d′₁, d′₂) join selectivities into amplification factors. *)
+    Float.max 1. (d *. s)
   | Contradiction -> 0.

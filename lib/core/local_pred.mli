@@ -29,5 +29,7 @@ val combine :
 
 val reduced_distinct : Stats.Col_stats.t -> combined -> float
 (** Effective column cardinality [d′] of the predicated column itself
-    (Section 5): 1 for an equality, [d × s] for a restriction of
-    selectivity [s], [d] when unrestricted, 0 for a contradiction. *)
+    (Section 5): 1 for an equality, [max 1 (d × s)] for a restriction of
+    selectivity [s] (a satisfiable restriction always leaves at least one
+    value, keeping join selectivities [1/max(d′₁, d′₂)] at most 1), [d]
+    when unrestricted, 0 for a contradiction. *)

@@ -17,12 +17,76 @@ type table_profile = {
   columns : column_profile Cref.Map.t;
 }
 
+type pred_info = {
+  pred : Predicate.t;
+  id : int;
+  root : Cref.t;
+  endpoints : (int * int) option;
+}
+
+type cache_stats = {
+  mutable sel_hits : int;
+  mutable sel_misses : int;
+  mutable group_hits : int;
+  mutable group_misses : int;
+  mutable eligible_probes : int;
+  mutable scans_avoided : int;
+}
+
+type index = {
+  table_names : string array;
+  table_bits : (string, int) Hashtbl.t;
+  profiles : table_profile array;
+  pred_infos : pred_info array;
+  join_pred_ids : int array;
+  join_preds_by_table : int array array;
+  local_preds_by_table : Predicate.t list array;
+}
+
 type t = {
   config : Config.t;
   predicates : Predicate.t list;
   classes : Eqclass.t;
   tables : (string * table_profile) list;
+  index : index;
+  memoize : bool;
+  sel_cache : float array;
+  group_cache : (int list, float) Hashtbl.t;
+  stats : cache_stats;
 }
+
+(* Hot-path friendly: names are almost always lowercase already, so avoid
+   allocating a copy unless an uppercase letter is present. *)
+let normalize s =
+  let rec lowercase i =
+    i >= String.length s
+    || (match s.[i] with 'A' .. 'Z' -> false | _ -> lowercase (i + 1))
+  in
+  if lowercase 0 then s else String.lowercase_ascii s
+
+let create_stats () =
+  {
+    sel_hits = 0;
+    sel_misses = 0;
+    group_hits = 0;
+    group_misses = 0;
+    eligible_probes = 0;
+    scans_avoided = 0;
+  }
+
+let reset_stats s =
+  s.sel_hits <- 0;
+  s.sel_misses <- 0;
+  s.group_hits <- 0;
+  s.group_misses <- 0;
+  s.eligible_probes <- 0;
+  s.scans_avoided <- 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "sel hit/miss=%d/%d group hit/miss=%d/%d probes=%d scans-avoided=%d"
+    s.sel_hits s.sel_misses s.group_hits s.group_misses s.eligible_probes
+    s.scans_avoided
 
 let ceil_pos x = if x <= 0. then 0. else Float.ceil x
 
@@ -196,7 +260,66 @@ let build_table config predicates classes db query_table ~source =
     columns = column_profiles;
   }
 
-let build config db query =
+(* Canonical table -> bit mapping (FROM order) plus per-table predicate
+   indexes, all resolved once per profile: predicate equivalence-class
+   roots, the bit pair of each join predicate's endpoints, and each
+   table's pushed-down local predicates. *)
+let build_index classes tables working =
+  let n = List.length tables in
+  if n > 62 then
+    invalid_arg "Profile.build: more than 62 tables (bitset index limit)";
+  let table_names = Array.of_list (List.map fst tables) in
+  let profiles = Array.of_list (List.map snd tables) in
+  let table_bits = Hashtbl.create (2 * n) in
+  Array.iteri (fun bit name -> Hashtbl.replace table_bits name bit) table_names;
+  let bit_of name = Hashtbl.find table_bits name in
+  let pred_infos =
+    Array.of_list
+      (List.mapi
+         (fun id p ->
+           let root =
+             match Predicate.columns p with
+             | col :: _ -> Eqclass.find classes col
+             | [] -> assert false
+           in
+           let endpoints =
+             if Predicate.is_join p then
+               match Predicate.tables p with
+               | [ a; b ] -> Some (bit_of a, bit_of b)
+               | _ -> None
+             else None
+           in
+           { pred = p; id; root; endpoints })
+         working)
+  in
+  let join_rev = ref [] in
+  let by_table = Array.make n [] in
+  let local_rev = Array.make n [] in
+  Array.iter
+    (fun info ->
+      match info.endpoints with
+      | Some (a, b) ->
+        join_rev := info.id :: !join_rev;
+        by_table.(a) <- info.id :: by_table.(a);
+        if b <> a then by_table.(b) <- info.id :: by_table.(b)
+      | None -> begin
+        match Predicate.tables info.pred with
+        | [ t ] -> local_rev.(bit_of t) <- info.pred :: local_rev.(bit_of t)
+        | _ -> ()
+      end)
+    pred_infos;
+  {
+    table_names;
+    table_bits;
+    profiles;
+    pred_infos;
+    join_pred_ids = Array.of_list (List.rev !join_rev);
+    join_preds_by_table =
+      Array.map (fun ids -> Array.of_list (List.rev ids)) by_table;
+    local_preds_by_table = Array.map List.rev local_rev;
+  }
+
+let build ?(memoize = true) config db query =
   let deduped = Predicate.Set.elements (Predicate.Set.of_list query.Query.predicates) in
   let working =
     if config.Config.closure then (Closure.compute deduped).Closure.predicates
@@ -211,12 +334,31 @@ let build config db query =
             ~source:(Query.source query name) ))
       query.Query.tables
   in
-  { config; predicates = working; classes; tables }
+  let index = build_index classes tables working in
+  {
+    config;
+    predicates = working;
+    classes;
+    tables;
+    index;
+    memoize;
+    sel_cache = Array.make (Array.length index.pred_infos) Float.nan;
+    group_cache = Hashtbl.create 256;
+    stats = create_stats ();
+  }
 
-let table t name =
-  match List.assoc_opt (String.lowercase_ascii name) t.tables with
-  | Some profile -> profile
-  | None -> raise Not_found
+let table_count t = Array.length t.index.table_names
+let table_bit t name = Hashtbl.find t.index.table_bits (normalize name)
+let table_name t bit = t.index.table_names.(bit)
+let table_at t bit = t.index.profiles.(bit)
+let table t name = table_at t (table_bit t name)
+
+let pred_count t = Array.length t.index.pred_infos
+let pred t id = t.index.pred_infos.(id)
+let scan_filters t name = t.index.local_preds_by_table.(table_bit t name)
+
+let cache_stats t = t.stats
+let reset_cache_stats t = reset_stats t.stats
 
 let join_card t cref =
   let profile = table t cref.Cref.table in
@@ -228,3 +370,55 @@ let join_card t cref =
     (* A column never mentioned in predicates: fall back to its catalog
        cardinality. Callers only reach this for ad-hoc estimates. *)
     profile.base_rows
+
+let selectivity_of_cards d1 d2 =
+  let m = Float.max d1 d2 in
+  if d1 <= 0. || d2 <= 0. then 0. else Float.min 1. (1. /. m)
+
+let join_selectivity t id =
+  let compute () =
+    match t.index.pred_infos.(id).pred with
+    | Predicate.Col_eq { left; right } ->
+      selectivity_of_cards (join_card t left) (join_card t right)
+    | Predicate.Cmp _ ->
+      invalid_arg "Profile.join_selectivity: not a join predicate"
+  in
+  if not t.memoize then compute ()
+  else begin
+    (* NaN marks an unfilled slot: real selectivities live in [0, 1], and a
+       flat float array keeps the hit path unboxed. *)
+    let s = t.sel_cache.(id) in
+    if Float.is_nan s then begin
+      t.stats.sel_misses <- t.stats.sel_misses + 1;
+      let s = compute () in
+      t.sel_cache.(id) <- s;
+      s
+    end
+    else begin
+      t.stats.sel_hits <- t.stats.sel_hits + 1;
+      s
+    end
+  end
+
+let group_cache_limit = 4096
+
+let class_selectivity t ids =
+  let compute () =
+    Config.combine t.config (List.map (join_selectivity t) ids)
+  in
+  if not t.memoize then compute ()
+  else begin
+    match Hashtbl.find_opt t.group_cache ids with
+    | Some s ->
+      t.stats.group_hits <- t.stats.group_hits + 1;
+      s
+    | None ->
+      t.stats.group_misses <- t.stats.group_misses + 1;
+      let s = compute () in
+      (* Bounded: exhaustive DP enumeration can produce a distinct group
+         per (subset, table) pair, and an ever-growing table would spend
+         more on resizes and rehashes than the memo saves. *)
+      if Hashtbl.length t.group_cache < group_cache_limit then
+        Hashtbl.add t.group_cache ids s;
+      s
+  end

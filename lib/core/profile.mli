@@ -19,7 +19,12 @@
       configuration, each intra-table column equality contributes the
       classic [1/max(d₁,d₂)] factor to [‖R‖′] instead.
 
-    The resulting numbers are what step 6 (see {!Incremental}) consumes. *)
+    On top of those numbers the profile carries the {e hot-path indexes}
+    step 6 (see {!Incremental}) probes on every enumerator step: a
+    canonical table → bit mapping, per-table join-predicate adjacency
+    lists, per-predicate equivalence-class roots resolved once at build
+    time, and memoization caches for join and per-class selectivities with
+    {!Exec.Counters}-style hit/miss observability. *)
 
 type column_profile = {
   cref : Query.Cref.t;
@@ -40,21 +45,107 @@ type table_profile = {
   columns : column_profile Query.Cref.Map.t;
 }
 
+type pred_info = {
+  pred : Query.Predicate.t;
+  id : int;  (** position in {!field-predicates}; the memo-cache key *)
+  root : Query.Cref.t;
+      (** equivalence-class root of the predicate's columns, resolved once
+          at profile build *)
+  endpoints : (int * int) option;
+      (** the two table bits of a join predicate; [None] for locals *)
+}
+
+type cache_stats = {
+  mutable sel_hits : int;
+  mutable sel_misses : int;
+  mutable group_hits : int;
+  mutable group_misses : int;
+  mutable eligible_probes : int;
+      (** join predicates examined through the per-table index *)
+  mutable scans_avoided : int;
+      (** predicates an index probe skipped relative to a full scan of the
+          working conjunction *)
+}
+
+type index = {
+  table_names : string array;  (** bit → normalized table name *)
+  table_bits : (string, int) Hashtbl.t;  (** normalized name → bit *)
+  profiles : table_profile array;  (** bit → table profile *)
+  pred_infos : pred_info array;  (** predicate id → resolved info *)
+  join_pred_ids : int array;  (** every join predicate id, ascending *)
+  join_preds_by_table : int array array;
+      (** bit → ids of the join predicates with that table as an endpoint,
+          ascending (= working-conjunction order) *)
+  local_preds_by_table : Query.Predicate.t list array;
+      (** bit → single-table local predicates, in conjunction order *)
+}
+
 type t = {
   config : Config.t;
   predicates : Query.Predicate.t list;
       (** the working conjunction: closed iff [config.closure] *)
   classes : Eqclass.t;
   tables : (string * table_profile) list;  (** in FROM order *)
+  index : index;
+  memoize : bool;  (** consult the caches below (on by default) *)
+  sel_cache : float array;
+      (** predicate id → memoized join selectivity; NaN marks an unfilled
+          slot (real selectivities live in [0, 1]) *)
+  group_cache : (int list, float) Hashtbl.t;
+      (** class-group predicate ids → rule-combined selectivity *)
+  stats : cache_stats;
 }
 
-val build : Config.t -> Catalog.Db.t -> Query.t -> t
-(** @raise Not_found when a query table is missing from the catalog. *)
+val normalize : string -> string
+(** Canonical (lowercase) table-name normalization. Every name-keyed
+    lookup in this module and {!Incremental} goes through it, so
+    mixed-case callers cannot silently miss filters or predicates. *)
+
+val build : ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> t
+(** [memoize] defaults to [true]; pass [false] to recompute every
+    selectivity (the caches are bit-transparent — see the property tests).
+    @raise Not_found when a query table is missing from the catalog.
+    @raise Invalid_argument on more than 62 tables (bitset index limit). *)
 
 val table : t -> string -> table_profile
 (** @raise Not_found for tables outside the query. *)
+
+val table_count : t -> int
+
+val table_bit : t -> string -> int
+(** Bit of the (normalized) table in the canonical table → bit mapping.
+    @raise Not_found for tables outside the query. *)
+
+val table_name : t -> int -> string
+val table_at : t -> int -> table_profile
+
+val pred_count : t -> int
+val pred : t -> int -> pred_info
+
+val scan_filters : t -> string -> Query.Predicate.t list
+(** The single-table local predicates of the working conjunction pushed
+    into the scan of the given table, via the per-table index.
+    @raise Not_found for tables outside the query. *)
 
 val join_card : t -> Query.Cref.t -> float
 (** Column cardinality entering join-selectivity computation:
     [join_distinct] under a local-aware configuration, [base_distinct]
     under the standard algorithm. *)
+
+val selectivity_of_cards : float -> float -> float
+(** [min 1 (1 / max d1 d2)]; 0 when either side is 0 (a contradicted
+    column joins nothing). Equation 2 of the paper. *)
+
+val join_selectivity : t -> int -> float
+(** Selectivity of the join predicate with the given id, memoized in
+    [sel_cache] when [memoize] is set.
+    @raise Invalid_argument for a local predicate id. *)
+
+val class_selectivity : t -> int list -> float
+(** Rule-combined selectivity of one equivalence-class group of eligible
+    join predicates (given by id, in conjunction order), memoized in
+    [group_cache] when [memoize] is set. *)
+
+val cache_stats : t -> cache_stats
+val reset_cache_stats : t -> unit
+val pp_stats : Format.formatter -> cache_stats -> unit

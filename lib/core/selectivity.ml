@@ -1,6 +1,4 @@
-let of_cards d1 d2 =
-  let m = Float.max d1 d2 in
-  if d1 <= 0. || d2 <= 0. then 0. else Float.min 1. (1. /. m)
+let of_cards = Profile.selectivity_of_cards
 
 let join profile p =
   match p with

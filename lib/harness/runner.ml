@@ -57,4 +57,4 @@ let run ?methods config db query =
 
 let estimate_only config db query order =
   let profile = Els.prepare config db query in
-  (Els.Incremental.estimate_order profile order).Els.Incremental.history
+  Els.Incremental.history (Els.Incremental.estimate_order profile order)

@@ -4,12 +4,13 @@ type node = {
   cost : float;
 }
 
-let scan_filters profile table =
-  List.filter
-    (fun p ->
-      Query.Predicate.is_local p
-      && Query.Predicate.tables p = [ table ])
-    profile.Els.Profile.predicates
+let scan_filters profile table = Els.Profile.scan_filters profile table
+
+let method_applicable method_ eligible =
+  match method_ with
+  | Exec.Plan.Nested_loop -> true
+  | Exec.Plan.Sort_merge | Exec.Plan.Hash | Exec.Plan.Index_nested_loop ->
+    eligible <> []
 
 let scan_node profile table =
   let tp = Els.Profile.table profile table in
@@ -57,6 +58,10 @@ let extend profile node table method_ eligible =
     cost;
   }
 
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
 let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ])
     profile query =
   if methods = [] then invalid_arg "Dp.optimize: no join methods";
@@ -74,15 +79,18 @@ let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Pla
     consider (1 lsl i) (scan_node profile tables.(i))
   done;
   let full = (1 lsl n) - 1 in
+  (* One popcount per mask, up front: masks grouped by subset size so the
+     enumeration loop never recounts bits. *)
+  let by_size = Array.make (n + 1) [] in
+  for mask = full downto 1 do
+    let size = popcount mask in
+    by_size.(size) <- mask :: by_size.(size)
+  done;
   (* Grow subsets in increasing size so every mask is final before it is
      extended. *)
   for size = 1 to n - 1 do
-    for mask = 1 to full do
-      if
-        (let rec popcount m = if m = 0 then 0 else (m land 1) + popcount (m lsr 1) in
-         popcount mask)
-        = size
-      then begin
+    List.iter
+      (fun mask ->
         match Hashtbl.find_opt best mask with
         | None -> ()
         | Some node ->
@@ -108,21 +116,13 @@ let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Pla
               List.iter
                 (fun method_ ->
                   (* Sort-merge and hash need at least one equi-key. *)
-                  let applicable =
-                    match method_ with
-                    | Exec.Plan.Nested_loop -> true
-                    | Exec.Plan.Sort_merge | Exec.Plan.Hash
-                    | Exec.Plan.Index_nested_loop ->
-                      eligible <> []
-                  in
-                  if applicable then
+                  if method_applicable method_ eligible then
                     consider
                       (mask lor (1 lsl i))
                       (extend profile node table method_ eligible))
                 methods)
-            usable
-      end
-    done
+            usable)
+      by_size.(size)
   done;
   match Hashtbl.find_opt best full with
   | Some node -> node

@@ -31,7 +31,14 @@ val optimize :
 val scan_filters : Els.Profile.t -> string -> Query.Predicate.t list
 (** The local predicates of the profile's working conjunction pushed into
     the scan of the given table (constant comparisons and intra-table
-    column equalities). *)
+    column equalities). Alias of {!Els.Profile.scan_filters}: lookup goes
+    through the profile's normalized per-table index, so mixed-case table
+    names cannot silently drop filters. *)
+
+val method_applicable : Exec.Plan.join_method -> Query.Predicate.t list -> bool
+(** Whether the method can join with the given eligible predicates:
+    sort-merge, hash and index nested loop need at least one equi-key;
+    nested loop always applies. Shared by all three enumerators. *)
 
 val scan_node : Els.Profile.t -> string -> node
 (** A single-table access node with its filters and estimation state;

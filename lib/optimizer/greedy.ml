@@ -1,12 +1,6 @@
 let default_methods =
   [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ]
 
-let method_applicable method_ eligible =
-  match method_ with
-  | Exec.Plan.Nested_loop -> true
-  | Exec.Plan.Sort_merge | Exec.Plan.Hash | Exec.Plan.Index_nested_loop ->
-    eligible <> []
-
 (* Cheapest extension of [node] with [table] over the allowed methods,
    tagged with whether the step is predicate-connected. *)
 let best_extension profile methods node table =
@@ -14,7 +8,7 @@ let best_extension profile methods node table =
   let candidates =
     List.filter_map
       (fun method_ ->
-        if method_applicable method_ eligible then
+        if Dp.method_applicable method_ eligible then
           Some (Dp.extend profile node table method_ eligible)
         else None)
       methods
@@ -37,23 +31,18 @@ let optimize ?(methods = default_methods) profile query =
   let smallest acc table =
     let node = Dp.scan_node profile table in
     match acc with
-    | None -> Some node
-    | Some best ->
+    | None -> Some (table, node)
+    | Some (_, best) ->
       if
         node.Dp.state.Els.Incremental.size
         < best.Dp.state.Els.Incremental.size
-      then Some node
+      then Some (table, node)
       else acc
   in
-  let start =
+  let start_table, start =
     match List.fold_left smallest None tables with
-    | Some node -> node
+    | Some pair -> pair
     | None -> assert false
-  in
-  let start_table =
-    match start.Dp.state.Els.Incremental.joined with
-    | [ t ] -> t
-    | _ -> assert false
   in
   let rec grow node remaining =
     if remaining = [] then node

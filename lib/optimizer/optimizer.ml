@@ -9,6 +9,7 @@ type choice = {
   join_order : string list;
   intermediate_estimates : float list;
   estimated_cost : float;
+  profile : Els.Profile.t;
 }
 
 type enumerator =
@@ -28,8 +29,9 @@ let choose ?methods ?(enumerator = Exhaustive) config db query =
     algorithm = Els.Config.name config;
     plan = node.Dp.plan;
     join_order = Exec.Plan.join_order node.Dp.plan;
-    intermediate_estimates = node.Dp.state.Els.Incremental.history;
+    intermediate_estimates = Els.Incremental.history node.Dp.state;
     estimated_cost = node.Dp.cost;
+    profile;
   }
 
 (* Render the (left-deep) plan with each join annotated by its estimated

@@ -17,6 +17,10 @@ type choice = {
   intermediate_estimates : float list;
       (** estimated size after each join of the chosen order *)
   estimated_cost : float;  (** in executor work units *)
+  profile : Els.Profile.t;
+      (** the estimation profile that drove enumeration; its
+          {!Els.Profile.cache_stats} expose the hot-path cache hit/miss
+          counters accumulated during optimization *)
 }
 
 type enumerator =

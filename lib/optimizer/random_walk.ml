@@ -10,14 +10,7 @@ let plan_of_order ~methods profile order =
         let candidates =
           List.filter_map
             (fun method_ ->
-              let applicable =
-                match method_ with
-                | Exec.Plan.Nested_loop -> true
-                | Exec.Plan.Sort_merge | Exec.Plan.Hash
-                | Exec.Plan.Index_nested_loop ->
-                  eligible <> []
-              in
-              if applicable then
+              if Dp.method_applicable method_ eligible then
                 Some (Dp.extend profile node table method_ eligible)
               else None)
             methods

@@ -116,6 +116,57 @@ let test_reduced_distinct_range () =
   let r = LP.combine (stats ()) [ (Rel.Cmp.Le, int_ 50) ] in
   check_float ~eps:1e-9 "d' = d * s" 50. (LP.reduced_distinct (stats ()) r)
 
+(* Regression: d' must clamp at 1, not 1e-300 (paper: a satisfiable range
+   leaves at least one value). With d = 10 over a domain of a million, the
+   aggressive range x <= 100 has d * s ≈ 1e-3; the seed code let d' fall
+   below 1, turning 1/max(d'_1, d'_2) into an amplification factor. *)
+let sparse_stats () =
+  Stats.Col_stats.with_bounds ~distinct:10 ~lo:(int_ 1) ~hi:(int_ 1_000_000)
+
+let test_range_clamps_at_one () =
+  let r = LP.combine (sparse_stats ()) [ (Rel.Cmp.Le, int_ 100) ] in
+  Alcotest.(check bool) "aggressive range: d * s < 1" true
+    (r.LP.selectivity *. 10. < 1.);
+  check_float "d' clamped at 1" 1. (LP.reduced_distinct (sparse_stats ()) r)
+
+(* End to end: after an aggressive local range predicate on both join
+   columns, every join selectivity the estimator computes stays <= 1. *)
+let test_join_selectivity_capped () =
+  let db = Catalog.Db.create () in
+  let add name =
+    let schema =
+      Rel.Schema.make [ Rel.Schema.column ~table:name ~name:"a" Rel.Value.Ty_int ]
+    in
+    Catalog.Db.add db
+      (Catalog.Table.stats_only ~name ~schema ~row_count:1_000_000
+         ~column_stats:[ ("a", sparse_stats ()) ])
+  in
+  add "r";
+  add "u";
+  let c t = Query.Cref.v t "a" in
+  let join_pred = Query.Predicate.col_eq (c "r") (c "u") in
+  let q =
+    Query.make ~tables:[ "r"; "u" ]
+      [
+        join_pred;
+        Query.Predicate.cmp (c "r") Rel.Cmp.Le (int_ 100);
+        Query.Predicate.cmp (c "u") Rel.Cmp.Le (int_ 100);
+      ]
+  in
+  List.iter
+    (fun config ->
+      let profile = Els.prepare config db q in
+      let s = Els.Selectivity.join profile join_pred in
+      Alcotest.(check bool)
+        (Printf.sprintf "S_J <= 1 under %s" (Els.Config.name config))
+        true
+        (s <= 1. && s >= 0.);
+      (* The effective cardinality entering Equation 2 respects d' >= 1
+         (the table survives the predicate with ~100 expected rows). *)
+      Alcotest.(check bool) "effective join card >= 1" true
+        (Els.Profile.join_card profile (c "r") >= 1.))
+    [ Els.Config.els; Els.Config.sss; Els.Config.sm ~ptc:true ]
+
 let suite =
   [
     Alcotest.test_case "empty conjunction" `Quick test_empty;
@@ -132,4 +183,8 @@ let suite =
     Alcotest.test_case "<> within range" `Quick test_ne_within_range;
     Alcotest.test_case "null constants" `Quick test_null_constant;
     Alcotest.test_case "reduced distinct" `Quick test_reduced_distinct_range;
+    Alcotest.test_case "range d' clamps at 1 (regression)" `Quick
+      test_range_clamps_at_one;
+    Alcotest.test_case "join selectivity <= 1 after aggressive range" `Quick
+      test_join_selectivity_capped;
   ]

@@ -65,7 +65,7 @@ let test_dp_produces_full_plan () =
   Alcotest.(check int) "all tables" 4
     (List.length (Exec.Plan.join_order node.Optimizer.Dp.plan));
   Alcotest.(check int) "history length" 3
-    (List.length node.Optimizer.Dp.state.Els.Incremental.history);
+    (List.length (Els.Incremental.history node.Optimizer.Dp.state));
   Alcotest.(check bool) "cost positive" true (node.Optimizer.Dp.cost > 0.)
 
 let test_dp_respects_methods () =

@@ -156,6 +156,57 @@ let test_profile_errors () =
   Alcotest.check_raises "unknown table" Not_found (fun () ->
       ignore (Els.Profile.table profile "zz"))
 
+(* Mixed-case lookups must resolve to the same table, filters and
+   predicates as lowercase ones: normalization is centralized in Profile,
+   so a caller holding "R" cannot silently lose scan filters or eligible
+   join predicates. *)
+let test_case_normalization () =
+  let q = join_query [ Query.Predicate.cmp (c "r" "p") Rel.Cmp.Le (int_ 10) ] in
+  let profile = Els.prepare Els.Config.els (two_col_db ()) q in
+  Alcotest.(check int) "table_bit case-insensitive"
+    (Els.Profile.table_bit profile "r")
+    (Els.Profile.table_bit profile "R");
+  Alcotest.(check int) "scan_filters survive mixed case" 1
+    (List.length (Els.Profile.scan_filters profile "R"));
+  Alcotest.(check (list string)) "Dp.scan_filters agrees"
+    (List.map Query.Predicate.to_string (Optimizer.Dp.scan_filters profile "r"))
+    (List.map Query.Predicate.to_string
+       (Optimizer.Dp.scan_filters profile "R"));
+  let st = Els.Incremental.start profile "R" in
+  Alcotest.(check (list string)) "start normalizes" [ "r" ]
+    (Els.Incremental.joined profile st);
+  Alcotest.(check int) "eligible survives mixed case" 1
+    (List.length (Els.Incremental.eligible profile st "U"));
+  let st2 = Els.Incremental.extend profile st "U" in
+  Alcotest.(check int) "extend normalizes" 2
+    (List.length (Els.Incremental.joined profile st2))
+
+(* The per-table index partitions the working conjunction: every join
+   predicate appears under both endpoint tables, locals under their only
+   table, with roots resolved at build time. *)
+let test_index_contents () =
+  let q = join_query [ Query.Predicate.cmp (c "r" "p") Rel.Cmp.Le (int_ 10) ] in
+  let profile = Els.prepare Els.Config.els (two_col_db ()) q in
+  Alcotest.(check int) "two tables" 2 (Els.Profile.table_count profile);
+  Alcotest.(check int) "two predicates" 2 (Els.Profile.pred_count profile);
+  let join_info =
+    Els.Profile.pred profile
+      (Els.Profile.table_bit profile "r" |> fun bit ->
+       profile.Els.Profile.index.Els.Profile.join_preds_by_table.(bit).(0))
+  in
+  (match join_info.Els.Profile.endpoints with
+  | Some (a, b) ->
+    Alcotest.(check bool) "endpoints are the two table bits" true
+      (List.sort compare [ a; b ]
+      = List.sort compare
+          [
+            Els.Profile.table_bit profile "r"; Els.Profile.table_bit profile "u";
+          ])
+  | None -> Alcotest.fail "join predicate lost its endpoints");
+  Alcotest.(check bool) "root resolved to the class representative" true
+    (Query.Cref.equal join_info.Els.Profile.root
+       (Els.Eqclass.find profile.Els.Profile.classes (c "r" "a")))
+
 let suite =
   [
     Alcotest.test_case "no local predicates" `Quick test_no_local_preds;
@@ -172,4 +223,6 @@ let suite =
       test_single_table_three_columns;
     Alcotest.test_case "selinger fallback" `Quick test_selinger_fallback;
     Alcotest.test_case "errors" `Quick test_profile_errors;
+    Alcotest.test_case "case normalization" `Quick test_case_normalization;
+    Alcotest.test_case "hot-path index contents" `Quick test_index_contents;
   ]

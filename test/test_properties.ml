@@ -430,6 +430,145 @@ let prop_profile_invariants =
              <= cartesian_bound +. 1e-6)
         [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
 
+(* Rule M never depends on the join order: every predicate of the working
+   conjunction is counted exactly once by the time the order completes, so
+   all permutations agree on the final estimate (Section 3 — Rule M is
+   consistently wrong rather than order-sensitive). *)
+let prop_rule_m_order_invariant =
+  QCheck2.Test.make ~count ~name:"rule M final estimate is order-invariant"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      let profile = Els.prepare (Els.Config.sm ~ptc:true) db query in
+      match permutations names with
+      | [] -> true
+      | first :: rest ->
+        let reference = Els.Incremental.final_size profile first in
+        List.for_all
+          (fun order ->
+            close (Els.Incremental.final_size profile order) reference)
+          rest)
+
+(* Rule LS structure: at every step of every order, the eligible
+   predicates partition into equivalence-class groups (pairwise-distinct
+   roots, within-group shared root, sizes summing to the eligible count)
+   and the step selectivity is exactly one selectivity — the largest —
+   per class, multiplied across classes. *)
+let prop_ls_one_selectivity_per_class =
+  QCheck2.Test.make ~count
+    ~name:"rule LS: one selectivity per equivalence class per step"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      let profile = Els.prepare Els.Config.els db query in
+      let root p =
+        match Query.Predicate.columns p with
+        | col :: _ -> Els.Eqclass.find profile.Els.Profile.classes col
+        | [] -> assert false
+      in
+      let step_ok st name =
+        let elig = Els.Incremental.eligible profile st name in
+        let groups = Els.Selectivity.group_by_class profile elig in
+        let partition_ok =
+          List.length elig
+          = List.fold_left (fun acc g -> acc + List.length g) 0 groups
+          && List.for_all
+               (fun g ->
+                 match g with
+                 | [] -> false
+                 | p :: rest ->
+                   List.for_all
+                     (fun q -> Query.Cref.equal (root p) (root q))
+                     rest)
+               groups
+          &&
+          let roots = List.map (fun g -> root (List.hd g)) groups in
+          List.length (List.sort_uniq Query.Cref.compare roots)
+          = List.length roots
+        in
+        let one_per_class =
+          List.fold_left
+            (fun acc g ->
+              acc
+              *. List.fold_left
+                   (fun m p -> Float.max m (Els.Selectivity.join profile p))
+                   0. g)
+            1. groups
+        in
+        partition_ok
+        && close (Els.Incremental.step_selectivity profile st name) one_per_class
+      in
+      List.for_all
+        (fun order ->
+          match order with
+          | [] -> true
+          | first :: rest ->
+            let _, ok =
+              List.fold_left
+                (fun (st, ok) name ->
+                  ( Els.Incremental.extend profile st name,
+                    ok && step_ok st name ))
+                (Els.Incremental.start profile first, true)
+                rest
+            in
+            ok)
+        (permutations names))
+
+(* The selectivity memo caches are estimate-transparent: cache-on and
+   cache-off profiles produce bit-identical sizes at every step of every
+   order, under every rule. *)
+let prop_cache_transparent =
+  QCheck2.Test.make ~count ~name:"memo cache is bit-identical to uncached"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      List.for_all
+        (fun config ->
+          let cached = Els.prepare config db query in
+          let uncached = Els.prepare ~memoize:false config db query in
+          List.for_all
+            (fun order ->
+              let a = Els.Incremental.estimate_order cached order in
+              let b = Els.Incremental.estimate_order uncached order in
+              Float.equal a.Els.Incremental.size b.Els.Incremental.size
+              && List.for_all2 Float.equal (Els.Incremental.history a)
+                   (Els.Incremental.history b))
+            (permutations names))
+        [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
+
+(* Differential: the indexed bitset hot path returns exactly the same
+   eligible predicates (same order) and bit-identical step selectivities
+   as the retained list-scan reference implementation. *)
+let prop_index_matches_scan =
+  QCheck2.Test.make ~count ~name:"indexed hot path = list-scan baseline"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      List.for_all
+        (fun config ->
+          let profile = Els.prepare config db query in
+          List.for_all
+            (fun order ->
+              match order with
+              | [] -> true
+              | first :: rest ->
+                let _, ok =
+                  List.fold_left
+                    (fun (st, ok) name ->
+                      let joined = Els.Incremental.joined profile st in
+                      let agree =
+                        List.equal Query.Predicate.equal
+                          (Els.Incremental.eligible profile st name)
+                          (Els.Incremental.eligible_scan profile joined name)
+                        && Float.equal
+                             (Els.Incremental.step_selectivity profile st name)
+                             (Els.Incremental.step_selectivity_scan profile
+                                joined name)
+                      in
+                      (Els.Incremental.extend profile st name, ok && agree))
+                    (Els.Incremental.start profile first, true)
+                    rest
+                in
+                ok)
+            (permutations names))
+        [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
+
 (* Cost model sanity: each join cost is monotone in the outer cardinality
    and non-negative. *)
 let prop_cost_monotone =
@@ -479,4 +618,8 @@ let suite =
       prop_profile_invariants;
       prop_cost_monotone;
       prop_ls_bushy;
+      prop_rule_m_order_invariant;
+      prop_ls_one_selectivity_per_class;
+      prop_cache_transparent;
+      prop_index_matches_scan;
     ]
