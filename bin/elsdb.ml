@@ -6,6 +6,7 @@
      explain    show the plan an algorithm's estimates lead to
      run        optimize, execute and report work counters
      closure    print the transitive closure of a query's predicates
+     fault      run the fault-injection suite (experiment F9)
 
    Built-in databases (--db):
      section8[:SCALE]   the paper's S/M/B/G tables (default scale 10)
@@ -129,6 +130,18 @@ let or_die = function
     prerr_endline msg;
     exit 1
 
+(* A user-facing failure (bad SQL, unknown table, corrupt statistics under
+   strict mode) exits 2 with a one-line message — never a backtrace. *)
+let handle_errors f =
+  match f () with
+  | () -> ()
+  | exception Els.Els_error.Error e ->
+    Printf.eprintf "error: %s\n" (Els.Els_error.to_string e);
+    exit 2
+  | exception Invalid_argument msg | exception Failure msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
 (* --- section8 --- *)
 
 let section8_cmd =
@@ -150,6 +163,7 @@ let section8_cmd =
 
 let estimate_cmd =
   let run dbspec sql =
+    handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
     Printf.printf "query: %s\n\n" (Query.to_string query);
@@ -177,6 +191,7 @@ let estimate_cmd =
 
 let explain_cmd =
   let run dbspec sql config enumerator =
+    handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
     let choice = Optimizer.choose ~enumerator config db query in
@@ -190,6 +205,7 @@ let explain_cmd =
 
 let run_cmd =
   let run dbspec sql config =
+    handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
     let trial = Harness.Runner.run config db query in
@@ -212,6 +228,7 @@ let run_cmd =
 
 let closure_cmd =
   let run dbspec sql =
+    handle_errors @@ fun () ->
     let db, _ = dbspec in
     ignore db;
     let query = or_die (resolve_query dbspec sql) in
@@ -224,6 +241,61 @@ let closure_cmd =
        ~doc:"Print the predicate transitive closure of a query.")
     Term.(const run $ db_arg $ sql_arg)
 
+(* --- fault --- *)
+
+let fault_cmd =
+  let strictness_arg =
+    let parse s =
+      match Catalog.Validate.strictness_of_string s with
+      | Some m -> Ok (Some m)
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown mode %S (strict, repair, trap)" s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf
+        (match m with
+        | None -> "all"
+        | Some m -> Catalog.Validate.strictness_name m)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) None
+      & info [ "strictness" ] ~docv:"MODE"
+          ~doc:
+            "Strictness mode to test: strict, repair or trap (default: all \
+             three).")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run strictness seed =
+    let modes =
+      match strictness with
+      | Some m -> [ m ]
+      | None ->
+        [ Catalog.Validate.Strict; Catalog.Validate.Repair;
+          Catalog.Validate.Trap ]
+    in
+    let outcomes =
+      List.concat_map
+        (fun strictness -> Harness.Fault.run ~seed ~strictness ())
+        modes
+    in
+    print_string (Harness.Fault.render outcomes);
+    if Harness.Fault.all_pass outcomes then
+      print_endline "fault-injection suite: PASS"
+    else begin
+      print_endline "fault-injection suite: FAIL";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Run the fault-injection suite (F9): corrupt the catalog in every \
+          known way and assert the pipeline degrades instead of crashing.")
+    Term.(const run $ strictness_arg $ seed)
+
 let () =
   let info =
     Cmd.info "elsdb" ~version:"1.0.0"
@@ -234,4 +306,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd ]))
+          [
+            section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd;
+            fault_cmd;
+          ]))

@@ -18,3 +18,5 @@ let register ?histogram ?histogram_buckets ?mcv db ~name relation =
   let entry = table ?histogram ?histogram_buckets ?mcv ~name relation in
   Db.add db entry;
   entry
+
+let validate = Validate.validate

@@ -25,3 +25,10 @@ val register :
   Rel.Relation.t ->
   Table.t
 (** Analyze and add to the catalog in one step; returns the table entry. *)
+
+val validate :
+  Validate.strictness -> Db.t -> (Db.t * Validate.issue list, Validate.issue) result
+(** Audit catalog statistics for impossible numbers (d > ‖R‖, negative or
+    stale cardinalities, NaN/non-monotone histograms, MCV sums > 1) under a
+    strictness mode. Alias for {!Validate.validate}; see {!Validate} for
+    the issue taxonomy and repair semantics. *)

@@ -17,7 +17,10 @@ let find t name = Hashtbl.find_opt t.by_name (String.lowercase_ascii name)
 let find_exn t name =
   match find t name with
   | Some table -> table
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Catalog.Db.find_exn: no table %S in the catalog%s" name
+         (Suggest.hint ~candidates:t.order name))
 
 let mem t name = find t name <> None
 

@@ -12,7 +12,8 @@ val add : t -> Table.t -> unit
 
 val find : t -> string -> Table.t option
 val find_exn : t -> string -> Table.t
-(** @raise Not_found when no such table is registered. *)
+(** @raise Invalid_argument when no such table is registered; the message
+    names the table and suggests the nearest existing name. *)
 
 val mem : t -> string -> bool
 val tables : t -> Table.t list
@@ -20,8 +21,8 @@ val tables : t -> Table.t list
 
 val relation_exn : t -> string -> Rel.Relation.t
 (** Stored data of a table.
-    @raise Invalid_argument when the table is stats-only.
-    @raise Not_found when no such table is registered. *)
+    @raise Invalid_argument when the table is stats-only or not
+    registered. *)
 
 val resolve_column : t -> string -> (string * string) option
 (** [resolve_column db name] finds the unique table exposing an unqualified

@@ -1,0 +1,39 @@
+(* Nearest-name suggestions for "no such table/column" errors. *)
+
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <-
+          min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let nearest ~candidates name =
+  let name = String.lowercase_ascii name in
+  let budget = max 1 (String.length name / 3) in
+  let best =
+    List.fold_left
+      (fun best candidate ->
+        let d = distance name (String.lowercase_ascii candidate) in
+        match best with
+        | Some (d0, _) when d0 <= d -> best
+        | _ -> if d <= budget then Some (d, candidate) else best)
+      None candidates
+  in
+  Option.map snd best
+
+let hint ~candidates name =
+  match nearest ~candidates name with
+  | Some c -> Printf.sprintf " (did you mean %S?)" c
+  | None -> ""

@@ -1,0 +1,16 @@
+(** Nearest-name suggestions for error messages.
+
+    When a lookup by name fails, a close match among the existing names is
+    usually a typo; surfacing it turns a dead-end error into an actionable
+    one. *)
+
+val distance : string -> string -> int
+(** Levenshtein edit distance. *)
+
+val nearest : candidates:string list -> string -> string option
+(** Closest candidate within an edit budget of [max 1 (length/3)];
+    case-insensitive. [None] when nothing is plausibly close. *)
+
+val hint : candidates:string list -> string -> string
+(** [" (did you mean \"x\"?)"] when a near-miss exists, [""] otherwise —
+    ready to append to an error message. *)

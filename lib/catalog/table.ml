@@ -35,7 +35,13 @@ let col_stats t name =
 let col_stats_exn t name =
   match col_stats t name with
   | Some s -> s
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Catalog.Table.col_stats_exn: table %S has no statistics for column \
+          %S%s"
+         t.name name
+         (Suggest.hint ~candidates:(List.map fst t.column_stats) name))
 
 let distinct t name =
   match col_stats t name with

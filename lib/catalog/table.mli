@@ -30,7 +30,9 @@ val col_stats : t -> string -> Stats.Col_stats.t option
 (** Statistics of a column by (lower-cased) name. *)
 
 val col_stats_exn : t -> string -> Stats.Col_stats.t
-(** @raise Not_found when the column has no recorded statistics. *)
+(** @raise Invalid_argument when the column has no recorded statistics;
+    the message names the table and column and suggests the nearest
+    existing column name. *)
 
 val distinct : t -> string -> int
 (** Column cardinality [d]; falls back to [row_count] when no statistics

@@ -3,23 +3,32 @@ type rule =
   | Smallest
   | Largest
 
+type strictness = Catalog.Validate.strictness =
+  | Strict
+  | Repair
+  | Trap
+
 type t = {
   closure : bool;
   rule : rule;
   local_aware : bool;
   single_table : bool;
+  strictness : strictness;
 }
 
 let sm ~ptc =
   { closure = ptc; rule = Multiplicative; local_aware = false;
-    single_table = false }
+    single_table = false; strictness = Repair }
 
 let sss =
   { closure = true; rule = Smallest; local_aware = false;
-    single_table = false }
+    single_table = false; strictness = Repair }
 
 let els =
-  { closure = true; rule = Largest; local_aware = true; single_table = true }
+  { closure = true; rule = Largest; local_aware = true; single_table = true;
+    strictness = Repair }
+
+let with_strictness strictness t = { t with strictness }
 
 let combine t sels =
   match t.rule with
@@ -37,12 +46,21 @@ let rule_name = function
   | Largest -> "LS"
 
 let name t =
-  if t = els then "ELS"
-  else if t = sss then "SSS"
-  else if t = sm ~ptc:false then "SM"
-  else if t = sm ~ptc:true then "SM+PTC"
-  else
-    Printf.sprintf "custom(rule=%s%s%s%s)" (rule_name t.rule)
-      (if t.closure then ",ptc" else "")
-      (if t.local_aware then ",local" else "")
-      (if t.single_table then ",1table" else "")
+  (* Strictness is orthogonal to the algorithm: compare modulo it so the
+     presets keep their names, and tag non-default modes as a suffix. *)
+  let base = { t with strictness = Repair } in
+  let algorithm =
+    if base = els then "ELS"
+    else if base = sss then "SSS"
+    else if base = sm ~ptc:false then "SM"
+    else if base = sm ~ptc:true then "SM+PTC"
+    else
+      Printf.sprintf "custom(rule=%s%s%s%s)" (rule_name t.rule)
+        (if t.closure then ",ptc" else "")
+        (if t.local_aware then ",local" else "")
+        (if t.single_table then ",1table" else "")
+  in
+  match t.strictness with
+  | Repair -> algorithm
+  | Strict -> algorithm ^ "!strict"
+  | Trap -> algorithm ^ "!trap"

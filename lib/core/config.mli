@@ -21,6 +21,14 @@ type rule =
   | Smallest  (** Rule SS *)
   | Largest  (** Rule LS *)
 
+type strictness = Catalog.Validate.strictness =
+  | Strict  (** corrupt statistics / invariant breaches become errors *)
+  | Repair  (** clamp and degrade, counting every repair (the default) *)
+  | Trap  (** observe only: count violations, change nothing *)
+(** How the pipeline reacts to corrupt catalog statistics and to runtime
+    invariant breaches. Re-exported from {!Catalog.Validate} so callers
+    configure it here without depending on the catalog layer. *)
+
 type t = {
   closure : bool;
       (** derive implied predicates before estimating (PTC, step 2) *)
@@ -31,6 +39,9 @@ type t = {
   single_table : bool;
       (** apply the Section 6 treatment of j-equivalent columns within one
           table *)
+  strictness : strictness;
+      (** robustness mode for catalog validation and invariant guards;
+          orthogonal to the estimation algorithm *)
 }
 
 val sm : ptc:bool -> t
@@ -43,6 +54,8 @@ val sss : t
 val els : t
 (** Algorithm ELS. *)
 
+val with_strictness : strictness -> t -> t
+
 val combine : t -> float list -> float
 (** Fold one equivalence class's eligible join selectivities under the
     configured rule: product for Rule M, minimum for Rule SS, maximum for
@@ -50,6 +63,8 @@ val combine : t -> float list -> float
 
 val name : t -> string
 (** Short display name: "SM", "SM+PTC", "SSS", "ELS", or a descriptive
-    fallback for custom configurations. *)
+    fallback for custom configurations. Strictness does not change the
+    algorithm, so it only shows as a ["!strict"] / ["!trap"] suffix for
+    the non-default modes. *)
 
 val rule_name : rule -> string

@@ -5,6 +5,8 @@ module Config = Config
 module Profile = Profile
 module Selectivity = Selectivity
 module Incremental = Incremental
+module Els_error = Els_error
+module Guard = Guard
 
 let prepare ?memoize config db query = Profile.build ?memoize config db query
 
@@ -14,3 +16,50 @@ let estimate config db query order =
 let intermediate_sizes config db query order =
   Incremental.history
     (Incremental.estimate_order (prepare config db query) order)
+
+let prepare_result ?memoize config db query =
+  Profile.build_result ?memoize config db query
+
+(* Reify everything the pipeline can throw at the API boundary; the inner
+   code still uses exceptions freely. *)
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Els_error.Error e -> Error e
+  | exception Invalid_argument msg ->
+    Error (Els_error.Invalid_query { detail = msg })
+  | exception Not_found ->
+    Error
+      (Els_error.Invalid_query
+         { detail = "a query table or column is missing from the catalog" })
+
+let checked_estimate site x =
+  if Float.is_nan x then
+    Error (Els_error.Invariant_violation { site; detail = "estimate is NaN" })
+  else if x < 0. then
+    Error
+      (Els_error.Invariant_violation
+         { site; detail = Printf.sprintf "estimate %h is negative" x })
+  else if x = infinity then
+    Error
+      (Els_error.Invariant_violation { site; detail = "estimate is infinite" })
+  else Ok x
+
+let estimate_result config db query order =
+  match wrap (fun () -> estimate config db query order) with
+  | Error _ as e -> e
+  | Ok x -> checked_estimate "Els.estimate" x
+
+let intermediate_sizes_result config db query order =
+  match wrap (fun () -> intermediate_sizes config db query order) with
+  | Error _ as e -> e
+  | Ok sizes ->
+    let rec check = function
+      | [] -> Ok sizes
+      | x :: rest -> begin
+        match checked_estimate "Els.intermediate_sizes" x with
+        | Ok _ -> check rest
+        | Error _ as e -> e
+      end
+    in
+    check sizes

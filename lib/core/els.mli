@@ -21,6 +21,8 @@ module Config = Config
 module Profile = Profile
 module Selectivity = Selectivity
 module Incremental = Incremental
+module Els_error = Els_error
+module Guard = Guard
 
 val prepare : ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> Profile.t
 (** The preliminary phase (steps 1–5): dedup, closure, equivalence classes,
@@ -37,3 +39,35 @@ val intermediate_sizes :
   Config.t -> Catalog.Db.t -> Query.t -> string list -> float list
 (** Sizes after each join of the order — the numbers reported in the
     paper's Section 8 table. *)
+
+(** {1 Result-typed entry points}
+
+    The same operations with every failure reified as {!Els_error.t}:
+    structured errors from [Strict]-mode validation, invariant breaches,
+    unknown tables/columns, and structural limits. These never raise, and
+    additionally reject any non-finite or negative final estimate — a
+    NaN that sneaks through [Trap] mode surfaces here as
+    [Invariant_violation] instead of poisoning the caller. *)
+
+val prepare_result :
+  ?memoize:bool ->
+  Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
+  (Profile.t, Els_error.t) result
+(** Alias of {!Profile.build_result}. *)
+
+val estimate_result :
+  Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
+  string list ->
+  (float, Els_error.t) result
+(** [Ok] estimates are always finite and non-negative. *)
+
+val intermediate_sizes_result :
+  Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
+  string list ->
+  (float list, Els_error.t) result

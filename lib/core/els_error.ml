@@ -1,0 +1,40 @@
+type t =
+  | Missing_stats of { table : string; column : string option }
+  | Corrupt_stats of { table : string; column : string option; detail : string }
+  | Invalid_query of { detail : string }
+  | Parse_error of { position : int; detail : string }
+  | Invariant_violation of { site : string; detail : string }
+
+exception Error of t
+
+let raise_ t = raise (Error t)
+
+let to_string = function
+  | Missing_stats { table; column } ->
+    Printf.sprintf "missing statistics for %s%s" table
+      (match column with None -> "" | Some c -> "." ^ c)
+  | Corrupt_stats { table; column; detail } ->
+    Printf.sprintf "corrupt statistics for %s%s: %s" table
+      (match column with None -> "" | Some c -> "." ^ c)
+      detail
+  | Invalid_query { detail } -> Printf.sprintf "invalid query: %s" detail
+  | Parse_error { position; detail } ->
+    Printf.sprintf "parse error at offset %d: %s" position detail
+  | Invariant_violation { site; detail } ->
+    Printf.sprintf "estimator invariant violated at %s: %s" site detail
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_issue (i : Catalog.Validate.issue) =
+  Corrupt_stats
+    {
+      table = i.table;
+      column = i.column;
+      detail =
+        Printf.sprintf "%s [%s]" i.detail (Catalog.Validate.kind_name i.kind);
+    }
+
+let () =
+  Printexc.register_printer (function
+    | Error t -> Some (Printf.sprintf "Els_error.Error(%s)" (to_string t))
+    | _ -> None)

@@ -1,0 +1,37 @@
+(** Structured errors for the estimation pipeline.
+
+    Every way the pipeline can refuse to produce an estimate is one of
+    these constructors, each carrying enough context to act on: which
+    statistic is missing or corrupt, where a query stopped parsing, which
+    invariant a computed number violated. The [Result]-typed entry points
+    ([Els.estimate_result], [Els.prepare_result], [Sqlfront.Binder.compile_result])
+    return [t]; the legacy exception API raises {!Error} carrying the same
+    value, so both styles share one taxonomy. *)
+
+type t =
+  | Missing_stats of { table : string; column : string option }
+      (** a lookup needed statistics the catalog does not have *)
+  | Corrupt_stats of { table : string; column : string option; detail : string }
+      (** catalog validation found an impossible number (Strict mode) *)
+  | Invalid_query of { detail : string }
+      (** the query is well-formed SQL but cannot be estimated
+          (unknown table/column, type mismatch, unsupported shape) *)
+  | Parse_error of { position : int; detail : string }
+      (** the SQL text failed to lex or parse; [position] is a 0-based
+          byte offset into the input *)
+  | Invariant_violation of { site : string; detail : string }
+      (** an internal computation produced an impossible selectivity or
+          cardinality and the guard mode is [Strict]; [site] names the
+          production site (e.g. ["Profile.join_selectivity"]) *)
+
+exception Error of t
+(** Carrier for the exception-style API. A printer is registered, so an
+    escaped [Error] renders readably rather than as [Els.Els_error.Error(_)]. *)
+
+val raise_ : t -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_issue : Catalog.Validate.issue -> t
+(** View a catalog-validation issue as a [Corrupt_stats] error (used by
+    Strict-mode preparation). *)

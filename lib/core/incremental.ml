@@ -125,7 +125,11 @@ let join_states profile s1 s2 =
   let s =
     selectivity_of_ids profile (eligible_ids_between profile s1.mask s2.mask)
   in
-  let size = s1.size *. s2.size *. s in
+  let size =
+    Guard.cardinality profile.Profile.guard ~site:"Incremental.join_states"
+      ~upper:(s1.size *. s2.size)
+      (s1.size *. s2.size *. s)
+  in
   {
     mask = s1.mask lor s2.mask;
     size;
@@ -140,7 +144,13 @@ let extend profile state name =
          (Profile.normalize name));
   let table = Profile.table_at profile bit in
   let s = selectivity_of_ids profile (eligible_ids profile state.mask bit) in
-  let size = state.size *. table.Profile.rows *. s in
+  let size =
+    (* S ≤ 1, so a step can never exceed the cartesian bound of the two
+       inputs. *)
+    Guard.cardinality profile.Profile.guard ~site:"Incremental.extend"
+      ~upper:(state.size *. table.Profile.rows)
+      (state.size *. table.Profile.rows *. s)
+  in
   {
     mask = state.mask lor (1 lsl bit);
     size;

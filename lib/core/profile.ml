@@ -53,6 +53,8 @@ type t = {
   sel_cache : float array;
   group_cache : (int list, float) Hashtbl.t;
   stats : cache_stats;
+  guard : Guard.t;
+  validation : Catalog.Validate.issue list;
 }
 
 (* Hot-path friendly: names are almost always lowercase already, so avoid
@@ -90,10 +92,13 @@ let pp_stats ppf s =
 
 let ceil_pos x = if x <= 0. then 0. else Float.ceil x
 
-let stats_of db_table column =
+let stats_of guard db_table column =
   match Catalog.Table.col_stats db_table column with
   | Some s -> s
   | None ->
+    (* Degrade to the key-column worst case; counted so missing statistics
+       are visible in the guard report rather than silent. *)
+    Guard.note_fallback guard;
     Stats.Col_stats.trivial ~distinct:(Catalog.Table.distinct db_table column)
 
 (* Columns of [table] mentioned in the working predicates. *)
@@ -130,14 +135,20 @@ let intra_table_equalities predicates table =
 
 (* Steps 3-4: fold the constant local predicates of one table into its row
    count and column cardinalities. *)
-let local_effects db_table predicates columns =
+let local_effects guard db_table predicates columns =
   let base_rows = float_of_int db_table.Catalog.Table.row_count in
   let per_column =
     List.map
       (fun col ->
-        let stats = stats_of db_table col.Cref.column in
+        let stats = stats_of guard db_table col.Cref.column in
         let combined =
           Local_pred.combine stats (const_preds_on predicates col)
+        in
+        let combined =
+          { combined with
+            Local_pred.selectivity =
+              Guard.selectivity guard ~site:"Profile.local_pred"
+                combined.Local_pred.selectivity }
         in
         (col, stats, combined))
       (Cref.Set.elements columns)
@@ -147,7 +158,11 @@ let local_effects db_table predicates columns =
       (fun acc (_, _, combined) -> acc *. combined.Local_pred.selectivity)
       1. per_column
   in
-  let rows = base_rows *. selectivity in
+  let rows =
+    Guard.cardinality guard ~site:"Profile.local_rows"
+      ~upper:(Float.max 0. base_rows)
+      (base_rows *. selectivity)
+  in
   let column_profiles =
     List.fold_left
       (fun acc (col, stats, combined) ->
@@ -165,6 +180,17 @@ let local_effects db_table predicates columns =
                than the surviving rows. *)
             Float.min (Local_pred.reduced_distinct stats combined) rows
         in
+        let local_distinct =
+          (* d′ ∈ [1, d] only when the table and column are nonempty;
+             degenerate inputs legitimately drive d′ to 0. *)
+          if rows >= 1. && base_distinct >= 1. then
+            Guard.distinct guard ~site:"Profile.local_distinct"
+              ~d:base_distinct local_distinct
+          else
+            Guard.cardinality guard ~site:"Profile.local_distinct"
+              ~upper:(Float.max 0. base_distinct)
+              local_distinct
+        in
         Cref.Map.add col
           { cref = col; base_distinct; local_distinct;
             join_distinct = local_distinct }
@@ -175,7 +201,7 @@ let local_effects db_table predicates columns =
 
 (* Step 5, Section 6: single-table j-equivalent columns. Returns the
    adjusted row count and column map. *)
-let single_table_effects classes rows columns =
+let single_table_effects guard classes rows columns =
   (* Group this table's predicate columns by equivalence class. *)
   let by_class = Hashtbl.create 8 in
   Cref.Map.iter
@@ -204,10 +230,19 @@ let single_table_effects classes rows columns =
         let rows' =
           if divisor <= 0. then 0. else ceil_pos (rows /. divisor)
         in
+        let rows' =
+          Guard.cardinality guard ~site:"Profile.single_table_rows"
+            ~upper:(ceil_pos rows) rows'
+        in
         let rep_card =
           ceil_pos
             (Stats.Urn.expected_distinct ~urns:smallest.local_distinct
                ~balls:rows')
+        in
+        let rep_card =
+          Guard.cardinality guard ~site:"Profile.single_table_rep_card"
+            ~upper:(ceil_pos smallest.local_distinct)
+            rep_card
         in
         let columns =
           List.fold_left
@@ -236,15 +271,46 @@ let selinger_intra_table_effects predicates table_name rows columns =
     rows
     (intra_table_equalities predicates table_name)
 
-let build_table config predicates classes db query_table ~source =
+(* Audit one catalog table under the configured strictness before its
+   numbers enter any formula. Only tables the query references are
+   audited, so validation cost scales with the query, not the catalog. *)
+let validated_table config guard note_issues db source =
   let db_table = Catalog.Db.find_exn db source in
+  match config.Config.strictness with
+  | Config.Strict -> begin
+    match Catalog.Validate.check_table db_table with
+    | [] -> db_table
+    | issue :: _ -> Els_error.raise_ (Els_error.of_issue issue)
+  end
+  | Config.Repair ->
+    let repaired, issues = Catalog.Validate.repair_table db_table in
+    let stats = Guard.stats guard in
+    List.iter
+      (fun _ ->
+        stats.Guard.violations <- stats.Guard.violations + 1;
+        stats.Guard.repairs <- stats.Guard.repairs + 1)
+      issues;
+    note_issues issues;
+    repaired
+  | Config.Trap ->
+    let issues = Catalog.Validate.check_table db_table in
+    let stats = Guard.stats guard in
+    List.iter
+      (fun _ -> stats.Guard.violations <- stats.Guard.violations + 1)
+      issues;
+    note_issues issues;
+    db_table
+
+let build_table config guard note_issues predicates classes db query_table
+    ~source =
+  let db_table = validated_table config guard note_issues db source in
   let columns = predicate_columns predicates query_table in
   let base_rows, rows, _selectivity, column_profiles =
-    local_effects db_table predicates columns
+    local_effects guard db_table predicates columns
   in
   let rows, column_profiles =
     if config.Config.single_table then
-      single_table_effects classes rows column_profiles
+      single_table_effects guard classes rows column_profiles
     else
       ( selinger_intra_table_effects predicates query_table rows
           column_profiles,
@@ -326,11 +392,14 @@ let build ?(memoize = true) config db query =
     else deduped
   in
   let classes = Eqclass.of_predicates working in
+  let guard = Guard.create config.Config.strictness in
+  let issues = ref [] in
+  let note_issues found = issues := List.rev_append found !issues in
   let tables =
     List.map
       (fun name ->
         ( name,
-          build_table config working classes db name
+          build_table config guard note_issues working classes db name
             ~source:(Query.source query name) ))
       query.Query.tables
   in
@@ -345,7 +414,20 @@ let build ?(memoize = true) config db query =
     sel_cache = Array.make (Array.length index.pred_infos) Float.nan;
     group_cache = Hashtbl.create 256;
     stats = create_stats ();
+    guard;
+    validation = List.rev !issues;
   }
+
+let build_result ?memoize config db query =
+  match build ?memoize config db query with
+  | profile -> Ok profile
+  | exception Els_error.Error e -> Error e
+  | exception Invalid_argument msg ->
+    Error (Els_error.Invalid_query { detail = msg })
+  | exception Not_found ->
+    Error
+      (Els_error.Invalid_query
+         { detail = "a query table or column is missing from the catalog" })
 
 let table_count t = Array.length t.index.table_names
 let table_bit t name = Hashtbl.find t.index.table_bits (normalize name)
@@ -359,6 +441,10 @@ let scan_filters t name = t.index.local_preds_by_table.(table_bit t name)
 
 let cache_stats t = t.stats
 let reset_cache_stats t = reset_stats t.stats
+
+let guard t = t.guard
+let guard_stats t = Guard.stats t.guard
+let validation_issues t = t.validation
 
 let join_card t cref =
   let profile = table t cref.Cref.table in
@@ -379,7 +465,8 @@ let join_selectivity t id =
   let compute () =
     match t.index.pred_infos.(id).pred with
     | Predicate.Col_eq { left; right } ->
-      selectivity_of_cards (join_card t left) (join_card t right)
+      Guard.selectivity t.guard ~site:"Profile.join_selectivity"
+        (selectivity_of_cards (join_card t left) (join_card t right))
     | Predicate.Cmp _ ->
       invalid_arg "Profile.join_selectivity: not a join predicate"
   in
@@ -404,7 +491,8 @@ let group_cache_limit = 4096
 
 let class_selectivity t ids =
   let compute () =
-    Config.combine t.config (List.map (join_selectivity t) ids)
+    Guard.selectivity t.guard ~site:"Profile.class_selectivity"
+      (Config.combine t.config (List.map (join_selectivity t) ids))
   in
   if not t.memoize then compute ()
   else begin

@@ -94,6 +94,13 @@ type t = {
   group_cache : (int list, float) Hashtbl.t;
       (** class-group predicate ids → rule-combined selectivity *)
   stats : cache_stats;
+  guard : Guard.t;
+      (** invariant guard for every number this profile produces; its mode
+          is [config.strictness] *)
+  validation : Catalog.Validate.issue list;
+      (** catalog-statistics issues found (and, under [Repair], fixed)
+          while building the profile; empty under [Strict] (the first
+          issue raises) *)
 }
 
 val normalize : string -> string
@@ -104,8 +111,18 @@ val normalize : string -> string
 val build : ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> t
 (** [memoize] defaults to [true]; pass [false] to recompute every
     selectivity (the caches are bit-transparent — see the property tests).
-    @raise Not_found when a query table is missing from the catalog.
-    @raise Invalid_argument on more than 62 tables (bitset index limit). *)
+    Catalog statistics of every referenced table are audited under
+    [config.strictness] before use (see {!Catalog.Validate}).
+    @raise Invalid_argument when a query table is missing from the catalog
+    or on more than 62 tables (bitset index limit).
+    @raise Els_error.Error under [Strict] strictness when a referenced
+    table carries corrupt statistics. *)
+
+val build_result :
+  ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> (t, Els_error.t) result
+(** [build] with failures reified: corrupt statistics under [Strict]
+    become [Error (Corrupt_stats _)], unknown tables and structural limits
+    become [Error (Invalid_query _)]. Never raises. *)
 
 val table : t -> string -> table_profile
 (** @raise Not_found for tables outside the query. *)
@@ -149,3 +166,11 @@ val class_selectivity : t -> int list -> float
 val cache_stats : t -> cache_stats
 val reset_cache_stats : t -> unit
 val pp_stats : Format.formatter -> cache_stats -> unit
+
+val guard : t -> Guard.t
+val guard_stats : t -> Guard.stats
+(** Invariant violations / repairs / fallbacks observed so far by this
+    profile's guard (catalog repairs count here too). *)
+
+val validation_issues : t -> Catalog.Validate.issue list
+(** Catalog issues found while building, in table order. *)

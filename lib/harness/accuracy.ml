@@ -1,3 +1,8 @@
+type q_error =
+  | Finite of float
+  | Infinite
+  | Undefined
+
 type summary = {
   algorithm : string;
   queries : int;
@@ -5,15 +10,17 @@ type summary = {
   p90_q : float;
   max_q : float;
   underestimated : float;
+  infinite : int;
+  undefined : int;
 }
 
 let algorithms =
   [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ]
 
 let q_error ~est ~truth =
-  if truth <= 0. then nan
-  else if est <= 0. then Float.infinity
-  else Float.max (est /. truth) (truth /. est)
+  if truth <= 0. || Float.is_nan truth || Float.is_nan est then Undefined
+  else if est <= 0. || est = Float.infinity then Infinite
+  else Float.max (est /. truth) (truth /. est) |> fun q -> Finite q
 
 (* One chain and one star specimen per seed; chains get a ~25% local range
    predicate on the first table's join column. *)
@@ -53,10 +60,8 @@ let percentile sorted p =
 let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
   let per_algo = Hashtbl.create 4 in
   let record algo q under =
-    let qs, unders =
-      Option.value (Hashtbl.find_opt per_algo algo) ~default:([], 0)
-    in
-    Hashtbl.replace per_algo algo (q :: qs, unders + if under then 1 else 0)
+    let entries = Option.value (Hashtbl.find_opt per_algo algo) ~default:[] in
+    Hashtbl.replace per_algo algo ((q, under) :: entries)
   in
   List.iter
     (fun seed ->
@@ -66,22 +71,36 @@ let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
             float_of_int
               (Exec.Executor.run_query db query).Exec.Executor.row_count
           in
-          if truth > 0. then
-            List.iter
-              (fun config ->
-                let est = Els.estimate config db query query.Query.tables in
-                record (Els.Config.name config) (q_error ~est ~truth)
-                  (est < truth))
-              algorithms)
+          List.iter
+            (fun config ->
+              let est = Els.estimate config db query query.Query.tables in
+              record (Els.Config.name config) (q_error ~est ~truth)
+                (truth > 0. && est < truth))
+            algorithms)
         (workloads seed))
     seeds;
   List.filter_map
     (fun config ->
       let name = Els.Config.name config in
       match Hashtbl.find_opt per_algo name with
-      | None | Some ([], _) -> None
-      | Some (qs, unders) ->
-        let sorted = Array.of_list qs in
+      | None | Some [] -> None
+      | Some entries ->
+        let finite =
+          List.filter_map
+            (function Finite q, _ -> Some q | (Infinite | Undefined), _ -> None)
+            entries
+        in
+        let count p = List.length (List.filter p entries) in
+        let infinite = count (fun (q, _) -> q = Infinite) in
+        let undefined = count (fun (q, _) -> q = Undefined) in
+        (* Undefined cases (empty truth, NaN) are excluded everywhere:
+           percentiles run over the finite q-errors only, the
+           underestimation share over queries where est vs truth is
+           meaningful. One degenerate query no longer poisons the
+           aggregates with NaN. *)
+        let defined = List.length finite + infinite in
+        let unders = count (fun (q, under) -> q <> Undefined && under) in
+        let sorted = Array.of_list finite in
         Array.sort Float.compare sorted;
         let n = Array.length sorted in
         Some
@@ -90,15 +109,22 @@ let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
             queries = n;
             median_q = percentile sorted 0.5;
             p90_q = percentile sorted 0.9;
-            max_q = sorted.(n - 1);
-            underestimated = float_of_int unders /. float_of_int n;
+            max_q = (if n = 0 then nan else sorted.(n - 1));
+            underestimated =
+              (if defined = 0 then 0.
+               else float_of_int unders /. float_of_int defined);
+            infinite;
+            undefined;
           })
     algorithms
 
 let render summaries =
   Report.table
     ~header:
-      [ "algorithm"; "queries"; "median q"; "p90 q"; "max q"; "under-est %" ]
+      [
+        "algorithm"; "queries"; "median q"; "p90 q"; "max q"; "under-est %";
+        "inf"; "undef";
+      ]
     (List.map
        (fun s ->
          [
@@ -108,5 +134,7 @@ let render summaries =
            Report.float_cell s.p90_q;
            Report.float_cell s.max_q;
            Printf.sprintf "%.0f%%" (100. *. s.underestimated);
+           string_of_int s.infinite;
+           string_of_int s.undefined;
          ])
        summaries)

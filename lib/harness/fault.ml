@@ -1,0 +1,294 @@
+type corruption =
+  | Drop_stats
+  | Negative_rows
+  | Zero_rows
+  | Distinct_exceeds_rows
+  | Nan_histogram
+  | Shuffled_histogram
+  | Mcv_overflow
+  | Inverted_bounds
+  | Stale_stats
+
+let all =
+  [
+    Drop_stats; Negative_rows; Zero_rows; Distinct_exceeds_rows; Nan_histogram;
+    Shuffled_histogram; Mcv_overflow; Inverted_bounds; Stale_stats;
+  ]
+
+let name = function
+  | Drop_stats -> "drop-stats"
+  | Negative_rows -> "negative-rows"
+  | Zero_rows -> "zero-rows"
+  | Distinct_exceeds_rows -> "distinct>rows"
+  | Nan_histogram -> "nan-histogram"
+  | Shuffled_histogram -> "shuffled-histogram"
+  | Mcv_overflow -> "mcv-overflow"
+  | Inverted_bounds -> "inverted-bounds"
+  | Stale_stats -> "stale-stats"
+
+let column_level = function
+  | Drop_stats | Distinct_exceeds_rows | Nan_histogram | Shuffled_histogram
+  | Mcv_overflow | Inverted_bounds ->
+    true
+  | Negative_rows | Zero_rows | Stale_stats -> false
+
+(* --- corrupting statistics ---------------------------------------------
+
+   Each kind produces a corruption unconditionally: when the target sketch
+   is absent a corrupt one is synthesized, so every kind is guaranteed to
+   actually fire against every column it is aimed at. *)
+
+let nan_bucket =
+  { Stats.Histogram.lo = Float.nan; hi = Float.nan; count = Float.nan;
+    distinct = Float.nan }
+
+let corrupt_histogram kind h =
+  match kind with
+  | Nan_histogram ->
+    let buckets =
+      match h with
+      | Some h ->
+        List.map
+          (fun b -> { b with Stats.Histogram.count = Float.nan })
+          (Stats.Histogram.buckets h)
+      | None -> [ nan_bucket ]
+    in
+    Some (Stats.Histogram.of_buckets Stats.Histogram.Equi_width buckets)
+  | Shuffled_histogram ->
+    let buckets =
+      match h with
+      | Some h ->
+        (* Reverse the bucket order and swap each bucket's bounds: the
+           result is decreasing where a histogram must be increasing. *)
+        List.rev_map
+          (fun b ->
+            { b with Stats.Histogram.lo = b.Stats.Histogram.hi;
+              hi = b.Stats.Histogram.lo })
+          (Stats.Histogram.buckets h)
+      | None ->
+        [
+          { Stats.Histogram.lo = 100.; hi = 50.; count = 10.; distinct = 5. };
+          { Stats.Histogram.lo = 40.; hi = 10.; count = 10.; distinct = 5. };
+        ]
+    in
+    Some (Stats.Histogram.of_buckets Stats.Histogram.Equi_width buckets)
+  | _ -> h
+
+let corrupt_column kind rows (s : Stats.Col_stats.t) =
+  match kind with
+  | Distinct_exceeds_rows -> { s with distinct = (10 * max 1 rows) + 7 }
+  | Nan_histogram | Shuffled_histogram ->
+    { s with histogram = corrupt_histogram kind s.histogram }
+  | Mcv_overflow ->
+    let entries =
+      match s.mcv with
+      | Some m ->
+        (* Inflate every fraction so the sum comfortably exceeds 1. *)
+        List.map
+          (fun e -> { e with Stats.Mcv.fraction = e.Stats.Mcv.fraction +. 0.7 })
+          (Stats.Mcv.entries m)
+      | None ->
+        [
+          { Stats.Mcv.value = Rel.Value.Int 1; fraction = 0.8 };
+          { Stats.Mcv.value = Rel.Value.Int 2; fraction = 0.9 };
+        ]
+    in
+    { s with mcv = Some (Stats.Mcv.of_entries entries) }
+  | Inverted_bounds ->
+    let lo, hi =
+      match s.min_value, s.max_value with
+      | Some lo, Some hi when Rel.Value.compare lo hi < 0 -> (hi, lo)
+      | _ -> (Rel.Value.Int 1000, Rel.Value.Int (-1000))
+    in
+    { s with min_value = Some lo; max_value = Some hi }
+  | Drop_stats | Negative_rows | Zero_rows | Stale_stats -> s
+
+let corrupt_table ?columns kind (t : Catalog.Table.t) =
+  let touch name =
+    match columns with
+    | None -> true
+    | Some cs -> List.mem name cs
+  in
+  match kind with
+  | Negative_rows -> { t with row_count = -abs t.row_count - 1 }
+  | Zero_rows -> { t with row_count = 0 }
+  | Stale_stats ->
+    (* Simulates statistics collected before the data was regenerated:
+       the stored relation keeps its rows, the catalog number drifts. *)
+    { t with row_count = (3 * max 1 t.row_count) + 11 }
+  | Drop_stats ->
+    { t with
+      column_stats = List.filter (fun (n, _) -> not (touch n)) t.column_stats }
+  | Distinct_exceeds_rows | Nan_histogram | Shuffled_histogram | Mcv_overflow
+  | Inverted_bounds ->
+    { t with
+      column_stats =
+        List.map
+          (fun (n, s) ->
+            if touch n then (n, corrupt_column kind t.row_count s) else (n, s))
+          t.column_stats }
+
+let corrupt_db ?tables ?columns kind db =
+  let touch name =
+    match tables with
+    | None -> true
+    | Some ts -> List.mem name ts
+  in
+  let out = Catalog.Db.create () in
+  List.iter
+    (fun (t : Catalog.Table.t) ->
+      Catalog.Db.add out
+        (if touch t.name then corrupt_table ?columns kind t else t))
+    (Catalog.Db.tables db);
+  out
+
+(* --- the pipeline under test ------------------------------------------- *)
+
+let default_sql =
+  "SELECT COUNT(*) FROM t1, t2, t3 WHERE t1.a = t2.a AND t2.a = t3.a AND \
+   t1.b <= 25"
+
+let base_db ?(seed = 7) () =
+  let rng = Datagen.Prng.create seed in
+  let db = Catalog.Db.create () in
+  let register table rows distinct =
+    ignore
+      (Datagen.Tablegen.register ~histogram:Stats.Histogram.Equi_depth ~mcv:5
+         (Datagen.Prng.split rng) db ~table ~rows
+         [
+           Datagen.Tablegen.column "a" ~distinct;
+           Datagen.Tablegen.column "b" ~distinct:50;
+         ])
+  in
+  register "t1" 300 40;
+  register "t2" 500 60;
+  register "t3" 200 30;
+  db
+
+type status =
+  | Estimated of float
+  | Degraded of Els.Els_error.t
+  | Crashed of string
+
+type outcome = {
+  corruption : corruption option;
+  strictness : Catalog.Validate.strictness;
+  status : status;
+  violations : int;
+  repairs : int;
+  fallbacks : int;
+}
+
+let zero_outcome corruption strictness status =
+  { corruption; strictness; status; violations = 0; repairs = 0; fallbacks = 0 }
+
+(* SQL text → binder → profile (validation + guards) → DP optimizer →
+   final estimate. Structured errors are the expected degradation;
+   anything escaping as a raw exception is a crash. *)
+let drive ~strictness db sql =
+  let config = Els.Config.with_strictness strictness Els.Config.els in
+  match Sqlfront.Binder.compile_result db sql with
+  | Error e -> `No_profile (Degraded e)
+  | Ok query -> begin
+    match
+      Optimizer.choose ~enumerator:Optimizer.Exhaustive config db query
+    with
+    | exception Els.Els_error.Error e -> `No_profile (Degraded e)
+    | exception exn -> `No_profile (Crashed (Printexc.to_string exn))
+    | choice ->
+      let profile = choice.Optimizer.profile in
+      let status =
+        let final =
+          match List.rev choice.Optimizer.intermediate_estimates with
+          | last :: _ -> last
+          | [] -> 0.
+        in
+        let bad x = Float.is_nan x || x < 0. || x = Float.infinity in
+        if
+          bad final
+          || List.exists bad choice.Optimizer.intermediate_estimates
+          || bad choice.Optimizer.estimated_cost
+        then
+          Degraded
+            (Els.Els_error.Invariant_violation
+               { site = "Fault.drive";
+                 detail = "optimizer produced a non-finite or negative \
+                           estimate" })
+        else Estimated final
+      in
+      `Profiled (status, profile)
+  end
+
+let outcome_of ~strictness corruption db sql =
+  match drive ~strictness db sql with
+  | `No_profile status -> zero_outcome corruption strictness status
+  | `Profiled (status, profile) ->
+    let g = Els.Profile.guard_stats profile in
+    {
+      corruption;
+      strictness;
+      status;
+      violations = g.Els.Guard.violations;
+      repairs = g.Els.Guard.repairs;
+      fallbacks = g.Els.Guard.fallbacks;
+    }
+
+let run ?seed ?(sql = default_sql) ~strictness () =
+  let clean = base_db ?seed () in
+  let baseline = outcome_of ~strictness None clean sql in
+  baseline
+  :: List.map
+       (fun kind ->
+         outcome_of ~strictness (Some kind) (corrupt_db kind clean) sql)
+       all
+
+(* An outcome is acceptable when the pipeline neither crashed nor let an
+   impossible number escape; under Repair and Trap every injected
+   corruption must additionally be visible in the counters (detected
+   validation issue, clamped value, or counted fallback). *)
+let acceptable o =
+  let well_formed =
+    match o.status with
+    | Crashed _ -> false
+    | Degraded _ -> true
+    | Estimated x -> Float.is_finite x && x >= 0.
+  in
+  let strict_estimates_clean =
+    (* Strict mode may refuse (Degraded) but must never emit a number
+       after swallowing a violation. *)
+    match o.strictness, o.status with
+    | Catalog.Validate.Strict, Estimated _ -> o.violations = 0
+    | _ -> true
+  in
+  let counted =
+    match o.corruption, o.strictness with
+    | None, _ -> true
+    | Some _, Catalog.Validate.Strict -> true
+    | Some _, (Catalog.Validate.Repair | Catalog.Validate.Trap) ->
+      o.violations + o.repairs + o.fallbacks > 0
+  in
+  well_formed && strict_estimates_clean && counted
+
+let all_pass outcomes = List.for_all acceptable outcomes
+
+let status_cell = function
+  | Estimated x -> Printf.sprintf "ok %s" (Report.float_cell x)
+  | Degraded e -> "degraded: " ^ Els.Els_error.to_string e
+  | Crashed msg -> "CRASH: " ^ msg
+
+let render outcomes =
+  Report.table
+    ~header:
+      [ "corruption"; "mode"; "outcome"; "viol"; "repair"; "fallback"; "pass" ]
+    (List.map
+       (fun o ->
+         [
+           (match o.corruption with None -> "(clean)" | Some k -> name k);
+           Catalog.Validate.strictness_name o.strictness;
+           status_cell o.status;
+           string_of_int o.violations;
+           string_of_int o.repairs;
+           string_of_int o.fallbacks;
+           (if acceptable o then "yes" else "NO");
+         ])
+       outcomes)

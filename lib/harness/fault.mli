@@ -1,0 +1,99 @@
+(** Experiment F9: fault injection across the estimation pipeline.
+
+    Systematically corrupts a known-good catalog — dropped statistics,
+    negative/zero/stale row counts, impossible distinct counts, NaN and
+    non-monotone histograms, overflowing MCV sketches, inverted value
+    bounds — and drives the {e full} pipeline (SQL text through the
+    binder, catalog validation, profile build with invariant guards, and
+    the DP optimizer) under each {!Catalog.Validate.strictness} mode.
+
+    The contract being tested: the pipeline never crashes with a raw
+    exception, never lets a NaN/negative/infinite estimate escape in
+    [Repair] mode, and every degradation is visible in the guard counters
+    (a detected issue, a clamped value, or a counted fallback) — garbage
+    in, {e documented} garbage handling out. *)
+
+type corruption =
+  | Drop_stats  (** remove per-column statistics entirely *)
+  | Negative_rows
+  | Zero_rows
+  | Distinct_exceeds_rows  (** d := 10·‖R‖ + 7 *)
+  | Nan_histogram
+  | Shuffled_histogram  (** reversed, non-monotone bucket bounds *)
+  | Mcv_overflow  (** fractions inflated so the sum exceeds 1 *)
+  | Inverted_bounds  (** min/max swapped *)
+  | Stale_stats
+      (** catalog row count drifted away from the stored relation, as if
+          the data was regenerated after ANALYZE *)
+
+val all : corruption list
+val name : corruption -> string
+
+val column_level : corruption -> bool
+(** Kinds that corrupt per-column statistics (and therefore respect the
+    [?columns] filter) as opposed to table-level row counts. *)
+
+val corrupt_table :
+  ?columns:string list -> corruption -> Catalog.Table.t -> Catalog.Table.t
+(** Apply one corruption; [columns] restricts column-level kinds to the
+    named columns (default: all). Every kind fires unconditionally — when
+    a targeted sketch is absent, a corrupt one is synthesized. *)
+
+val corrupt_db :
+  ?tables:string list ->
+  ?columns:string list ->
+  corruption ->
+  Catalog.Db.t ->
+  Catalog.Db.t
+(** Fresh catalog with the corruption applied to the selected tables
+    (default: all); the input is untouched. *)
+
+val default_sql : string
+(** The 3-table chain query (with a local predicate) the suite drives. *)
+
+val base_db : ?seed:int -> unit -> Catalog.Db.t
+(** Three stored, fully-analyzed chain tables (equi-depth histograms and
+    MCV sketches on every column), the clean baseline every corruption
+    starts from. *)
+
+type status =
+  | Estimated of float  (** pipeline produced a final estimate *)
+  | Degraded of Els.Els_error.t  (** refused with a structured error *)
+  | Crashed of string  (** uncaught exception — always a failure *)
+
+type outcome = {
+  corruption : corruption option;  (** [None] for the clean baseline *)
+  strictness : Catalog.Validate.strictness;
+  status : status;
+  violations : int;
+  repairs : int;
+  fallbacks : int;
+}
+
+val outcome_of :
+  strictness:Catalog.Validate.strictness ->
+  corruption option ->
+  Catalog.Db.t ->
+  string ->
+  outcome
+(** Drive SQL text through binder → validation → guarded profile → DP
+    optimizer against the given catalog, capturing the guard counters. *)
+
+val run :
+  ?seed:int ->
+  ?sql:string ->
+  strictness:Catalog.Validate.strictness ->
+  unit ->
+  outcome list
+(** The clean baseline followed by one outcome per corruption kind in
+    {!all}, each applied to every table and column of {!base_db}. *)
+
+val acceptable : outcome -> bool
+(** No crash; estimates (when produced) finite and non-negative; under
+    [Repair]/[Trap] every injected corruption shows up in the counters;
+    under [Strict] an estimate is only produced when nothing was
+    swallowed. *)
+
+val all_pass : outcome list -> bool
+
+val render : outcome list -> string

@@ -2,7 +2,7 @@ type point = {
   theta : float;
   estimate : float;
   true_size : int;
-  ratio : float;
+  ratio : float option;
 }
 
 let run ?(seed = 19) ?(rows = (20000, 10000)) ?(distinct = 500)
@@ -40,8 +40,8 @@ let run ?(seed = 19) ?(rows = (20000, 10000)) ?(distinct = 500)
         estimate;
         true_size;
         ratio =
-          (if true_size = 0 then nan
-           else estimate /. float_of_int true_size);
+          (if true_size = 0 then None
+           else Some (estimate /. float_of_int true_size));
       })
     thetas
 
@@ -54,6 +54,6 @@ let render points =
            Report.float_cell p.theta;
            Report.float_cell p.estimate;
            string_of_int p.true_size;
-           Report.float_cell p.ratio;
+           (match p.ratio with Some r -> Report.float_cell r | None -> "-");
          ])
        points)

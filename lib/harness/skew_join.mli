@@ -17,7 +17,8 @@ type point = {
   theta : float;
   estimate : float;  (** Equation 2 estimate (same for M/SS/LS here) *)
   true_size : int;
-  ratio : float;  (** estimate / true *)
+  ratio : float option;  (** estimate / true; [None] when the true result
+                             is empty (rendered as "-", not [nan]) *)
 }
 
 val run :

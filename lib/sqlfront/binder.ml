@@ -14,11 +14,20 @@ let source_of env alias =
   | Some source -> source
   | None -> fail "table %s is not in the FROM clause" alias
 
+let catalog_tables env =
+  List.map (fun t -> t.Catalog.Table.name) (Catalog.Db.tables env.db)
+
+let columns_of_table (table : Catalog.Table.t) =
+  List.map
+    (fun c -> c.Rel.Schema.name)
+    (Rel.Schema.columns table.Catalog.Table.schema)
+
 let check_tables env =
   List.iter
     (fun (_, source) ->
       if not (Catalog.Db.mem env.db source) then
-        fail "unknown table %s" source)
+        fail "unknown table %s%s" source
+          (Catalog.Suggest.hint ~candidates:(catalog_tables env) source))
     env.from
 
 let resolve env (cref : Ast.column_ref) =
@@ -28,7 +37,9 @@ let resolve env (cref : Ast.column_ref) =
     let q = String.lowercase_ascii q in
     let table = Catalog.Db.find_exn env.db (source_of env q) in
     if not (Rel.Schema.index_of_name table.Catalog.Table.schema name <> Error `Missing)
-    then fail "table %s has no column %s" q name;
+    then
+      fail "table %s has no column %s%s" q name
+        (Catalog.Suggest.hint ~candidates:(columns_of_table table) name);
     Query.Cref.make ~table:q ~column:name
   | None -> begin
     let hits =
@@ -39,7 +50,14 @@ let resolve env (cref : Ast.column_ref) =
     in
     match hits with
     | [ (alias, _) ] -> Query.Cref.make ~table:alias ~column:name
-    | [] -> fail "unknown column %s" name
+    | [] ->
+      let candidates =
+        List.concat_map
+          (fun (_, source) ->
+            columns_of_table (Catalog.Db.find_exn env.db source))
+          env.from
+      in
+      fail "unknown column %s%s" name (Catalog.Suggest.hint ~candidates name)
     | _ :: _ :: _ -> fail "ambiguous column %s" name
   end
 
@@ -133,6 +151,18 @@ let compile db input =
   match Parser.parse input with
   | Error _ as e -> e
   | Ok ast -> bind db ast
+
+let compile_result db input =
+  match Parser.parse_structured input with
+  | Error e ->
+    Error
+      (Els.Els_error.Parse_error
+         { position = e.Parser.position; detail = e.Parser.message })
+  | Ok ast -> begin
+    match bind db ast with
+    | Ok q -> Ok q
+    | Error msg -> Error (Els.Els_error.Invalid_query { detail = msg })
+  end
 
 let compile_exn db input =
   match compile db input with

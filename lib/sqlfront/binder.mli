@@ -12,5 +12,10 @@ val bind : Catalog.Db.t -> Ast.query -> (Query.t, string) result
 val compile : Catalog.Db.t -> string -> (Query.t, string) result
 (** Parse then bind. *)
 
+val compile_result : Catalog.Db.t -> string -> (Query.t, Els.Els_error.t) result
+(** Parse then bind with structured errors: lex/parse failures become
+    [Parse_error] (with the byte offset), binder failures become
+    [Invalid_query]. Never raises. *)
+
 val compile_exn : Catalog.Db.t -> string -> Query.t
 (** @raise Invalid_argument with the error message on failure. *)

@@ -3,6 +3,11 @@ type error = {
   position : int;
 }
 
+type spanned = {
+  token : Token.t;
+  pos : int;
+}
+
 exception Lex_error of error
 
 let error_to_string e =
@@ -27,10 +32,10 @@ let keyword_of_string s =
   | "null" -> Some Token.Kw_null
   | _ -> None
 
-let tokenize input =
+let tokenize_spanned input =
   let len = String.length input in
   let tokens = ref [] in
-  let emit tok = tokens := tok :: !tokens in
+  let emit pos tok = tokens := { token = tok; pos } :: !tokens in
   let pos = ref 0 in
   let peek () = if !pos < len then Some input.[!pos] else None in
   let advance () = incr pos in
@@ -41,8 +46,8 @@ let tokenize input =
     done;
     let text = String.sub input start (!pos - start) in
     match keyword_of_string text with
-    | Some kw -> emit kw
-    | None -> emit (Token.Ident (String.lowercase_ascii text))
+    | Some kw -> emit start kw
+    | None -> emit start (Token.Ident (String.lowercase_ascii text))
   in
   let lex_number () =
     let start = !pos in
@@ -78,10 +83,10 @@ let tokenize input =
       done
     end;
     let text = String.sub input start (!pos - start) in
-    if is_float || has_exp then emit (Token.Float_lit (float_of_string text))
+    if is_float || has_exp then emit start (Token.Float_lit (float_of_string text))
     else
       match int_of_string_opt text with
-      | Some n -> emit (Token.Int_lit n)
+      | Some n -> emit start (Token.Int_lit n)
       | None -> fail start (Printf.sprintf "integer literal too large: %s" text)
   in
   let lex_string () =
@@ -104,7 +109,7 @@ let tokenize input =
         loop ()
     in
     loop ();
-    emit (Token.String_lit (Buffer.contents buf))
+    emit start (Token.String_lit (Buffer.contents buf))
   in
   let lex_operator c =
     let start = !pos in
@@ -124,12 +129,12 @@ let tokenize input =
     match two with
     | Some op ->
       advance ();
-      emit (Token.Op op)
+      emit start (Token.Op op)
     | None -> begin
       match c with
-      | '=' -> emit (Token.Op Rel.Cmp.Eq)
-      | '<' -> emit (Token.Op Rel.Cmp.Lt)
-      | '>' -> emit (Token.Op Rel.Cmp.Gt)
+      | '=' -> emit start (Token.Op Rel.Cmp.Eq)
+      | '<' -> emit start (Token.Op Rel.Cmp.Lt)
+      | '>' -> emit start (Token.Op Rel.Cmp.Gt)
       | '!' -> fail start "'!' must be followed by '='"
       | _ -> fail start (Printf.sprintf "unexpected character %c" c)
     end
@@ -141,23 +146,29 @@ let tokenize input =
       (match c with
       | ' ' | '\t' | '\n' | '\r' -> advance ()
       | '*' ->
+        let start = !pos in
         advance ();
-        emit Token.Star
+        emit start Token.Star
       | ',' ->
+        let start = !pos in
         advance ();
-        emit Token.Comma
+        emit start Token.Comma
       | '.' ->
+        let start = !pos in
         advance ();
-        emit Token.Dot
+        emit start Token.Dot
       | '(' ->
+        let start = !pos in
         advance ();
-        emit Token.Lparen
+        emit start Token.Lparen
       | ')' ->
+        let start = !pos in
         advance ();
-        emit Token.Rparen
+        emit start Token.Rparen
       | ';' ->
+        let start = !pos in
         advance ();
-        emit Token.Semicolon
+        emit start Token.Semicolon
       | '\'' -> lex_string ()
       | '=' | '<' | '>' | '!' -> lex_operator c
       | c when is_digit c -> lex_number ()
@@ -167,6 +178,9 @@ let tokenize input =
   in
   match loop () with
   | () ->
-    emit Token.Eof;
+    emit len Token.Eof;
     Ok (List.rev !tokens)
   | exception Lex_error e -> Error e
+
+let tokenize input =
+  Result.map (List.map (fun s -> s.token)) (tokenize_spanned input)

@@ -8,7 +8,17 @@ type error = {
   position : int; (** byte offset into the input *)
 }
 
+type spanned = {
+  token : Token.t;
+  pos : int; (** byte offset of the token's first character *)
+}
+
 val tokenize : string -> (Token.t list, error) result
 (** The token list always ends with {!Token.Eof} on success. *)
+
+val tokenize_spanned : string -> (spanned list, error) result
+(** Like {!tokenize} but each token carries its source offset, so parse
+    errors can point at the offending token. [Eof]'s offset is the input
+    length. *)
 
 val error_to_string : error -> string

@@ -1,15 +1,32 @@
-exception Parse_error of string
-
-type state = {
-  mutable tokens : Token.t list;
+type error = {
+  message : string;
+  position : int;
 }
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+exception Parse_error of error
+
+let error_to_string e =
+  Printf.sprintf "parse error at offset %d: %s" e.position e.message
+
+type state = {
+  mutable tokens : Lexer.spanned list;
+  eof_pos : int;
+}
+
+let fail pos fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error { message = s; position = pos }))
+    fmt
 
 let peek st =
   match st.tokens with
   | [] -> Token.Eof
-  | tok :: _ -> tok
+  | s :: _ -> s.Lexer.token
+
+let peek_pos st =
+  match st.tokens with
+  | [] -> st.eof_pos
+  | s :: _ -> s.Lexer.pos
 
 let advance st =
   match st.tokens with
@@ -19,7 +36,8 @@ let advance st =
 let expect st tok =
   let got = peek st in
   if Token.equal got tok then advance st
-  else fail "expected %s but found %s" (Token.to_string tok)
+  else
+    fail (peek_pos st) "expected %s but found %s" (Token.to_string tok)
       (Token.to_string got)
 
 let ident st =
@@ -27,7 +45,8 @@ let ident st =
   | Token.Ident name ->
     advance st;
     name
-  | tok -> fail "expected identifier but found %s" (Token.to_string tok)
+  | tok ->
+    fail (peek_pos st) "expected identifier but found %s" (Token.to_string tok)
 
 (* [col] or [table.col]. *)
 let column_ref st =
@@ -109,7 +128,8 @@ let operand st =
     advance st;
     Ast.Lit Rel.Value.Null
   | Token.Ident _ -> Ast.Col (column_ref st)
-  | tok -> fail "expected operand but found %s" (Token.to_string tok)
+  | tok ->
+    fail (peek_pos st) "expected operand but found %s" (Token.to_string tok)
 
 (* One WHERE conjunct; [x BETWEEN a AND b] desugars into two
    conditions. *)
@@ -128,7 +148,8 @@ let condition st =
     [ { Ast.lhs; op = Rel.Cmp.Ge; rhs = lo };
       { Ast.lhs; op = Rel.Cmp.Le; rhs = hi } ]
   | tok ->
-    fail "expected comparison operator but found %s" (Token.to_string tok)
+    fail (peek_pos st) "expected comparison operator but found %s"
+      (Token.to_string tok)
 
 let where_clause st =
   if Token.equal (peek st) Token.Kw_where then begin
@@ -156,12 +177,18 @@ let query st =
   expect st Token.Eof;
   { Ast.select; from; where }
 
-let parse input =
-  match Lexer.tokenize input with
-  | Error e -> Error (Lexer.error_to_string e)
+let parse_structured input =
+  match Lexer.tokenize_spanned input with
+  | Error e ->
+    Error
+      { message = "lex error: " ^ e.Lexer.message;
+        position = e.Lexer.position }
   | Ok tokens -> begin
-    let st = { tokens } in
+    let st = { tokens; eof_pos = String.length input } in
     match query st with
     | q -> Ok q
-    | exception Parse_error msg -> Error ("parse error: " ^ msg)
+    | exception Parse_error e -> Error e
   end
+
+let parse input =
+  Result.map_error error_to_string (parse_structured input)

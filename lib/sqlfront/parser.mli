@@ -11,6 +11,19 @@
     [operand BETWEEN operand AND operand] (desugared into a [>=]/[<=]
     pair). Tables may carry aliases ([FROM emp e1] or [FROM emp AS e1]). *)
 
+type error = {
+  message : string;
+  position : int;  (** byte offset of the offending token *)
+}
+
+val error_to_string : error -> string
+
+val parse_structured : string -> (Ast.query, error) result
+(** Lex and parse; a lex failure surfaces as an error at its input offset
+    with a ["lex error: "] message prefix, a parse failure points at the
+    first character of the unexpected token ([Eof] points one past the
+    input). *)
+
 val parse : string -> (Ast.query, string) result
-(** Lex and parse; errors carry a human-readable message with the byte
-    offset. *)
+(** {!parse_structured} with the error rendered as a human-readable
+    message carrying the byte offset. *)

@@ -87,6 +87,11 @@ let build_equi_depth ~buckets:n values =
   done;
   Array.of_list (List.rev !out)
 
+let of_buckets kind buckets =
+  let bs = Array.of_list buckets in
+  let total = Array.fold_left (fun acc b -> acc +. b.count) 0. bs in
+  { kind; buckets = bs; total }
+
 let build kind ~buckets values =
   if buckets < 1 then invalid_arg "Histogram.build: buckets < 1";
   if Array.length values = 0 then None

@@ -27,6 +27,13 @@ val build : kind -> buckets:int -> float array -> t option
 (** [build kind ~buckets values] is [None] when [values] is empty.
     @raise Invalid_argument when [buckets < 1]. *)
 
+val of_buckets : kind -> bucket list -> t
+(** Raw constructor from explicit buckets, with NO validation — bounds may
+    be non-monotone, counts NaN or negative. Exists so fault injection and
+    tests can build deliberately corrupt histograms; real statistics come
+    from {!build}. [Catalog.Validate] is the gatekeeper that rejects or
+    repairs what this lets through. *)
+
 val kind : t -> kind
 val buckets : t -> bucket list
 val total_count : t -> float

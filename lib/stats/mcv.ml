@@ -40,6 +40,10 @@ let build ~k values =
     Some { entries; covered = Float.min 1. covered }
   end
 
+let of_entries entries =
+  let covered = List.fold_left (fun acc e -> acc +. e.fraction) 0. entries in
+  { entries; covered }
+
 let entries t = t.entries
 
 let lookup t v =

@@ -22,6 +22,13 @@ val build : k:int -> Rel.Value.t array -> t option
     Returns [None] when the column has no non-null values.
     @raise Invalid_argument when [k < 1]. *)
 
+val of_entries : entry list -> t
+(** Raw constructor with NO validation — fractions may be NaN, negative or
+    sum past 1 (the covered fraction is the unclamped sum). Exists so fault
+    injection and tests can build deliberately corrupt sketches; real
+    sketches come from {!build}, and [Catalog.Validate] rejects or repairs
+    what this lets through. *)
+
 val entries : t -> entry list
 (** Tracked values, most frequent first. *)
 

@@ -4,6 +4,13 @@
 let check_float ?(eps = 1e-9) what expected actual =
   Alcotest.(check (float eps)) what expected actual
 
+(* Substring test for error-message assertions: exact messages are free to
+   evolve, the named table/column and suggestions must stay. *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  nl = 0 || at 0
+
 (* A stats-only table of integer columns given (name, distinct) pairs. *)
 let stats_table name rows cols =
   let schema =

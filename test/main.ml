@@ -26,4 +26,5 @@ let () =
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);
       ("accuracy", Test_accuracy.suite);
+      ("fault", Test_fault.suite);
     ]

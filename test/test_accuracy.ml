@@ -60,13 +60,15 @@ let test_skew_join_limits () =
       ~thetas:[ 0.; 1.2 ] ()
   in
   match points with
-  | [ uniform; skewed ] ->
+  | [ uniform; skewed ] -> begin
     (* Uniform data: the model is near-exact. Skewed data: systematic
        underestimation, the boundary the paper's §9 describes. *)
-    Alcotest.(check bool) "exact on uniform" true
-      (Float.abs (uniform.Harness.Skew_join.ratio -. 1.) < 0.1);
-    Alcotest.(check bool) "underestimates under skew" true
-      (skewed.Harness.Skew_join.ratio < 0.5)
+    match uniform.Harness.Skew_join.ratio, skewed.Harness.Skew_join.ratio with
+    | Some u, Some s ->
+      Alcotest.(check bool) "exact on uniform" true (Float.abs (u -. 1.) < 0.1);
+      Alcotest.(check bool) "underestimates under skew" true (s < 0.5)
+    | _ -> Alcotest.fail "expected nonempty true results"
+  end
   | _ -> Alcotest.fail "expected two points"
 
 let suite =

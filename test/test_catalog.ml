@@ -36,8 +36,11 @@ let test_table_col_stats () =
     (Catalog.Table.col_stats t "A" <> None);
   Alcotest.(check bool) "col_stats missing" true
     (Catalog.Table.col_stats t "z" = None);
-  Alcotest.check_raises "col_stats_exn" Not_found (fun () ->
-      ignore (Catalog.Table.col_stats_exn t "z"))
+  Alcotest.(check bool) "col_stats_exn names the column and suggests" true
+    (match Catalog.Table.col_stats_exn t "z" with
+    | exception Invalid_argument msg ->
+      Helpers.contains msg "column \"z\"" && Helpers.contains msg "\"a\""
+    | _ -> false)
 
 (* --- Db --- *)
 
@@ -52,8 +55,15 @@ let test_db_registry () =
   Alcotest.check_raises "duplicate"
     (Invalid_argument "Catalog.Db.add: duplicate table t") (fun () ->
       Catalog.Db.add db (Helpers.stats_table "t" 1 []));
-  Alcotest.check_raises "find_exn missing" Not_found (fun () ->
-      ignore (Catalog.Db.find_exn db "zz"))
+  Alcotest.(check bool) "find_exn names the table" true
+    (match Catalog.Db.find_exn db "zz" with
+    | exception Invalid_argument msg -> Helpers.contains msg "table \"zz\""
+    | _ -> false);
+  Alcotest.(check bool) "find_exn suggests a near-miss" true
+    (match Catalog.Db.find_exn db "tt" with
+    | exception Invalid_argument msg ->
+      Helpers.contains msg "did you mean \"t\"?"
+    | _ -> false)
 
 let test_db_resolve_column () =
   let db = Catalog.Db.create () in

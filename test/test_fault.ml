@@ -1,0 +1,186 @@
+(* Fault-injection suite (experiment F9) plus robustness properties.
+
+   The deterministic part drives every corruption kind through the full
+   pipeline under each strictness mode and checks the Fault harness's own
+   acceptance criteria. The property part hammers Els.estimate_result
+   with randomly corrupted catalogs: the contract is total — Ok with a
+   finite non-negative number, or a structured Error, never an exception
+   and never NaN. *)
+
+let modes =
+  [ Catalog.Validate.Strict; Catalog.Validate.Repair; Catalog.Validate.Trap ]
+
+let outcomes_for mode = Harness.Fault.run ~seed:11 ~strictness:mode ()
+
+(* --- the deterministic suite --- *)
+
+let test_suite_passes () =
+  List.iter
+    (fun mode ->
+      let outcomes = outcomes_for mode in
+      Alcotest.(check int)
+        "one outcome per corruption plus the clean baseline"
+        (1 + List.length Harness.Fault.all)
+        (List.length outcomes);
+      List.iter
+        (fun (o : Harness.Fault.outcome) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s acceptable"
+               (match o.Harness.Fault.corruption with
+               | None -> "(clean)"
+               | Some k -> Harness.Fault.name k)
+               (Catalog.Validate.strictness_name mode))
+            true
+            (Harness.Fault.acceptable o))
+        outcomes)
+    modes
+
+let test_repair_always_estimates () =
+  (* Repair mode must survive every corruption with a finite estimate:
+     degradation means clamping, never refusal. *)
+  List.iter
+    (fun (o : Harness.Fault.outcome) ->
+      match o.Harness.Fault.status with
+      | Harness.Fault.Estimated x ->
+        Alcotest.(check bool) "finite" true (Float.is_finite x);
+        Alcotest.(check bool) "non-negative" true (x >= 0.)
+      | Harness.Fault.Degraded e ->
+        Alcotest.fail
+          (Printf.sprintf "repair refused on %s: %s"
+             (match o.Harness.Fault.corruption with
+             | None -> "(clean)"
+             | Some k -> Harness.Fault.name k)
+             (Els.Els_error.to_string e))
+      | Harness.Fault.Crashed msg -> Alcotest.fail ("crash: " ^ msg))
+    (outcomes_for Catalog.Validate.Repair)
+
+let test_repair_counts_every_corruption () =
+  List.iter
+    (fun (o : Harness.Fault.outcome) ->
+      match o.Harness.Fault.corruption with
+      | None ->
+        Alcotest.(check int) "clean baseline has no violations" 0
+          (o.Harness.Fault.violations + o.Harness.Fault.repairs
+         + o.Harness.Fault.fallbacks)
+      | Some k ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s counted" (Harness.Fault.name k))
+          true
+          (o.Harness.Fault.violations + o.Harness.Fault.repairs
+           + o.Harness.Fault.fallbacks
+          > 0))
+    (outcomes_for Catalog.Validate.Repair)
+
+let test_strict_refuses_validation_corruptions () =
+  (* Every corruption that validation can see must turn into a structured
+     refusal under Strict. Drop_stats is invisible to validation (absent
+     statistics are a legal catalog state) — it degrades via counted
+     fallbacks instead. *)
+  List.iter
+    (fun (o : Harness.Fault.outcome) ->
+      match o.Harness.Fault.corruption with
+      | None | Some Harness.Fault.Drop_stats -> ()
+      | Some k ->
+        Alcotest.(check bool)
+          (Printf.sprintf "strict refuses %s" (Harness.Fault.name k))
+          true
+          (match o.Harness.Fault.status with
+          | Harness.Fault.Degraded (Els.Els_error.Corrupt_stats _) -> true
+          | _ -> false))
+    (outcomes_for Catalog.Validate.Strict)
+
+(* --- properties --- *)
+
+type fault_spec = {
+  kind : Harness.Fault.corruption;
+  mode : Catalog.Validate.strictness;
+  tables : string list; (* which of t1..t3 to corrupt *)
+  seed : int;
+}
+
+let gen_fault_spec =
+  QCheck2.Gen.(
+    let* kind = oneofl Harness.Fault.all in
+    let* mode = oneofl modes in
+    let* tables =
+      oneofl
+        [
+          [ "t1" ]; [ "t2" ]; [ "t3" ]; [ "t1"; "t2" ]; [ "t2"; "t3" ];
+          [ "t1"; "t2"; "t3" ];
+        ]
+    in
+    let* seed = int_range 0 1000 in
+    return { kind; mode; tables; seed })
+
+let print_fault_spec spec =
+  Printf.sprintf "%s/%s on [%s] seed=%d"
+    (Harness.Fault.name spec.kind)
+    (Catalog.Validate.strictness_name spec.mode)
+    (String.concat "," spec.tables)
+    spec.seed
+
+(* Totality: a corrupted catalog never makes the Result-typed entry
+   points raise, and a produced number is always finite and >= 0. *)
+let prop_estimate_total =
+  QCheck2.Test.make ~count:150 ~name:"estimate_result total under corruption"
+    ~print:print_fault_spec gen_fault_spec (fun spec ->
+      let clean = Harness.Fault.base_db ~seed:spec.seed () in
+      let db = Harness.Fault.corrupt_db ~tables:spec.tables spec.kind clean in
+      let config = Els.Config.with_strictness spec.mode Els.Config.els in
+      match Sqlfront.Binder.compile_result db Harness.Fault.default_sql with
+      | Error _ -> true (* structured refusal is within the contract *)
+      | Ok query -> begin
+        let order = query.Query.tables in
+        match Els.estimate_result config db query order with
+        | Ok x ->
+          (* Trap mode deliberately passes corrupt values through, so the
+             only universal promise there is "no exception": the final
+             boundary converts escaped NaN into Error, which this branch
+             never sees. *)
+          Float.is_finite x && x >= 0.
+        | Error _ -> true
+      end)
+
+(* Repairing statistics the query never touches must not move the
+   estimate: corrupt only the unused "b" columns of t2/t3 and demand the
+   Repair-mode estimate stays bit-identical to the clean one. *)
+let prop_unused_column_repair_identity =
+  QCheck2.Test.make ~count:100
+    ~name:"repair of unused columns is bit-identical"
+    ~print:print_fault_spec gen_fault_spec (fun spec ->
+      QCheck2.assume (Harness.Fault.column_level spec.kind);
+      let clean = Harness.Fault.base_db ~seed:spec.seed () in
+      let db =
+        Harness.Fault.corrupt_db ~tables:[ "t2"; "t3" ] ~columns:[ "b" ]
+          spec.kind clean
+      in
+      let config =
+        Els.Config.with_strictness Catalog.Validate.Repair Els.Config.els
+      in
+      match
+        Sqlfront.Binder.compile_result clean Harness.Fault.default_sql
+      with
+      | Error _ -> false
+      | Ok query -> begin
+        let order = query.Query.tables in
+        match
+          ( Els.estimate_result config clean query order,
+            Els.estimate_result config db query order )
+        with
+        | Ok reference, Ok corrupted -> Float.equal reference corrupted
+        | _ -> false
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "fault: suite passes in all modes" `Quick
+      test_suite_passes;
+    Alcotest.test_case "fault: repair always estimates" `Quick
+      test_repair_always_estimates;
+    Alcotest.test_case "fault: repair counts every corruption" `Quick
+      test_repair_counts_every_corruption;
+    Alcotest.test_case "fault: strict refuses corrupt stats" `Quick
+      test_strict_refuses_validation_corruptions;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_estimate_total; prop_unused_column_repair_identity ]

@@ -119,6 +119,39 @@ let test_parser_errors () =
       "FROM t SELECT *";
     ]
 
+(* Table-driven: every malformed input must fail with the expected byte
+   offset and a message naming what was expected/found. Eof errors point
+   one past the input. *)
+let test_parser_error_positions () =
+  List.iter
+    (fun (sql, position, fragment) ->
+      match Sqlfront.Parser.parse_structured sql with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "expected error for %S" sql)
+      | Error e ->
+        Alcotest.(check int)
+          (Printf.sprintf "position of %S" sql)
+          position e.Sqlfront.Parser.position;
+        Alcotest.(check bool)
+          (Printf.sprintf "message of %S mentions %S" sql fragment)
+          true
+          (Helpers.contains e.Sqlfront.Parser.message fragment))
+    [
+      (* parse errors *)
+      ("", 0, "expected SELECT but found <eof>");
+      ("FROM t SELECT *", 0, "expected SELECT but found FROM");
+      ("SELECT", 6, "expected identifier but found <eof>");
+      ("SELECT * WHERE a = 1", 9, "expected FROM but found WHERE");
+      ("SELECT * FROM", 13, "expected identifier");
+      ("SELECT * FROM t WHERE", 21, "expected operand");
+      ("SELECT * FROM t WHERE a", 23, "expected comparison operator");
+      ("SELECT * FROM t WHERE a = ", 26, "expected operand but found <eof>");
+      ("SELECT * FROM t WHERE a BETWEEN 3", 33, "expected AND");
+      ("SELECT * FROM t extra garbage", 22, "expected <eof>");
+      (* lex errors, surfaced at their own offsets *)
+      ("'oops", 0, "lex error: unterminated string literal");
+      ("SELECT * FROM t WHERE a ? 1", 24, "unexpected character ?");
+    ]
+
 (* --- Binder --- *)
 
 let binder_db () =
@@ -193,6 +226,39 @@ let test_binder_count_star () =
   let q = compile_ok "SELECT COUNT(*) FROM t" in
   Alcotest.(check bool) "projection" true (q.Query.projection = Query.Count_star)
 
+let test_binder_suggestions () =
+  let err = compile_err "SELECT * FROM tt" in
+  Alcotest.(check bool) "near-miss table suggested" true
+    (Helpers.contains err "did you mean \"t\"?");
+  let err = compile_err "SELECT * FROM t WHERE bb = 1" in
+  Alcotest.(check bool) "near-miss column suggested" true
+    (Helpers.contains err "did you mean \"b\"?")
+
+(* compile_result classifies failures: syntax problems carry a position,
+   binding problems are Invalid_query — never a raw exception. *)
+let test_binder_compile_result () =
+  let compile sql = Sqlfront.Binder.compile_result (binder_db ()) sql in
+  (match compile "SELECT * FROM t WHERE a = " with
+  | Error (Els.Els_error.Parse_error { position; detail }) ->
+    Alcotest.(check int) "parse error position" 26 position;
+    Alcotest.(check bool) "parse error detail" true
+      (Helpers.contains detail "expected operand")
+  | _ -> Alcotest.fail "expected Parse_error");
+  (match compile "'oops" with
+  | Error (Els.Els_error.Parse_error { position; detail }) ->
+    Alcotest.(check int) "lex error position" 0 position;
+    Alcotest.(check bool) "lex error detail" true
+      (Helpers.contains detail "unterminated string literal")
+  | _ -> Alcotest.fail "expected Parse_error for lex failure");
+  (match compile "SELECT * FROM missing" with
+  | Error (Els.Els_error.Invalid_query { detail }) ->
+    Alcotest.(check bool) "unknown table named" true
+      (Helpers.contains detail "missing")
+  | _ -> Alcotest.fail "expected Invalid_query");
+  match compile "SELECT * FROM t WHERE a < 5" with
+  | Ok q -> Alcotest.(check int) "well-formed binds" 1 (List.length q.Query.predicates)
+  | Error e -> Alcotest.fail (Els.Els_error.to_string e)
+
 let suite =
   [
     Alcotest.test_case "lexer: basics" `Quick test_lexer_basics;
@@ -204,10 +270,15 @@ let suite =
     Alcotest.test_case "parser: aliases" `Quick test_parser_aliases;
     Alcotest.test_case "parser: between" `Quick test_parser_between;
     Alcotest.test_case "parser: errors" `Quick test_parser_errors;
+    Alcotest.test_case "parser: error positions" `Quick
+      test_parser_error_positions;
     Alcotest.test_case "binder: resolution" `Quick test_binder_resolution;
     Alcotest.test_case "binder: normalization" `Quick test_binder_normalization;
     Alcotest.test_case "binder: tautologies" `Quick test_binder_tautologies;
     Alcotest.test_case "binder: errors" `Quick test_binder_errors;
     Alcotest.test_case "binder: between" `Quick test_binder_between_estimation;
     Alcotest.test_case "binder: count star" `Quick test_binder_count_star;
+    Alcotest.test_case "binder: suggestions" `Quick test_binder_suggestions;
+    Alcotest.test_case "binder: compile_result" `Quick
+      test_binder_compile_result;
   ]
