@@ -14,6 +14,8 @@
      F5 — join-order enumerators: DP vs greedy vs randomized (supplementary)
      F6 — q-error study over mixed random workloads (supplementary)
      F7 — uniformity limits on skewed join columns (supplementary)
+     F10 — estimator panel: every registered estimator side by side
+           (supplementary)
 
    Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs).
    Passing experiment ids (e.g. `bench/main.exe f8 micro`) runs only
@@ -24,7 +26,7 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let experiment_ids =
   [
     "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
-    "f7"; "f8"; "micro";
+    "f7"; "f8"; "f10"; "micro";
   ]
 
 let selected =
@@ -228,6 +230,14 @@ let run_f8 () =
         stats.Els.Profile.scans_avoided)
     sizes
 
+(* F10: the estimator seam made visible — one row per registered
+   estimator over the Section 8 workload, straight from
+   Els.Estimator.registry. *)
+let run_f10 () =
+  section "F10: estimator panel over the Section 8 workload";
+  let scale = if quick then 20 else 10 in
+  print_string (Harness.Estimator_panel.render (Harness.Estimator_panel.run ~scale ()))
+
 (* --- bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 let micro_tests () =
@@ -336,7 +346,7 @@ let () =
       ("t1", run_t1); ("t1-ablation", run_t1_ablation); ("e1", run_e1);
       ("s5", run_s5); ("s6", run_s6); ("f1", run_f1); ("f2", run_f2);
       ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
-      ("f7", run_f7); ("f8", run_f8); ("micro", run_micro);
+      ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("micro", run_micro);
     ]
   in
   List.iter (fun (id, run) -> if wants id then run ()) experiments;

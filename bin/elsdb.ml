@@ -8,6 +8,10 @@
      closure    print the transitive closure of a query's predicates
      fault      run the fault-injection suite (experiment F9)
 
+   estimate/explain/run accept --estimator=m|ss|ls|pess (any id in
+   Els.Estimator.registry) to select a single combining rule; unknown
+   names exit 2 with a did-you-mean suggestion.
+
    Built-in databases (--db):
      section8[:SCALE]   the paper's S/M/B/G tables (default scale 10)
      chain:N            a random N-table chain workload
@@ -92,8 +96,33 @@ let algo_arg =
   let print ppf c = Format.pp_print_string ppf (Els.Config.name c) in
   Arg.(
     value
-    & opt (conv (parse, print)) Els.Config.els
-    & info [ "algo" ] ~docv:"ALGO" ~doc:"Estimation algorithm: sm, sm+ptc, sss, els.")
+    & opt (some (conv (parse, print))) None
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Estimation algorithm: sm, sm+ptc, sss, els (default els).")
+
+(* Resolved lazily (inside handle_errors) so an unknown name takes the
+   one-line exit-2 error path with Estimator.of_string's did-you-mean
+   message, not cmdliner's usage dump. *)
+let estimator_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "estimator" ] ~docv:"EST"
+        ~doc:
+          "Combining rule: m, ss, ls or pess (any estimator registered in \
+           the core registry).")
+
+let resolve_estimator = Option.map Els.Estimator.of_string_exn
+
+(* [--estimator] alone selects that estimator's canonical configuration;
+   combined with [--algo] it swaps the combining rule on that algorithm's
+   pipeline (closure/local/single-table stay the algorithm's). *)
+let resolve_config algo estimator =
+  match (algo, resolve_estimator estimator) with
+  | None, None -> Els.Config.els
+  | Some config, None -> config
+  | None, Some e -> Els.Config.of_estimator e
+  | Some config, Some e -> Els.Config.with_estimator e config
 
 let enumerator_arg =
   let parse = function
@@ -162,12 +191,20 @@ let section8_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run dbspec sql =
+  let run dbspec sql estimator =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
     Printf.printf "query: %s\n\n" (Query.to_string query);
     let order = query.Query.tables in
+    let configs =
+      match resolve_estimator estimator with
+      | Some e -> [ Els.Config.of_estimator e ]
+      | None ->
+        (* The full panel: plain SM, then every registered estimator's
+           canonical configuration. *)
+        Els.Config.sm ~ptc:false :: Els.Config.panel ()
+    in
     List.iter
       (fun config ->
         let history =
@@ -177,37 +214,40 @@ let estimate_cmd =
           (Els.Config.name config)
           (String.concat " ⋈ " order)
           (Harness.Report.size_list history))
-      [
-        Els.Config.sm ~ptc:false; Els.Config.sm ~ptc:true; Els.Config.sss;
-        Els.Config.els;
-      ]
+      configs
   in
   Cmd.v
     (Cmd.info "estimate"
-       ~doc:"Estimate intermediate join sizes under every algorithm.")
-    Term.(const run $ db_arg $ sql_arg)
+       ~doc:
+         "Estimate intermediate join sizes under every registered \
+          estimator (or just one, with --estimator).")
+    Term.(const run $ db_arg $ sql_arg $ estimator_arg)
 
 (* --- explain --- *)
 
 let explain_cmd =
-  let run dbspec sql config enumerator =
+  let run dbspec sql algo enumerator estimator =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
+    let config = resolve_config algo estimator in
     let choice = Optimizer.choose ~enumerator config db query in
     Optimizer.explain Format.std_formatter choice
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the plan the chosen algorithm leads to.")
-    Term.(const run $ db_arg $ sql_arg $ algo_arg $ enumerator_arg)
+    Term.(
+      const run $ db_arg $ sql_arg $ algo_arg $ enumerator_arg
+      $ estimator_arg)
 
 (* --- run --- *)
 
 let run_cmd =
-  let run dbspec sql config =
+  let run dbspec sql algo estimator =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
+    let config = resolve_config algo estimator in
     let trial = Harness.Runner.run config db query in
     Printf.printf "algorithm:  %s\n" trial.Harness.Runner.algorithm;
     Printf.printf "join order: %s\n"
@@ -222,7 +262,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize, execute and report measured work.")
-    Term.(const run $ db_arg $ sql_arg $ algo_arg)
+    Term.(const run $ db_arg $ sql_arg $ algo_arg $ estimator_arg)
 
 (* --- closure --- *)
 

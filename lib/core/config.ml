@@ -10,52 +10,61 @@ type strictness = Catalog.Validate.strictness =
 
 type t = {
   closure : bool;
-  rule : rule;
+  estimator : Estimator.t;
   local_aware : bool;
   single_table : bool;
   strictness : strictness;
 }
 
-let sm ~ptc =
-  { closure = ptc; rule = Multiplicative; local_aware = false;
-    single_table = false; strictness = Repair }
+let estimator_of_rule = function
+  | Multiplicative -> Estimator.m
+  | Smallest -> Estimator.ss
+  | Largest -> Estimator.ls
 
-let sss =
-  { closure = true; rule = Smallest; local_aware = false;
-    single_table = false; strictness = Repair }
+let of_estimator ?(strictness = Repair) (e : Estimator.t) =
+  {
+    closure = e.Estimator.flags.Estimator.closure;
+    estimator = e;
+    local_aware = e.Estimator.flags.Estimator.local_aware;
+    single_table = e.Estimator.flags.Estimator.single_table;
+    strictness;
+  }
 
-let els =
-  { closure = true; rule = Largest; local_aware = true; single_table = true;
-    strictness = Repair }
+let sm ~ptc = { (of_estimator Estimator.m) with closure = ptc }
+(* Estimator.m's canonical flags already have closure on, so [sm ~ptc:true]
+   = [of_estimator Estimator.m]; the record update only matters for plain
+   SM. *)
+let sss = of_estimator Estimator.ss
+let els = of_estimator Estimator.ls
+let pess = of_estimator Estimator.pess
+
+let panel ?strictness () =
+  List.map (fun e -> of_estimator ?strictness e) (Estimator.registry ())
 
 let with_strictness strictness t = { t with strictness }
+let with_estimator estimator t = { t with estimator }
+let combine t sels = t.estimator.Estimator.combine sels
+let rule_name r = Estimator.label (estimator_of_rule r)
 
-let combine t sels =
-  match t.rule with
-  | Multiplicative -> List.fold_left ( *. ) 1. sels
-  | Smallest -> List.fold_left Float.min 1. sels
-  | Largest -> begin
-    match sels with
-    | [] -> 1.
-    | s :: rest -> List.fold_left Float.max s rest
-  end
-
-let rule_name = function
-  | Multiplicative -> "M"
-  | Smallest -> "SS"
-  | Largest -> "LS"
+(* Field-wise: the estimator holds closures, so structural equality on the
+   whole record would raise [Invalid_argument "compare: functional value"].
+   Strictness is orthogonal to the algorithm and compared separately. *)
+let same_algorithm a b =
+  Bool.equal a.closure b.closure
+  && Estimator.equal a.estimator b.estimator
+  && Bool.equal a.local_aware b.local_aware
+  && Bool.equal a.single_table b.single_table
 
 let name t =
-  (* Strictness is orthogonal to the algorithm: compare modulo it so the
-     presets keep their names, and tag non-default modes as a suffix. *)
-  let base = { t with strictness = Repair } in
   let algorithm =
-    if base = els then "ELS"
-    else if base = sss then "SSS"
-    else if base = sm ~ptc:false then "SM"
-    else if base = sm ~ptc:true then "SM+PTC"
+    if same_algorithm t els then "ELS"
+    else if same_algorithm t sss then "SSS"
+    else if same_algorithm t pess then "PESS"
+    else if same_algorithm t (sm ~ptc:false) then "SM"
+    else if same_algorithm t (sm ~ptc:true) then "SM+PTC"
     else
-      Printf.sprintf "custom(rule=%s%s%s%s)" (rule_name t.rule)
+      Printf.sprintf "custom(rule=%s%s%s%s)"
+        (Estimator.label t.estimator)
         (if t.closure then ",ptc" else "")
         (if t.local_aware then ",local" else "")
         (if t.single_table then ",1table" else "")

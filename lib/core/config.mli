@@ -13,13 +13,19 @@
       effective cardinalities (Section 5), single-table j-equivalent column
       handling (Section 6) and Rule LS (largest selectivity, Section 7).
 
-    Predicate transitive closure is a separate toggle because the paper's
-    experiment runs SM both with and without the PTC rewrite. *)
+    The combining rule itself is a first-class {!Estimator.t}; a
+    configuration pairs one with the pipeline toggles (closure,
+    local-awareness, single-table handling, strictness). Predicate
+    transitive closure is a separate toggle because the paper's experiment
+    runs SM both with and without the PTC rewrite. *)
 
 type rule =
   | Multiplicative  (** Rule M *)
   | Smallest  (** Rule SS *)
   | Largest  (** Rule LS *)
+(** @deprecated The closed enum the estimator seam replaced. Kept only as
+    a constructor shim: convert with {!estimator_of_rule} and prefer
+    {!Estimator.t} everywhere new. *)
 
 type strictness = Catalog.Validate.strictness =
   | Strict  (** corrupt statistics / invariant breaches become errors *)
@@ -32,7 +38,9 @@ type strictness = Catalog.Validate.strictness =
 type t = {
   closure : bool;
       (** derive implied predicates before estimating (PTC, step 2) *)
-  rule : rule;
+  estimator : Estimator.t;
+      (** how per-class join selectivities combine, and any per-step
+          cardinality cap *)
   local_aware : bool;
       (** use post-local-predicate column cardinalities in join
           selectivities (Section 5); the standard algorithm does not *)
@@ -54,17 +62,38 @@ val sss : t
 val els : t
 (** Algorithm ELS. *)
 
+val pess : t
+(** The pessimistic per-step bound {!Estimator.pess} under the ELS
+    pipeline settings. *)
+
+val of_estimator : ?strictness:strictness -> Estimator.t -> t
+(** The estimator's canonical configuration: pipeline toggles from its
+    {!Estimator.flags}, default strictness {!Repair}. *)
+
+val panel : ?strictness:strictness -> unit -> t list
+(** One canonical configuration per registered estimator, in registry
+    order — the row set for estimator-comparison experiments. *)
+
+val estimator_of_rule : rule -> Estimator.t
+(** Shim from the deprecated enum: [Multiplicative ↦ Estimator.m],
+    [Smallest ↦ Estimator.ss], [Largest ↦ Estimator.ls]. *)
+
 val with_strictness : strictness -> t -> t
 
+val with_estimator : Estimator.t -> t -> t
+(** Swap the combining rule, keeping every pipeline toggle. *)
+
 val combine : t -> float list -> float
-(** Fold one equivalence class's eligible join selectivities under the
-    configured rule: product for Rule M, minimum for Rule SS, maximum for
-    Rule LS. The empty list combines to 1 (a cartesian step). *)
+(** [t.estimator.combine]: fold one equivalence class's eligible join
+    selectivities — product for Rule M, minimum for Rule SS, maximum for
+    Rule LS. The empty list combines to 1 (a cartesian step).
+    @deprecated Call the estimator directly in new code. *)
 
 val name : t -> string
-(** Short display name: "SM", "SM+PTC", "SSS", "ELS", or a descriptive
-    fallback for custom configurations. Strictness does not change the
-    algorithm, so it only shows as a ["!strict"] / ["!trap"] suffix for
-    the non-default modes. *)
+(** Short display name: "SM", "SM+PTC", "SSS", "ELS", "PESS", or a
+    descriptive fallback for custom configurations. Strictness does not
+    change the algorithm, so it only shows as a ["!strict"] / ["!trap"]
+    suffix for the non-default modes. *)
 
 val rule_name : rule -> string
+(** The {!Estimator.label} of the shimmed estimator: "M", "SS", "LS". *)

@@ -1,6 +1,7 @@
 module Eqclass = Eqclass
 module Closure = Closure
 module Local_pred = Local_pred
+module Estimator = Estimator
 module Config = Config
 module Profile = Profile
 module Selectivity = Selectivity

@@ -1,0 +1,100 @@
+type flags = { closure : bool; local_aware : bool; single_table : bool }
+
+type t = {
+  id : string;
+  label : string;
+  summary : string;
+  combine : float list -> float;
+  cap : (left_rows:float -> right_rows:float -> float) option;
+  flags : flags;
+}
+
+let id t = t.id
+let label t = t.label
+let equal a b = String.equal a.id b.id
+
+(* The three rules of the paper (Section 7). Fold shapes are kept exactly
+   as the former [Config.combine] wrote them so results stay bit-identical
+   to the enum era. *)
+
+let m =
+  {
+    id = "m";
+    label = "M";
+    summary = "Rule M: multiply every eligible join selectivity (Selinger)";
+    combine = (fun sels -> List.fold_left ( *. ) 1. sels);
+    cap = None;
+    (* Canonically with PTC: panels compare combining rules under equal
+       (closed) predicate sets. Plain SM is [Config.sm ~ptc:false]. *)
+    flags = { closure = true; local_aware = false; single_table = false };
+  }
+
+let ss =
+  {
+    id = "ss";
+    label = "SS";
+    summary = "Rule SS: keep only the smallest selectivity per class";
+    combine = (fun sels -> List.fold_left Float.min 1. sels);
+    cap = None;
+    flags = { closure = true; local_aware = false; single_table = false };
+  }
+
+let ls =
+  {
+    id = "ls";
+    label = "LS";
+    summary = "Rule LS: keep only the largest selectivity per class";
+    combine =
+      (fun sels ->
+        match sels with
+        | [] -> 1.
+        | s :: rest -> List.fold_left Float.max s rest);
+    cap = None;
+    flags = { closure = true; local_aware = true; single_table = true };
+  }
+
+let pess =
+  {
+    id = "pess";
+    label = "PESS";
+    summary =
+      "Pessimistic degree-1 bound: cap each predicate-connected step at \
+       min(|R1|', |R2|')";
+    (* No per-class selectivity reduction: the bound comes entirely from
+       the cap, so classes combine to 1 and a step's raw size is the
+       cartesian product before capping. *)
+    combine = (fun _ -> 1.);
+    cap = Some (fun ~left_rows ~right_rows -> Float.min left_rows right_rows);
+    flags = { closure = true; local_aware = true; single_table = true };
+  }
+
+let registered : t list ref = ref [ m; ss; ls; pess ]
+let registry () = !registered
+
+let register e =
+  if List.exists (fun x -> String.equal x.id e.id) !registered then
+    invalid_arg (Printf.sprintf "Estimator.register: duplicate id %S" e.id);
+  registered := !registered @ [ e ]
+
+let ids () = List.map (fun e -> e.id) (registry ())
+
+let find name =
+  let needle = String.lowercase_ascii (String.trim name) in
+  List.find_opt
+    (fun e ->
+      String.equal e.id needle
+      || String.equal (String.lowercase_ascii e.label) needle)
+    (registry ())
+
+let of_string name =
+  match find name with
+  | Some e -> Ok e
+  | None ->
+    let candidates = ids () in
+    Error
+      (Printf.sprintf "unknown estimator %S, expected one of: %s%s" name
+         (String.concat ", " candidates)
+         (Catalog.Suggest.hint ~candidates name))
+
+let of_string_exn name =
+  match of_string name with Ok e -> e | Error msg -> invalid_arg msg

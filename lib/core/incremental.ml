@@ -114,6 +114,15 @@ let eligible_between profile s1 s2 =
     (fun id -> (Profile.pred profile id).Profile.pred)
     (eligible_ids_between profile s1.mask s2.mask)
 
+(* The estimator may bound a predicate-connected step's output (e.g. the
+   pessimistic degree-1 bound). A cartesian step has no equality class to
+   justify a bound, so the cap never applies there; capping below the
+   cartesian product keeps the Guard's [~upper] valid unchanged. *)
+let capped_size profile ~bridged ~left_rows ~right_rows raw =
+  match (Profile.estimator profile).Estimator.cap with
+  | Some cap when bridged -> Float.min raw (cap ~left_rows ~right_rows)
+  | Some _ | None -> raw
+
 let join_states profile s1 s2 =
   let overlap = s1.mask land s2.mask in
   if overlap <> 0 then begin
@@ -122,13 +131,14 @@ let join_states profile s1 s2 =
       (Printf.sprintf "Incremental.join_states: %s on both sides"
          (Profile.table_name profile (first_bit 0)))
   end;
-  let s =
-    selectivity_of_ids profile (eligible_ids_between profile s1.mask s2.mask)
-  in
+  let ids = eligible_ids_between profile s1.mask s2.mask in
+  let s = selectivity_of_ids profile ids in
   let size =
     Guard.cardinality profile.Profile.guard ~site:"Incremental.join_states"
       ~upper:(s1.size *. s2.size)
-      (s1.size *. s2.size *. s)
+      (capped_size profile ~bridged:(ids <> []) ~left_rows:s1.size
+         ~right_rows:s2.size
+         (s1.size *. s2.size *. s))
   in
   {
     mask = s1.mask lor s2.mask;
@@ -143,13 +153,16 @@ let extend profile state name =
       (Printf.sprintf "Incremental.extend: %s already joined"
          (Profile.normalize name));
   let table = Profile.table_at profile bit in
-  let s = selectivity_of_ids profile (eligible_ids profile state.mask bit) in
+  let ids = eligible_ids profile state.mask bit in
+  let s = selectivity_of_ids profile ids in
   let size =
     (* S ≤ 1, so a step can never exceed the cartesian bound of the two
        inputs. *)
     Guard.cardinality profile.Profile.guard ~site:"Incremental.extend"
       ~upper:(state.size *. table.Profile.rows)
-      (state.size *. table.Profile.rows *. s)
+      (capped_size profile ~bridged:(ids <> []) ~left_rows:state.size
+         ~right_rows:table.Profile.rows
+         (state.size *. table.Profile.rows *. s))
   in
   {
     mask = state.mask lor (1 lsl bit);
@@ -189,9 +202,7 @@ let eligible_scan profile joined name =
 let step_selectivity_scan profile joined name =
   let preds = eligible_scan profile joined name in
   let groups = Selectivity.group_by_class profile preds in
+  let combine = (Profile.estimator profile).Estimator.combine in
   List.fold_left
-    (fun acc g ->
-      acc
-      *. Config.combine profile.Profile.config
-           (List.map (Selectivity.join profile) g))
+    (fun acc g -> acc *. combine (List.map (Selectivity.join profile) g))
     1. groups

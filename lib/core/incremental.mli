@@ -7,10 +7,15 @@
     join predicates — those linking the incoming table to tables already in
     the intermediate result — are grouped by equivalence class, each class
     contributes a single combined selectivity according to the configured
-    rule (M: product of all; SS: smallest; LS: largest), and classes
-    multiply together by independence.
+    {!Estimator.t} (Rule M: product of all; SS: smallest; LS: largest), and
+    classes multiply together by independence.
 
     [size(I ⋈ R) = size(I) × ‖R‖′ × ∏_classes S_class].
+
+    An estimator with a per-step cardinality cap ({!Estimator.cap}, e.g.
+    the pessimistic degree-1 bound) additionally bounds each
+    predicate-connected step's output by [cap ~left_rows ~right_rows];
+    cartesian steps are never capped.
 
     This is the inner loop of exact DP enumeration (2ⁿ subsets), so the
     state carries the joined set as an int bitset over the profile's
@@ -46,8 +51,9 @@ val eligible : Profile.t -> state -> string -> Query.Predicate.t list
     the current intermediate result, in conjunction order. *)
 
 val step_selectivity : Profile.t -> state -> string -> float
-(** Combined selectivity the configured rule assigns to joining the given
-    table next; 1.0 for a cartesian product. *)
+(** Combined selectivity the configured estimator assigns to joining the
+    given table next; 1.0 for a cartesian product. Selectivity only — a
+    per-step {!Estimator.cap} shows up in {!extend}'s size, not here. *)
 
 val extend : Profile.t -> state -> string -> state
 (** Join one more table.
@@ -60,8 +66,8 @@ val eligible_between : Profile.t -> state -> state -> Query.Predicate.t list
 
 val join_states : Profile.t -> state -> state -> state
 (** Generalization of {!extend} to bushy joins: combine two intermediate
-    results, applying one rule-selected selectivity per equivalence class
-    among the predicates that bridge them.
+    results, applying one estimator-combined selectivity per equivalence
+    class among the predicates that bridge them.
     [size(I₁ ⋈ I₂) = size(I₁) × size(I₂) × ∏_classes S_class].
     @raise Invalid_argument when the two states share a table. *)
 
@@ -85,4 +91,4 @@ val eligible_scan :
 (** [eligible_scan profile joined name] — O(#predicates × #joined). *)
 
 val step_selectivity_scan : Profile.t -> string list -> string -> float
-(** Uncached grouping and rule combination over {!eligible_scan}. *)
+(** Uncached grouping and estimator combination over {!eligible_scan}. *)

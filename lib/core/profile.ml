@@ -51,7 +51,7 @@ type t = {
   index : index;
   memoize : bool;
   sel_cache : float array;
-  group_cache : (int list, float) Hashtbl.t;
+  group_cache : (string * int list, float) Hashtbl.t;
   stats : cache_stats;
   guard : Guard.t;
   validation : Catalog.Validate.issue list;
@@ -488,15 +488,23 @@ let join_selectivity t id =
   end
 
 let group_cache_limit = 4096
+let estimator t = t.config.Config.estimator
+let with_estimator e t = { t with config = Config.with_estimator e t.config }
 
 let class_selectivity t ids =
+  let est = estimator t in
   let compute () =
     Guard.selectivity t.guard ~site:"Profile.class_selectivity"
-      (Config.combine t.config (List.map (join_selectivity t) ids))
+      (est.Estimator.combine (List.map (join_selectivity t) ids))
   in
   if not t.memoize then compute ()
   else begin
-    match Hashtbl.find_opt t.group_cache ids with
+    (* The combined value depends on the estimator, so the key carries its
+       id — [with_estimator] shares this table across swaps. The
+       per-predicate [sel_cache] stays unkeyed: raw join selectivities are
+       estimator-independent. *)
+    let key = (est.Estimator.id, ids) in
+    match Hashtbl.find_opt t.group_cache key with
     | Some s ->
       t.stats.group_hits <- t.stats.group_hits + 1;
       s
@@ -507,6 +515,6 @@ let class_selectivity t ids =
          per (subset, table) pair, and an ever-growing table would spend
          more on resizes and rehashes than the memo saves. *)
       if Hashtbl.length t.group_cache < group_cache_limit then
-        Hashtbl.add t.group_cache ids s;
+        Hashtbl.add t.group_cache key s;
       s
   end

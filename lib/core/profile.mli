@@ -91,8 +91,10 @@ type t = {
   sel_cache : float array;
       (** predicate id → memoized join selectivity; NaN marks an unfilled
           slot (real selectivities live in [0, 1]) *)
-  group_cache : (int list, float) Hashtbl.t;
-      (** class-group predicate ids → rule-combined selectivity *)
+  group_cache : (string * int list, float) Hashtbl.t;
+      (** (estimator id, class-group predicate ids) → combined
+          selectivity; keyed by estimator so {!with_estimator} can share
+          the table across swaps *)
   stats : cache_stats;
   guard : Guard.t;
       (** invariant guard for every number this profile produces; its mode
@@ -159,9 +161,19 @@ val join_selectivity : t -> int -> float
     @raise Invalid_argument for a local predicate id. *)
 
 val class_selectivity : t -> int list -> float
-(** Rule-combined selectivity of one equivalence-class group of eligible
-    join predicates (given by id, in conjunction order), memoized in
-    [group_cache] when [memoize] is set. *)
+(** Estimator-combined selectivity of one equivalence-class group of
+    eligible join predicates (given by id, in conjunction order), memoized
+    in [group_cache] (keyed by estimator id) when [memoize] is set. *)
+
+val estimator : t -> Estimator.t
+(** The configuration's estimator. *)
+
+val with_estimator : Estimator.t -> t -> t
+(** Swap the estimator without rebuilding: the effective statistics,
+    indexes and per-predicate selectivity cache are estimator-independent
+    and shared; only [group_cache] entries (keyed by estimator id) differ.
+    Note the pipeline toggles (closure, local-awareness, single-table) are
+    baked into the built statistics and stay as configured. *)
 
 val cache_stats : t -> cache_stats
 val reset_cache_stats : t -> unit

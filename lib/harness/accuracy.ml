@@ -14,8 +14,10 @@ type summary = {
   undefined : int;
 }
 
-let algorithms =
-  [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ]
+(* One summary per registered estimator, each under its canonical
+   configuration (every built-in closes the predicate set, so the panel
+   compares combining rules, not the PTC rewrite). *)
+let algorithms () = Els.Config.panel ()
 
 let q_error ~est ~truth =
   if truth <= 0. || Float.is_nan truth || Float.is_nan est then Undefined
@@ -58,6 +60,7 @@ let percentile sorted p =
     arr.(max 0 (min (n - 1) idx))
 
 let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
+  let algorithms = algorithms () in
   let per_algo = Hashtbl.create 4 in
   let record algo q under =
     let entries = Option.value (Hashtbl.find_opt per_algo algo) ~default:[] in

@@ -5,14 +5,20 @@ type point = {
   worst_ratio : float;
 }
 
-let configs =
-  [
-    ("M", Els.Config.sm ~ptc:true);
-    ("SS", Els.Config.sss);
-    ("LS", Els.Config.els);
-  ]
+(* One row per registered estimator, labeled by {!Els.Estimator.label} so
+   report names can never drift from the core. The study measures rule
+   behavior on the closed (redundant) predicate set, so closure is forced
+   on regardless of the estimator's canonical flags — an estimator that
+   skips PTC would not see the redundancy this figure is about. *)
+let configs () =
+  List.map
+    (fun est ->
+      ( Els.Estimator.label est,
+        { (Els.Config.of_estimator est) with Els.Config.closure = true } ))
+    (Els.Estimator.registry ())
 
 let run ?(seeds = List.init 10 (fun i -> i + 1)) ?(max_tables = 7) () =
+  let configs = configs () in
   let points = ref [] in
   for n_tables = 2 to max_tables do
     (* Per rule, collect the estimate/true ratios over all seeds. *)

@@ -15,14 +15,17 @@
 
 type point = {
   n_tables : int;
-  rule : string;
+  rule : string;  (** the estimator's {!Els.Estimator.label} *)
   geo_mean_ratio : float;  (** geometric mean of estimate / true *)
   worst_ratio : float;  (** most extreme underestimate *)
 }
 
 val run :
   ?seeds:int list -> ?max_tables:int -> unit -> point list
-(** Defaults: seeds [1..10], max_tables 7. Points are ordered by
-    (n_tables, rule). Trials whose true size is 0 are skipped. *)
+(** One row per registered estimator ({!Els.Estimator.registry}) and table
+    count, each run with predicate transitive closure forced on (the study
+    is about redundant predicate sets). Defaults: seeds [1..10],
+    max_tables 7. Points are ordered by (n_tables, registry order). Trials
+    whose true size is 0 are skipped. *)
 
 val render : point list -> string

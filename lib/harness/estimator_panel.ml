@@ -1,0 +1,54 @@
+type row = {
+  estimator : string;
+  algorithm : string;
+  join_order : string list;
+  estimates : float list;
+  truth : float;
+  q : Accuracy.q_error;
+}
+
+let run ?(scale = 10) ?(seed = 42) () =
+  let db = Datagen.Section8.build ~scale ~seed () in
+  let query = Datagen.Section8.query_scaled ~scale in
+  let order = query.Query.tables in
+  let truth =
+    float_of_int (Exec.Executor.run_query db query).Exec.Executor.row_count
+  in
+  List.map
+    (fun est ->
+      let config = Els.Config.of_estimator est in
+      let estimates = Els.intermediate_sizes config db query order in
+      let final =
+        match List.rev estimates with last :: _ -> last | [] -> 0.
+      in
+      {
+        estimator = Els.Estimator.label est;
+        algorithm = Els.Config.name config;
+        join_order = order;
+        estimates;
+        truth;
+        q = Accuracy.q_error ~est:final ~truth;
+      })
+    (Els.Estimator.registry ())
+
+let q_cell = function
+  | Accuracy.Finite q -> Report.float_cell q
+  | Accuracy.Infinite -> "inf"
+  | Accuracy.Undefined -> "undef"
+
+let render rows =
+  Report.table
+    ~header:
+      [ "Estimator"; "Algorithm"; "Join Order"; "Estimated Sizes"; "True";
+        "q-error" ]
+    (List.map
+       (fun r ->
+         [
+           r.estimator;
+           r.algorithm;
+           String.concat " ⋈ " r.join_order;
+           Report.size_list r.estimates;
+           Report.float_cell r.truth;
+           q_cell r.q;
+         ])
+       rows)

@@ -1,0 +1,25 @@
+(** Experiment F10: side-by-side estimator comparison.
+
+    One row per registered estimator ({!Els.Estimator.registry}), each
+    under its canonical configuration ({!Els.Config.of_estimator}), run
+    over the Section 8 workload along the query's FROM order: the
+    intermediate size estimates, the executed true size, and the final
+    q-error. The rows come straight from the registry, so a newly
+    registered estimator shows up in this panel (and in the CLI's
+    [--estimator] choices) without any harness change — the point of the
+    estimator seam. *)
+
+type row = {
+  estimator : string;  (** {!Els.Estimator.label} *)
+  algorithm : string;  (** {!Els.Config.name} of the canonical config *)
+  join_order : string list;
+  estimates : float list;  (** size after each join of the order *)
+  truth : float;  (** executed final size *)
+  q : Accuracy.q_error;  (** of the final estimate *)
+}
+
+val run : ?scale:int -> ?seed:int -> unit -> row list
+(** Defaults: scale 10, seed 42 (the Section 8 catalog is scaled up so
+    the executed truth is non-trivial but fast). *)
+
+val render : row list -> string

@@ -173,20 +173,28 @@ type status =
 type outcome = {
   corruption : corruption option;
   strictness : Catalog.Validate.strictness;
+  algorithm : string;
   status : status;
   violations : int;
   repairs : int;
   fallbacks : int;
 }
 
-let zero_outcome corruption strictness status =
-  { corruption; strictness; status; violations = 0; repairs = 0; fallbacks = 0 }
+let zero_outcome corruption strictness algorithm status =
+  {
+    corruption;
+    strictness;
+    algorithm;
+    status;
+    violations = 0;
+    repairs = 0;
+    fallbacks = 0;
+  }
 
 (* SQL text → binder → profile (validation + guards) → DP optimizer →
    final estimate. Structured errors are the expected degradation;
    anything escaping as a raw exception is a crash. *)
-let drive ~strictness db sql =
-  let config = Els.Config.with_strictness strictness Els.Config.els in
+let drive ~config db sql =
   match Sqlfront.Binder.compile_result db sql with
   | Error e -> `No_profile (Degraded e)
   | Ok query -> begin
@@ -219,28 +227,38 @@ let drive ~strictness db sql =
       `Profiled (status, profile)
   end
 
-let outcome_of ~strictness corruption db sql =
-  match drive ~strictness db sql with
-  | `No_profile status -> zero_outcome corruption strictness status
+let outcome_of ?(estimator = Els.Estimator.ls) ~strictness corruption db sql =
+  let config =
+    Els.Config.with_strictness strictness (Els.Config.of_estimator estimator)
+  in
+  let algorithm = Els.Estimator.label estimator in
+  match drive ~config db sql with
+  | `No_profile status -> zero_outcome corruption strictness algorithm status
   | `Profiled (status, profile) ->
     let g = Els.Profile.guard_stats profile in
     {
       corruption;
       strictness;
+      algorithm;
       status;
       violations = g.Els.Guard.violations;
       repairs = g.Els.Guard.repairs;
       fallbacks = g.Els.Guard.fallbacks;
     }
 
-let run ?seed ?(sql = default_sql) ~strictness () =
+let run ?seed ?(sql = default_sql) ?(estimators = Els.Estimator.registry ())
+    ~strictness () =
   let clean = base_db ?seed () in
-  let baseline = outcome_of ~strictness None clean sql in
-  baseline
-  :: List.map
-       (fun kind ->
-         outcome_of ~strictness (Some kind) (corrupt_db kind clean) sql)
-       all
+  List.concat_map
+    (fun estimator ->
+      let baseline = outcome_of ~estimator ~strictness None clean sql in
+      baseline
+      :: List.map
+           (fun kind ->
+             outcome_of ~estimator ~strictness (Some kind)
+               (corrupt_db kind clean) sql)
+           all)
+    estimators
 
 (* An outcome is acceptable when the pipeline neither crashed nor let an
    impossible number escape; under Repair and Trap every injected
@@ -279,12 +297,16 @@ let status_cell = function
 let render outcomes =
   Report.table
     ~header:
-      [ "corruption"; "mode"; "outcome"; "viol"; "repair"; "fallback"; "pass" ]
+      [
+        "corruption"; "mode"; "estimator"; "outcome"; "viol"; "repair";
+        "fallback"; "pass";
+      ]
     (List.map
        (fun o ->
          [
            (match o.corruption with None -> "(clean)" | Some k -> name k);
            Catalog.Validate.strictness_name o.strictness;
+           o.algorithm;
            status_cell o.status;
            string_of_int o.violations;
            string_of_int o.repairs;

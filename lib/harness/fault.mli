@@ -64,6 +64,7 @@ type status =
 type outcome = {
   corruption : corruption option;  (** [None] for the clean baseline *)
   strictness : Catalog.Validate.strictness;
+  algorithm : string;  (** the driving estimator's {!Els.Estimator.label} *)
   status : status;
   violations : int;
   repairs : int;
@@ -71,22 +72,29 @@ type outcome = {
 }
 
 val outcome_of :
+  ?estimator:Els.Estimator.t ->
   strictness:Catalog.Validate.strictness ->
   corruption option ->
   Catalog.Db.t ->
   string ->
   outcome
 (** Drive SQL text through binder → validation → guarded profile → DP
-    optimizer against the given catalog, capturing the guard counters. *)
+    optimizer against the given catalog, capturing the guard counters.
+    [estimator] (default {!Els.Estimator.ls}) selects the estimation
+    algorithm via its canonical configuration. *)
 
 val run :
   ?seed:int ->
   ?sql:string ->
+  ?estimators:Els.Estimator.t list ->
   strictness:Catalog.Validate.strictness ->
   unit ->
   outcome list
-(** The clean baseline followed by one outcome per corruption kind in
-    {!all}, each applied to every table and column of {!base_db}. *)
+(** Per estimator ([estimators] defaults to the full
+    {!Els.Estimator.registry}): the clean baseline followed by one outcome
+    per corruption kind in {!all}, each applied to every table and column
+    of {!base_db} — the robustness contract must hold for every registered
+    estimator, not just ELS. *)
 
 val acceptable : outcome -> bool
 (** No crash; estimates (when produced) finite and non-negative; under

@@ -7,8 +7,9 @@ type row = {
   work_ratio : float;
 }
 
-let algorithms =
-  [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ]
+(* One trial per registered estimator's canonical configuration, as in
+   {!Accuracy}. *)
+let algorithms () = Els.Config.panel ()
 
 (* Add a ~20% range predicate on t1's join column so the local-awareness
    of ELS matters too. *)
@@ -24,6 +25,7 @@ let with_local_pred db query =
 let run ?(seeds = List.init 5 (fun i -> i + 1)) ?(n_tables = 5)
     ?(rows_range = (100, 600))
     ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge ]) () =
+  let algorithms = algorithms () in
   List.concat_map
     (fun seed ->
       let spec =

@@ -63,8 +63,13 @@ let popcount mask =
   go mask 0
 
 let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ])
-    profile query =
+    ?estimator profile query =
   if methods = [] then invalid_arg "Dp.optimize: no join methods";
+  let profile =
+    match estimator with
+    | None -> profile
+    | Some e -> Els.Profile.with_estimator e profile
+  in
   let tables = Array.of_list query.Query.tables in
   let n = Array.length tables in
   if n = 0 then invalid_arg "Dp.optimize: query with no tables";

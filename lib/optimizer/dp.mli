@@ -20,12 +20,15 @@ type node = {
 
 val optimize :
   ?methods:Exec.Plan.join_method list ->
+  ?estimator:Els.Estimator.t ->
   Els.Profile.t ->
   Query.t ->
   node
 (** Best left-deep plan for all the query's tables. [methods] defaults to
     all three join methods; the paper's experiment restricts it to
-    [[Nested_loop; Sort_merge]].
+    [[Nested_loop; Sort_merge]]. [estimator] overrides the profile's
+    estimator for this enumeration (via {!Els.Profile.with_estimator} —
+    the profile's built statistics are shared, not recomputed).
     @raise Invalid_argument on an empty FROM list or empty [methods]. *)
 
 val scan_filters : Els.Profile.t -> string -> Query.Predicate.t list

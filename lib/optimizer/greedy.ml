@@ -23,8 +23,13 @@ let best_extension profile methods node table =
     in
     Some (best, eligible <> [])
 
-let optimize ?(methods = default_methods) profile query =
+let optimize ?(methods = default_methods) ?estimator profile query =
   if methods = [] then invalid_arg "Greedy.optimize: no join methods";
+  let profile =
+    match estimator with
+    | None -> profile
+    | Some e -> Els.Profile.with_estimator e profile
+  in
   let tables = query.Query.tables in
   if tables = [] then invalid_arg "Greedy.optimize: query with no tables";
   (* Seed: the table with the smallest effective cardinality. *)

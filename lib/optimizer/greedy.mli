@@ -9,8 +9,10 @@
 
 val optimize :
   ?methods:Exec.Plan.join_method list ->
+  ?estimator:Els.Estimator.t ->
   Els.Profile.t ->
   Query.t ->
   Dp.node
-(** Same result type as {!Dp.optimize} so callers can swap enumerators.
+(** Same result type as {!Dp.optimize} so callers can swap enumerators;
+    [estimator] overrides the profile's estimator as in {!Dp.optimize}.
     @raise Invalid_argument on an empty FROM list or empty [methods]. *)

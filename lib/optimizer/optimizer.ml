@@ -17,7 +17,14 @@ type enumerator =
   | Greedy_order  (** O(n²) greedy construction *)
   | Randomized of int  (** iterative improvement with the given seed *)
 
-let choose ?methods ?(enumerator = Exhaustive) config db query =
+let choose ?methods ?(enumerator = Exhaustive) ?estimator config db query =
+  (* Swap before [build] so the pipeline toggles stay as configured but
+     [Config.name] (the reported algorithm) reflects the estimator. *)
+  let config =
+    match estimator with
+    | None -> config
+    | Some e -> Els.Config.with_estimator e config
+  in
   let profile = Els.Profile.build config db query in
   let node =
     match enumerator with

@@ -31,14 +31,17 @@ type enumerator =
 val choose :
   ?methods:Exec.Plan.join_method list ->
   ?enumerator:enumerator ->
+  ?estimator:Els.Estimator.t ->
   Els.Config.t ->
   Catalog.Db.t ->
   Query.t ->
   choice
-(** Optimize the query under the given estimation algorithm. The plan's
-    scans carry the local predicates of the estimator's working conjunction
-    (so a closure-enabled configuration both estimates with and executes
-    the implied predicates, like the paper's PTC rewrite). *)
+(** Optimize the query under the given estimation algorithm. [estimator]
+    swaps the configuration's combining rule before profiling (the other
+    pipeline toggles stay as configured), so [algorithm] reflects it. The
+    plan's scans carry the local predicates of the estimator's working
+    conjunction (so a closure-enabled configuration both estimates with and
+    executes the implied predicates, like the paper's PTC rewrite). *)
 
 val explain : Format.formatter -> choice -> unit
 (** Human-readable plan summary with per-join estimates. *)

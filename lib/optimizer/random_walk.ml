@@ -25,8 +25,13 @@ let plan_of_order ~methods profile order =
       rest
 
 let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ])
-    ?(restarts = 8) ?(max_steps = 100) ?(seed = 1) profile query =
+    ?estimator ?(restarts = 8) ?(max_steps = 100) ?(seed = 1) profile query =
   if methods = [] then invalid_arg "Random_walk.optimize: no join methods";
+  let profile =
+    match estimator with
+    | None -> profile
+    | Some e -> Els.Profile.with_estimator e profile
+  in
   let tables = Array.of_list query.Query.tables in
   let n = Array.length tables in
   if n = 0 then invalid_arg "Random_walk.optimize: query with no tables";

@@ -11,6 +11,7 @@
 
 val optimize :
   ?methods:Exec.Plan.join_method list ->
+  ?estimator:Els.Estimator.t ->
   ?restarts:int ->
   ?max_steps:int ->
   ?seed:int ->
@@ -18,7 +19,8 @@ val optimize :
   Query.t ->
   Dp.node
 (** Defaults: 8 restarts, 100 steps per restart, seed 1. Same result type
-    as {!Dp.optimize}.
+    as {!Dp.optimize}; [estimator] overrides the profile's estimator as in
+    {!Dp.optimize}.
     @raise Invalid_argument on an empty FROM list or empty [methods]. *)
 
 val plan_of_order :

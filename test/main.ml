@@ -13,6 +13,7 @@ let () =
       ("closure", Test_closure.suite);
       ("local-pred", Test_local_pred.suite);
       ("els-paper", Test_els_paper.suite);
+      ("estimator", Test_estimator.suite);
       ("els-api", Test_els_api.suite);
       ("profile", Test_profile.suite);
       ("incremental", Test_incremental.suite);

@@ -52,7 +52,11 @@ let test_runner_trial () =
 
 let test_section8_experiment_shape () =
   let rows = Harness.Section8_experiment.run ~scale:20 () in
-  Alcotest.(check int) "four rows" 4 (List.length rows);
+  (* The paper's SM-without-PTC row plus one row per registered
+     estimator. *)
+  Alcotest.(check int) "row count"
+    (1 + List.length (Els.Estimator.registry ()))
+    (List.length rows);
   let algo i =
     (List.nth rows i).Harness.Section8_experiment.trial.Harness.Runner.algorithm
   in
@@ -60,6 +64,7 @@ let test_section8_experiment_shape () =
   Alcotest.(check string) "row 2" "SM+PTC" (algo 1);
   Alcotest.(check string) "row 3" "SSS" (algo 2);
   Alcotest.(check string) "row 4" "ELS" (algo 3);
+  Alcotest.(check string) "row 5" "PESS" (algo 4);
   (* Every algorithm computes the same (correct) answer... *)
   List.iter
     (fun r ->
@@ -96,8 +101,10 @@ let test_examples_tables_consistency () =
 
 let test_error_propagation_shape () =
   let points = Harness.Error_propagation.run ~seeds:[ 1; 2 ] ~max_tables:4 () in
-  (* 3 rules x 3 sizes. *)
-  Alcotest.(check int) "point count" 9 (List.length points);
+  (* One point per registered estimator per size (2, 3 and 4 tables). *)
+  Alcotest.(check int) "point count"
+    (3 * List.length (Els.Estimator.registry ()))
+    (List.length points);
   (* At 4 tables rule M must underestimate dramatically; LS must stay
      within a small constant factor. *)
   let find rule n =

@@ -187,6 +187,29 @@ let test_single_table_query () =
   let rows, _, _ = Exec.Executor.count db choice.Optimizer.plan in
   Alcotest.(check int) "single-table scan" 4 rows
 
+(* ?estimator re-profiles before enumeration: choosing with base ELS but
+   estimator ss must match choosing with the ss-swapped config directly,
+   and the reported algorithm name must reflect the swap. *)
+let test_choose_estimator_override () =
+  let db, q = s8_db_query 50 in
+  let overridden =
+    Optimizer.choose ~estimator:Els.Estimator.ss Els.Config.els db q
+  in
+  let direct =
+    Optimizer.choose (Els.Config.with_estimator Els.Estimator.ss Els.Config.els)
+      db q
+  in
+  Alcotest.(check string) "same algorithm name" direct.Optimizer.algorithm
+    overridden.Optimizer.algorithm;
+  Alcotest.(check (list string)) "same join order" direct.Optimizer.join_order
+    overridden.Optimizer.join_order;
+  Alcotest.(check (list (float 0.))) "same estimates"
+    direct.Optimizer.intermediate_estimates
+    overridden.Optimizer.intermediate_estimates;
+  let baseline = Optimizer.choose Els.Config.els db q in
+  Alcotest.(check bool) "override changes the report" false
+    (String.equal baseline.Optimizer.algorithm overridden.Optimizer.algorithm)
+
 let suite =
   [
     Alcotest.test_case "cost: sort" `Quick test_sort_cost;
@@ -203,5 +226,7 @@ let suite =
     Alcotest.test_case "dp: scan filter placement" `Quick
       test_scan_filters_placement;
     Alcotest.test_case "choose: reporting" `Quick test_choose_reports;
+    Alcotest.test_case "choose: estimator override" `Quick
+      test_choose_estimator_override;
     Alcotest.test_case "single-table query" `Quick test_single_table_query;
   ]

@@ -428,7 +428,7 @@ let prop_profile_invariants =
           tables_ok
           && Els.Incremental.final_size profile names
              <= cartesian_bound +. 1e-6)
-        [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
+        (Els.Config.panel ()))
 
 (* Rule M never depends on the join order: every predicate of the working
    conjunction is counted exactly once by the time the order completes, so
@@ -514,7 +514,7 @@ let prop_ls_one_selectivity_per_class =
 
 (* The selectivity memo caches are estimate-transparent: cache-on and
    cache-off profiles produce bit-identical sizes at every step of every
-   order, under every rule. *)
+   order, under every registered estimator's canonical configuration. *)
 let prop_cache_transparent =
   QCheck2.Test.make ~count ~name:"memo cache is bit-identical to uncached"
     ~print:print_chain_spec gen_chain_spec (fun spec ->
@@ -531,11 +531,12 @@ let prop_cache_transparent =
               && List.for_all2 Float.equal (Els.Incremental.history a)
                    (Els.Incremental.history b))
             (permutations names))
-        [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
+        (Els.Config.panel ()))
 
 (* Differential: the indexed bitset hot path returns exactly the same
    eligible predicates (same order) and bit-identical step selectivities
-   as the retained list-scan reference implementation. *)
+   as the retained list-scan reference implementation, for every
+   registered estimator. *)
 let prop_index_matches_scan =
   QCheck2.Test.make ~count ~name:"indexed hot path = list-scan baseline"
     ~print:print_chain_spec gen_chain_spec (fun spec ->
@@ -567,7 +568,36 @@ let prop_index_matches_scan =
                 in
                 ok)
             (permutations names))
-        [ Els.Config.sm ~ptc:true; Els.Config.sss; Els.Config.els ])
+        (Els.Config.panel ()))
+
+(* Key-join chains: every value appears exactly once per table
+   (multiplicity 1), so each table's join column is a key and each step's
+   true size is the running minimum of the distinct counts. On such data
+   the pessimistic estimator's per-step cap min(|R1|', |R2|') is exact
+   and Rule LS never exceeds it; with multiplicity > 1 this ordering can
+   fail (min of row counts is not an output bound in general), which is
+   why the property is stated on key joins only — matching the scope of
+   the degree-1 Lp-norm bound PESS implements. *)
+let gen_key_chain_spec =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* dims = list_repeat n (map (fun d -> (d, 1)) (int_range 2 12)) in
+    let* seed = int_range 0 10000 in
+    return { dims; seed })
+
+let prop_pess_bounds_ls_on_key_joins =
+  QCheck2.Test.make ~count
+    ~name:"PESS >= LS at every step on key-join chains"
+    ~print:print_chain_spec gen_key_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      List.for_all
+        (fun order ->
+          let ls = Els.intermediate_sizes Els.Config.els db query order in
+          let pess = Els.intermediate_sizes Els.Config.pess db query order in
+          List.for_all2
+            (fun p l -> p >= l -. (1e-9 *. Float.abs l))
+            pess ls)
+        (permutations names))
 
 (* Cost model sanity: each join cost is monotone in the outer cardinality
    and non-negative. *)
@@ -622,4 +652,5 @@ let suite =
       prop_ls_one_selectivity_per_class;
       prop_cache_transparent;
       prop_index_matches_scan;
+      prop_pess_bounds_ls_on_key_joins;
     ]
