@@ -16,6 +16,9 @@
      F7 — uniformity limits on skewed join columns (supplementary)
      F10 — estimator panel: every registered estimator side by side
            (supplementary)
+     F11 — deadline/budget soak: anytime ladder under a 1 ms deadline on
+           n=14 DP, node-budget cost sweep, randomized soak smoke
+           (supplementary)
 
    Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs).
    Passing experiment ids (e.g. `bench/main.exe f8 micro`) runs only
@@ -26,7 +29,7 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let experiment_ids =
   [
     "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
-    "f7"; "f8"; "f10"; "micro";
+    "f7"; "f8"; "f10"; "f11"; "micro";
   ]
 
 let selected =
@@ -238,6 +241,50 @@ let run_f10 () =
   let scale = if quick then 20 else 10 in
   print_string (Harness.Estimator_panel.render (Harness.Estimator_panel.run ~scale ()))
 
+(* F11: the budget subsystem under load. Three legs: (a) exact DP on an
+   n=14 chain under a 1 ms wall-clock deadline must still return a valid
+   plan by degrading down the anytime ladder; (b) a node-budget sweep on
+   the same query shows the chosen cost improving monotonically as the
+   budget grows; (c) a randomized soak smoke crossing workloads ×
+   corruption × budgets. *)
+let run_f11 () =
+  section "F11: deadline/budget soak — anytime ladder and chaos harness";
+  let n = if quick then 12 else 14 in
+  let chain =
+    Datagen.Workload.chain ~rows_range:(100, 300) ~distinct_range:(20, 100)
+      ~seed:1 ~n_tables:n ()
+  in
+  let db = chain.Datagen.Workload.db in
+  let query = chain.Datagen.Workload.query in
+  let profile = Els.prepare Els.Config.els db query in
+  (* (a) 1 ms deadline on exact DP over n tables. *)
+  let budget = Rel.Budget.create ~deadline_ms:1. () in
+  let t0 = Unix.gettimeofday () in
+  let node, prov = Optimizer.Dp.optimize_traced ~budget profile query in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Printf.printf
+    "1 ms deadline, n=%d: %s in %.1f ms, cost %.4g (%d rows est)\n" n
+    (Optimizer.Provenance.to_string prov)
+    elapsed_ms node.Optimizer.Dp.cost
+    (int_of_float node.Optimizer.Dp.state.Els.Incremental.size);
+  (* (b) node-budget sweep: cost must be non-increasing down the rows. *)
+  Printf.printf "\nnode-budget sweep (same query):\n";
+  Printf.printf "%-10s %-42s %14s\n" "budget" "provenance" "cost";
+  List.iter
+    (fun node_budget ->
+      let budget = Rel.Budget.create ?node_budget () in
+      let node, prov = Optimizer.Dp.optimize_traced ~budget profile query in
+      Printf.printf "%-10s %-42s %14.6g\n"
+        (match node_budget with
+        | None -> "unlimited"
+        | Some n -> string_of_int n)
+        (Optimizer.Provenance.to_string prov)
+        node.Optimizer.Dp.cost)
+    [ Some 20; Some 200; Some 2_000; Some 20_000; None ];
+  (* (c) randomized soak smoke. *)
+  let iters = if quick then 50 else 200 in
+  Printf.printf "\n%s" (Harness.Soak.render (Harness.Soak.run ~iters ()))
+
 (* --- bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 let micro_tests () =
@@ -346,7 +393,8 @@ let () =
       ("t1", run_t1); ("t1-ablation", run_t1_ablation); ("e1", run_e1);
       ("s5", run_s5); ("s6", run_s6); ("f1", run_f1); ("f2", run_f2);
       ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
-      ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("micro", run_micro);
+      ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("f11", run_f11);
+      ("micro", run_micro);
     ]
   in
   List.iter (fun (id, run) -> if wants id then run ()) experiments;

@@ -7,6 +7,11 @@
      run        optimize, execute and report work counters
      closure    print the transitive closure of a query's predicates
      fault      run the fault-injection suite (experiment F9)
+     soak       run the randomized soak/chaos harness (experiment F11)
+
+   explain/run accept --deadline-ms/--node-budget/--row-budget: one
+   budget spans the whole invocation, so the optimizer degrades down its
+   anytime ladder and the executor cancels cooperatively when it trips.
 
    estimate/explain/run accept --estimator=m|ss|ls|pess (any id in
    Els.Estimator.registry) to select a single combining rule; unknown
@@ -144,6 +149,41 @@ let enumerator_arg =
     & info [ "enumerator" ] ~docv:"ENUM"
         ~doc:"Join-order enumerator: dp (exhaustive), greedy, or random.")
 
+(* --- resource budget flags (explain/run) --- *)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline in milliseconds for the whole invocation; \
+           the optimizer degrades anytime-style, execution cancels.")
+
+let node_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-budget" ] ~docv:"N"
+        ~doc:
+          "Maximum optimizer node expansions before the enumerator \
+           degrades down its anytime ladder.")
+
+let row_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "row-budget" ] ~docv:"N"
+        ~doc:
+          "Maximum executor rows (tuples read + emitted) before execution \
+           cancels with a budget-exhausted error.")
+
+let resolve_budget deadline_ms node_budget row_budget =
+  match (deadline_ms, node_budget, row_budget) with
+  | None, None, None -> None
+  | _ ->
+    Some (Rel.Budget.create ?deadline_ms ?node_budget ?row_budget ())
+
 let resolve_query (db, default_query) sql =
   match sql with
   | Some text -> Sqlfront.Binder.compile db text
@@ -226,30 +266,38 @@ let estimate_cmd =
 (* --- explain --- *)
 
 let explain_cmd =
-  let run dbspec sql algo enumerator estimator =
+  let run dbspec sql algo enumerator estimator deadline_ms node_budget
+      row_budget =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
     let config = resolve_config algo estimator in
-    let choice = Optimizer.choose ~enumerator config db query in
-    Optimizer.explain Format.std_formatter choice
+    let budget = resolve_budget deadline_ms node_budget row_budget in
+    let choice = Optimizer.choose ~enumerator ?budget config db query in
+    Optimizer.explain Format.std_formatter choice;
+    Option.iter
+      (fun b -> Format.printf "budget: %a@." Rel.Budget.pp b)
+      budget
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the plan the chosen algorithm leads to.")
     Term.(
       const run $ db_arg $ sql_arg $ algo_arg $ enumerator_arg
-      $ estimator_arg)
+      $ estimator_arg $ deadline_arg $ node_budget_arg $ row_budget_arg)
 
 (* --- run --- *)
 
 let run_cmd =
-  let run dbspec sql algo estimator =
+  let run dbspec sql algo estimator deadline_ms node_budget row_budget =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
     let query = or_die (resolve_query dbspec sql) in
     let config = resolve_config algo estimator in
-    let trial = Harness.Runner.run config db query in
+    let budget = resolve_budget deadline_ms node_budget row_budget in
+    let trial = Harness.Runner.run ?budget config db query in
     Printf.printf "algorithm:  %s\n" trial.Harness.Runner.algorithm;
+    Printf.printf "provenance: %s\n"
+      (Optimizer.Provenance.to_string trial.Harness.Runner.provenance);
     Printf.printf "join order: %s\n"
       (String.concat " ⋈ " trial.Harness.Runner.join_order);
     Printf.printf "estimates:  %s\n"
@@ -262,7 +310,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize, execute and report measured work.")
-    Term.(const run $ db_arg $ sql_arg $ algo_arg $ estimator_arg)
+    Term.(
+      const run $ db_arg $ sql_arg $ algo_arg $ estimator_arg $ deadline_arg
+      $ node_budget_arg $ row_budget_arg)
 
 (* --- closure --- *)
 
@@ -308,7 +358,16 @@ let fault_cmd =
   let seed =
     Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run strictness seed =
+  let node_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:
+            "Also cross every corruption with a fresh N-expansion \
+             optimizer budget (budget trips are expected degradations).")
+  in
+  let run strictness seed node_budget =
     let modes =
       match strictness with
       | Some m -> [ m ]
@@ -316,12 +375,21 @@ let fault_cmd =
         [ Catalog.Validate.Strict; Catalog.Validate.Repair;
           Catalog.Validate.Trap ]
     in
+    let make_budget =
+      Option.map
+        (fun n () -> Rel.Budget.create ~node_budget:n ())
+        node_budget
+    in
     let outcomes =
       List.concat_map
-        (fun strictness -> Harness.Fault.run ~seed ~strictness ())
+        (fun strictness ->
+          Harness.Fault.run ~seed ?make_budget ~strictness ())
         modes
     in
     print_string (Harness.Fault.render outcomes);
+    Printf.printf "budget trips: %d of %d outcomes\n"
+      (Harness.Fault.budget_trips outcomes)
+      (List.length outcomes);
     if Harness.Fault.all_pass outcomes then
       print_endline "fault-injection suite: PASS"
     else begin
@@ -334,7 +402,38 @@ let fault_cmd =
        ~doc:
          "Run the fault-injection suite (F9): corrupt the catalog in every \
           known way and assert the pipeline degrades instead of crashing.")
-    Term.(const run $ strictness_arg $ seed)
+    Term.(const run $ strictness_arg $ seed $ node_budget)
+
+(* --- soak --- *)
+
+let soak_cmd =
+  let iters =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Number of randomized iterations.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 5.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Optimizer deadline used by the deadline-respect leg.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run iters deadline_ms seed =
+    let summary = Harness.Soak.run ~seed ~deadline_ms ~iters () in
+    print_string (Harness.Soak.render summary);
+    if not (Harness.Soak.pass summary) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run the randomized soak/chaos harness (F11): random workloads × \
+          catalog corruption × resource budgets, asserting no crashes, no \
+          non-finite answers, deadline respect, anytime monotonicity and \
+          consistent cancellation.")
+    Term.(const run $ iters $ deadline_ms $ seed)
 
 let () =
   let info =
@@ -348,5 +447,5 @@ let () =
        (Cmd.group info
           [
             section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd;
-            fault_cmd;
+            fault_cmd; soak_cmd;
           ]))

@@ -4,6 +4,11 @@ type t =
   | Invalid_query of { detail : string }
   | Parse_error of { position : int; detail : string }
   | Invariant_violation of { site : string; detail : string }
+  | Budget_exhausted of {
+      site : string;
+      resource : Rel.Budget.resource;
+      detail : string;
+    }
 
 exception Error of t
 
@@ -22,6 +27,10 @@ let to_string = function
     Printf.sprintf "parse error at offset %d: %s" position detail
   | Invariant_violation { site; detail } ->
     Printf.sprintf "estimator invariant violated at %s: %s" site detail
+  | Budget_exhausted { site; resource; detail } ->
+    Printf.sprintf "%s budget exhausted at %s: %s"
+      (Rel.Budget.resource_name resource)
+      site detail
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

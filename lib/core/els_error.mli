@@ -23,6 +23,17 @@ type t =
       (** an internal computation produced an impossible selectivity or
           cardinality and the guard mode is [Strict]; [site] names the
           production site (e.g. ["Profile.join_selectivity"]) *)
+  | Budget_exhausted of {
+      site : string;
+      resource : Rel.Budget.resource;
+      detail : string;
+    }
+      (** a cooperative {!Rel.Budget} check tripped and the computation
+          could not degrade any further: the executor refuses to return a
+          truncated result, so a row/deadline trip during execution
+          surfaces here. (The optimizer does {e not} raise this — it
+          degrades down its anytime ladder and records the rung in its
+          provenance instead.) *)
 
 exception Error of t
 (** Carrier for the exception-style API. A printer is registered, so an

@@ -5,7 +5,7 @@ type result = {
   elapsed_s : float;
 }
 
-let rec operator_of_plan counters db plan =
+let rec operator_of_plan ?budget counters db plan =
   match plan with
   | Plan.Scan { table; source; filters } ->
     let relation = Catalog.Db.relation_exn db source in
@@ -13,19 +13,19 @@ let rec operator_of_plan counters db plan =
       if String.equal table source then relation
       else Rel.Relation.rename relation table
     in
-    Scan.relation counters ~filters relation
+    Scan.relation ?budget counters ~filters relation
   | Plan.Join { method_; outer; inner; predicates } -> begin
-    let outer_op = operator_of_plan counters db outer in
+    let outer_op = operator_of_plan ?budget counters db outer in
     match method_ with
     | Plan.Nested_loop ->
-      Nested_loop.join counters predicates ~outer:outer_op
-        ~make_inner:(fun () -> operator_of_plan counters db inner)
+      Nested_loop.join ?budget counters predicates ~outer:outer_op
+        ~make_inner:(fun () -> operator_of_plan ?budget counters db inner)
     | Plan.Sort_merge ->
-      Sort_merge.join counters predicates ~outer:outer_op
-        ~inner:(operator_of_plan counters db inner)
+      Sort_merge.join ?budget counters predicates ~outer:outer_op
+        ~inner:(operator_of_plan ?budget counters db inner)
     | Plan.Hash ->
-      Hash_join.join counters predicates ~outer:outer_op
-        ~inner:(operator_of_plan counters db inner)
+      Hash_join.join ?budget counters predicates ~outer:outer_op
+        ~inner:(operator_of_plan ?budget counters db inner)
     | Plan.Index_nested_loop -> begin
       match inner with
       | Plan.Scan { table; source; filters } ->
@@ -34,34 +34,64 @@ let rec operator_of_plan counters db plan =
           if String.equal table source then relation
           else Rel.Relation.rename relation table
         in
-        Index_nested_loop.join counters predicates ~inner_filters:filters
-          ~outer:outer_op ~inner:relation
+        Index_nested_loop.join ?budget counters predicates
+          ~inner_filters:filters ~outer:outer_op ~inner:relation
       | Plan.Join _ ->
         invalid_arg
           "Executor: index nested loop requires a base-table inner"
     end
   end
 
-let run db plan =
-  let counters = Counters.create () in
-  let t0 = Unix.gettimeofday () in
-  let op = operator_of_plan counters db plan in
-  let relation = Operator.to_relation op in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  {
-    relation;
-    row_count = Rel.Relation.cardinality relation;
-    counters;
-    elapsed_s;
-  }
+(* Execution cannot degrade the way enumeration can — a truncated join
+   result is wrong, not approximate — so a budget trip during execution
+   surfaces as a structured [Budget_exhausted] error carrying the work
+   performed so far. *)
+let budget_error counters resource =
+  Els.Els_error.Budget_exhausted
+    {
+      site = "executor";
+      resource;
+      detail =
+        Printf.sprintf "cancelled after %d tuples read, %d tuples output"
+          counters.Counters.tuples_read counters.Counters.tuples_output;
+    }
 
-let count db plan =
+let run ?budget db plan =
   let counters = Counters.create () in
   let t0 = Unix.gettimeofday () in
-  let op = operator_of_plan counters db plan in
-  let rows = Operator.count op in
-  let elapsed_s = Unix.gettimeofday () -. t0 in
-  (rows, counters, elapsed_s)
+  match
+    let op = operator_of_plan ?budget counters db plan in
+    Operator.to_relation op
+  with
+  | relation ->
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    {
+      relation;
+      row_count = Rel.Relation.cardinality relation;
+      counters;
+      elapsed_s;
+    }
+  | exception Rel.Budget.Exhausted resource ->
+    Els.Els_error.raise_ (budget_error counters resource)
+
+let count_result ?budget db plan =
+  let counters = Counters.create () in
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    match
+      let op = operator_of_plan ?budget counters db plan in
+      Operator.count op
+    with
+    | rows -> Ok rows
+    | exception Rel.Budget.Exhausted resource ->
+      Error (budget_error counters resource)
+  in
+  (rows, counters, Unix.gettimeofday () -. t0)
+
+let count ?budget db plan =
+  match count_result ?budget db plan with
+  | Ok rows, counters, elapsed_s -> (rows, counters, elapsed_s)
+  | Error e, _, _ -> Els.Els_error.raise_ e
 
 (* Left-deep reference plan in FROM order with every predicate placed at
    the earliest node covering its columns. *)
@@ -117,8 +147,8 @@ let reference_plan query =
     assert (leftover = []);
     plan
 
-let run_query db query =
-  let result = run db (reference_plan query) in
+let run_query ?budget db query =
+  let result = run ?budget db (reference_plan query) in
   match query.Query.projection with
   | Query.Star | Query.Count_star -> result
   | Query.Columns cols ->

@@ -11,18 +11,38 @@ type result = {
   elapsed_s : float;  (** wall-clock seconds for the whole execution *)
 }
 
-val run : Catalog.Db.t -> Plan.t -> result
+val run : ?budget:Rel.Budget.t -> Catalog.Db.t -> Plan.t -> result
 (** Execute a plan. Every base table mentioned must be stored (not
-    stats-only).
+    stats-only). With a [budget], every operator spends budgeted rows in
+    lock-step with its work counters ([tuples_read] and [tuples_output])
+    and probes the shared deadline; execution cannot degrade the way
+    enumeration can, so a trip cancels the run.
+    @raise Els.Els_error.Error ([Budget_exhausted]) when the budget trips
+    mid-execution; the raw {!Rel.Budget.Exhausted} never escapes.
     @raise Invalid_argument when a table is stats-only.
     @raise Not_found when a table is missing from the catalog. *)
 
-val count : Catalog.Db.t -> Plan.t -> int * Counters.t * float
+val count :
+  ?budget:Rel.Budget.t -> Catalog.Db.t -> Plan.t -> int * Counters.t * float
 (** Execute without materializing the result — [COUNT( )] style; returns
-    (rows, counters, elapsed seconds). *)
+    (rows, counters, elapsed seconds). Budget semantics as in {!run}. *)
 
-val run_query : Catalog.Db.t -> Query.t -> result
+val count_result :
+  ?budget:Rel.Budget.t ->
+  Catalog.Db.t ->
+  Plan.t ->
+  (int, Els.Els_error.t) Stdlib.result * Counters.t * float
+(** [count] in the [Result] style: a budget trip yields
+    [Error (Budget_exhausted _)] instead of raising, and the counters and
+    elapsed time of the cancelled run are still returned — by
+    construction the budget's {!Rel.Budget.rows_used} equals
+    [tuples_read + tuples_output] at the moment of cancellation, so
+    partial work is fully accounted. Errors other than the budget trip
+    (missing table, stats-only table) still raise as in {!run}. *)
+
+val run_query : ?budget:Rel.Budget.t -> Catalog.Db.t -> Query.t -> result
 (** Reference execution of a query with no optimizer involved: left-deep
     hash joins in FROM order (nested loops when a step has no equi-key),
     local predicates pushed to scans, column projections applied. Used to
-    obtain ground-truth result sizes in tests and experiments. *)
+    obtain ground-truth result sizes in tests and experiments. Budget
+    semantics as in {!run}. *)

@@ -1,4 +1,4 @@
-let join counters preds ~outer ~inner =
+let join ?budget counters preds ~outer ~inner =
   let left_schema = Operator.schema outer in
   let right_schema = Operator.schema inner in
   let out_schema = Rel.Schema.concat left_schema right_schema in
@@ -8,6 +8,11 @@ let join counters preds ~outer ~inner =
   let left_cols = List.map fst keys and right_cols = List.map snd keys in
   let accept_residual = Query.Eval.compile_all out_schema residual in
   let n_residual = List.length residual in
+  let spend n =
+    match budget with
+    | None -> ()
+    | Some b -> Rel.Budget.spend_rows_exn b n
+  in
   let table : (int, Rel.Tuple.t list ref) Hashtbl.t = Hashtbl.create 4096 in
   let key_has_null cols tuple =
     List.exists (fun i -> Rel.Value.is_null tuple.(i)) cols
@@ -37,6 +42,7 @@ let join counters preds ~outer ~inner =
         Counters.compared counters n_residual;
         if accept_residual joined then begin
           Counters.output counters 1;
+          spend 1;
           Some joined
         end
         else pull ()

@@ -6,10 +6,14 @@
     semantics: tuples with a NULL join key never match. *)
 
 val join :
+  ?budget:Rel.Budget.t ->
   Counters.t ->
   Query.Predicate.t list ->
   outer:Operator.t ->
   inner:Operator.t ->
   Operator.t
-(** @raise Invalid_argument when no equi-key bridges the two inputs (use
+(** With a [budget], every emitted tuple spends one budgeted row (raising
+    {!Rel.Budget.Exhausted} on trip); the build-side reads are spent by
+    the inner operator itself.
+    @raise Invalid_argument when no equi-key bridges the two inputs (use
     {!Nested_loop.join} for cartesian products). *)

@@ -1,4 +1,4 @@
-let join counters preds ~inner_filters ~outer ~inner =
+let join ?budget counters preds ~inner_filters ~outer ~inner =
   let outer_schema = Operator.schema outer in
   let inner_schema = Rel.Relation.schema inner in
   let out_schema = Rel.Schema.concat outer_schema inner_schema in
@@ -15,8 +15,14 @@ let join counters preds ~inner_filters ~outer ~inner =
     let n_inner_filters = List.length inner_filters in
     let accept_residual = Query.Eval.compile_all out_schema residual in
     let n_residual = List.length residual in
+    let spend n =
+      match budget with
+      | None -> ()
+      | Some b -> Rel.Budget.spend_rows_exn b n
+    in
     (* Building the index scans the inner once. *)
     Counters.read counters (Rel.Relation.cardinality inner);
+    spend (Rel.Relation.cardinality inner);
     let index = Index.build inner ~column:inner_col in
     let current = ref None in
     let rec pull () =
@@ -24,6 +30,7 @@ let join counters preds ~inner_filters ~outer ~inner =
       | Some (left, candidate :: rest) ->
         current := Some (left, rest);
         Counters.read counters 1;
+        spend 1;
         Counters.compared counters n_inner_filters;
         if not (accept_inner candidate) then pull ()
         else begin
@@ -39,6 +46,7 @@ let join counters preds ~inner_filters ~outer ~inner =
             Counters.compared counters n_residual;
             if accept_residual joined then begin
               Counters.output counters 1;
+              spend 1;
               Some joined
             end
             else pull ()

@@ -9,6 +9,7 @@
     charges one comparison plus one read per matched tuple. *)
 
 val join :
+  ?budget:Rel.Budget.t ->
   Counters.t ->
   Query.Predicate.t list ->
   inner_filters:Query.Predicate.t list ->
@@ -17,5 +18,7 @@ val join :
   Operator.t
 (** [join counters preds ~inner_filters ~outer ~inner]. [preds] must
     contain at least one column equality bridging the outer schema and the
-    inner relation's schema.
+    inner relation's schema. With a [budget], the index-build scan, each
+    matched-tuple read and each emitted tuple spend budgeted rows
+    mirroring the counters (raising {!Rel.Budget.Exhausted} on trip).
     @raise Invalid_argument otherwise. *)

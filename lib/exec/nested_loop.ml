@@ -1,8 +1,13 @@
-let join counters preds ~outer ~make_inner =
+let join ?budget counters preds ~outer ~make_inner =
   let inner_schema = Operator.schema (make_inner ()) in
   let out_schema = Rel.Schema.concat (Operator.schema outer) inner_schema in
   let accept = Query.Eval.compile_all out_schema preds in
   let n_preds = List.length preds in
+  let spend n =
+    match budget with
+    | None -> ()
+    | Some b -> Rel.Budget.spend_rows_exn b n
+  in
   let outer_tuple = ref None in
   let inner_op = ref None in
   let rec pull () =
@@ -31,6 +36,7 @@ let join counters preds ~outer ~make_inner =
         let joined = Rel.Tuple.concat left right in
         if accept joined then begin
           Counters.output counters 1;
+          spend 1;
           Some joined
         end
         else pull ()

@@ -1,4 +1,4 @@
-let join counters preds ~outer ~inner =
+let join ?budget counters preds ~outer ~inner =
   let left_schema = Operator.schema outer in
   let right_schema = Operator.schema inner in
   let out_schema = Rel.Schema.concat left_schema right_schema in
@@ -10,6 +10,11 @@ let join counters preds ~outer ~inner =
   let left_cols = List.map fst keys and right_cols = List.map snd keys in
   let accept_residual = Query.Eval.compile_all out_schema residual in
   let n_residual = List.length residual in
+  let spend n =
+    match budget with
+    | None -> ()
+    | Some b -> Rel.Budget.spend_rows_exn b n
+  in
   let counted_compare cols a b =
     Counters.compared counters 1;
     Rel.Tuple.compare_at cols a b
@@ -53,6 +58,7 @@ let join counters preds ~outer ~inner =
         Counters.compared counters n_residual;
         if accept_residual joined then begin
           Counters.output counters 1;
+          spend 1;
           Some joined
         end
         else pull ()

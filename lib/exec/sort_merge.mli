@@ -6,9 +6,13 @@
     all produced. NULL keys never match and are skipped. *)
 
 val join :
+  ?budget:Rel.Budget.t ->
   Counters.t ->
   Query.Predicate.t list ->
   outer:Operator.t ->
   inner:Operator.t ->
   Operator.t
-(** @raise Invalid_argument when no equi-key bridges the two inputs. *)
+(** With a [budget], every emitted tuple spends one budgeted row (raising
+    {!Rel.Budget.Exhausted} on trip); input reads are spent by the child
+    operators during materialization.
+    @raise Invalid_argument when no equi-key bridges the two inputs. *)

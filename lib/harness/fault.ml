@@ -178,9 +178,10 @@ type outcome = {
   violations : int;
   repairs : int;
   fallbacks : int;
+  budget_tripped : Rel.Budget.resource option;
 }
 
-let zero_outcome corruption strictness algorithm status =
+let zero_outcome ?budget_tripped corruption strictness algorithm status =
   {
     corruption;
     strictness;
@@ -189,17 +190,21 @@ let zero_outcome corruption strictness algorithm status =
     violations = 0;
     repairs = 0;
     fallbacks = 0;
+    budget_tripped;
   }
 
 (* SQL text → binder → profile (validation + guards) → DP optimizer →
    final estimate. Structured errors are the expected degradation;
-   anything escaping as a raw exception is a crash. *)
-let drive ~config db sql =
+   anything escaping as a raw exception is a crash. A budget trip is also
+   expected degradation: the optimizer absorbs it via its anytime ladder,
+   so it shows up through [Rel.Budget.exhausted], not as an error. *)
+let drive ?budget ~config db sql =
   match Sqlfront.Binder.compile_result db sql with
   | Error e -> `No_profile (Degraded e)
   | Ok query -> begin
     match
-      Optimizer.choose ~enumerator:Optimizer.Exhaustive config db query
+      Optimizer.choose ~enumerator:Optimizer.Exhaustive ?budget config db
+        query
     with
     | exception Els.Els_error.Error e -> `No_profile (Degraded e)
     | exception exn -> `No_profile (Crashed (Printexc.to_string exn))
@@ -227,13 +232,17 @@ let drive ~config db sql =
       `Profiled (status, profile)
   end
 
-let outcome_of ?(estimator = Els.Estimator.ls) ~strictness corruption db sql =
+let outcome_of ?(estimator = Els.Estimator.ls) ?budget ~strictness corruption
+    db sql =
   let config =
     Els.Config.with_strictness strictness (Els.Config.of_estimator estimator)
   in
   let algorithm = Els.Estimator.label estimator in
-  match drive ~config db sql with
-  | `No_profile status -> zero_outcome corruption strictness algorithm status
+  let tripped () = Option.bind budget Rel.Budget.exhausted in
+  match drive ?budget ~config db sql with
+  | `No_profile status ->
+    zero_outcome ?budget_tripped:(tripped ()) corruption strictness algorithm
+      status
   | `Profiled (status, profile) ->
     let g = Els.Profile.guard_stats profile in
     {
@@ -244,18 +253,22 @@ let outcome_of ?(estimator = Els.Estimator.ls) ~strictness corruption db sql =
       violations = g.Els.Guard.violations;
       repairs = g.Els.Guard.repairs;
       fallbacks = g.Els.Guard.fallbacks;
+      budget_tripped = tripped ();
     }
 
 let run ?seed ?(sql = default_sql) ?(estimators = Els.Estimator.registry ())
-    ~strictness () =
+    ?make_budget ~strictness () =
   let clean = base_db ?seed () in
+  let budget () = Option.map (fun f -> f ()) make_budget in
   List.concat_map
     (fun estimator ->
-      let baseline = outcome_of ~estimator ~strictness None clean sql in
+      let baseline =
+        outcome_of ~estimator ?budget:(budget ()) ~strictness None clean sql
+      in
       baseline
       :: List.map
            (fun kind ->
-             outcome_of ~estimator ~strictness (Some kind)
+             outcome_of ~estimator ?budget:(budget ()) ~strictness (Some kind)
                (corrupt_db kind clean) sql)
            all)
     estimators
@@ -263,7 +276,9 @@ let run ?seed ?(sql = default_sql) ?(estimators = Els.Estimator.registry ())
 (* An outcome is acceptable when the pipeline neither crashed nor let an
    impossible number escape; under Repair and Trap every injected
    corruption must additionally be visible in the counters (detected
-   validation issue, clamped value, or counted fallback). *)
+   validation issue, clamped value, or counted fallback) — unless the
+   budget tripped first, in which case the truncated enumeration is the
+   documented degradation. *)
 let acceptable o =
   let well_formed =
     match o.status with
@@ -283,11 +298,14 @@ let acceptable o =
     | None, _ -> true
     | Some _, Catalog.Validate.Strict -> true
     | Some _, (Catalog.Validate.Repair | Catalog.Validate.Trap) ->
-      o.violations + o.repairs + o.fallbacks > 0
+      o.violations + o.repairs + o.fallbacks > 0 || o.budget_tripped <> None
   in
   well_formed && strict_estimates_clean && counted
 
 let all_pass outcomes = List.for_all acceptable outcomes
+
+let budget_trips outcomes =
+  List.length (List.filter (fun o -> o.budget_tripped <> None) outcomes)
 
 let status_cell = function
   | Estimated x -> Printf.sprintf "ok %s" (Report.float_cell x)
@@ -299,7 +317,7 @@ let render outcomes =
     ~header:
       [
         "corruption"; "mode"; "estimator"; "outcome"; "viol"; "repair";
-        "fallback"; "pass";
+        "fallback"; "budget"; "pass";
       ]
     (List.map
        (fun o ->
@@ -311,6 +329,9 @@ let render outcomes =
            string_of_int o.violations;
            string_of_int o.repairs;
            string_of_int o.fallbacks;
+           (match o.budget_tripped with
+           | None -> "-"
+           | Some r -> Rel.Budget.resource_name r);
            (if acceptable o then "yes" else "NO");
          ])
        outcomes)

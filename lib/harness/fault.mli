@@ -69,10 +69,15 @@ type outcome = {
   violations : int;
   repairs : int;
   fallbacks : int;
+  budget_tripped : Rel.Budget.resource option;
+      (** set when the per-outcome {!Rel.Budget} tripped during
+          optimization — an expected degradation (the optimizer's anytime
+          ladder absorbed it), not a failure *)
 }
 
 val outcome_of :
   ?estimator:Els.Estimator.t ->
+  ?budget:Rel.Budget.t ->
   strictness:Catalog.Validate.strictness ->
   corruption option ->
   Catalog.Db.t ->
@@ -81,12 +86,14 @@ val outcome_of :
 (** Drive SQL text through binder → validation → guarded profile → DP
     optimizer against the given catalog, capturing the guard counters.
     [estimator] (default {!Els.Estimator.ls}) selects the estimation
-    algorithm via its canonical configuration. *)
+    algorithm via its canonical configuration; [budget] bounds the
+    enumeration (its exhaustion state is captured in [budget_tripped]). *)
 
 val run :
   ?seed:int ->
   ?sql:string ->
   ?estimators:Els.Estimator.t list ->
+  ?make_budget:(unit -> Rel.Budget.t) ->
   strictness:Catalog.Validate.strictness ->
   unit ->
   outcome list
@@ -94,14 +101,21 @@ val run :
     {!Els.Estimator.registry}): the clean baseline followed by one outcome
     per corruption kind in {!all}, each applied to every table and column
     of {!base_db} — the robustness contract must hold for every registered
-    estimator, not just ELS. *)
+    estimator, not just ELS. [make_budget] produces a {e fresh} budget per
+    outcome (budgets are sticky, so they cannot be shared), crossing the
+    corruption grid with resource exhaustion. *)
 
 val acceptable : outcome -> bool
 (** No crash; estimates (when produced) finite and non-negative; under
-    [Repair]/[Trap] every injected corruption shows up in the counters;
+    [Repair]/[Trap] every injected corruption shows up in the counters
+    unless the budget tripped first (a trip is documented degradation);
     under [Strict] an estimate is only produced when nothing was
     swallowed. *)
 
 val all_pass : outcome list -> bool
+
+val budget_trips : outcome list -> int
+(** How many outcomes had their budget trip — reported in the F9
+    summary. *)
 
 val render : outcome list -> string

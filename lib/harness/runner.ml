@@ -8,6 +8,7 @@ type trial = {
   elapsed_s : float;
   estimated_cost : float;
   plan : Exec.Plan.t;
+  provenance : Optimizer.Provenance.t;
 }
 
 let true_prefix_sizes db query order =
@@ -38,10 +39,13 @@ let true_prefix_sizes db query order =
       end)
     all_prefixes
 
-let run ?methods config db query =
-  let choice = Optimizer.choose ?methods config db query in
+(* One [budget] spans the whole trial: optimization spends node
+   expansions against it, then execution spends rows against whatever
+   remains — the deadline is shared end to end. *)
+let run ?methods ?budget config db query =
+  let choice = Optimizer.choose ?methods ?budget config db query in
   let rows, counters, elapsed_s =
-    Exec.Executor.count db choice.Optimizer.plan
+    Exec.Executor.count ?budget db choice.Optimizer.plan
   in
   {
     algorithm = choice.Optimizer.algorithm;
@@ -53,6 +57,7 @@ let run ?methods config db query =
     elapsed_s;
     estimated_cost = choice.Optimizer.estimated_cost;
     plan = choice.Optimizer.plan;
+    provenance = choice.Optimizer.provenance;
   }
 
 let estimate_only config db query order =

@@ -18,6 +18,8 @@ type trial = {
   elapsed_s : float;
   estimated_cost : float;
   plan : Exec.Plan.t;
+  provenance : Optimizer.Provenance.t;
+      (** which anytime rung of the enumerator produced the plan *)
 }
 
 val true_prefix_sizes :
@@ -28,11 +30,18 @@ val true_prefix_sizes :
 
 val run :
   ?methods:Exec.Plan.join_method list ->
+  ?budget:Rel.Budget.t ->
   Els.Config.t ->
   Catalog.Db.t ->
   Query.t ->
   trial
-(** @raise Invalid_argument when the catalog tables are stats-only. *)
+(** [budget] is shared across the whole trial: node expansions are spent
+    during optimization (which degrades anytime-style on exhaustion) and
+    rows during execution (which cancels with a structured
+    [Budget_exhausted] error on exhaustion).
+    @raise Invalid_argument when the catalog tables are stats-only.
+    @raise Els.Els_error.Error ([Budget_exhausted]) when the row budget or
+    deadline trips during execution. *)
 
 val estimate_only :
   Els.Config.t -> Catalog.Db.t -> Query.t -> string list -> float list

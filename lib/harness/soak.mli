@@ -1,0 +1,66 @@
+(** Experiment F11: randomized soak/chaos harness for the budgeted
+    pipeline.
+
+    Crosses random workloads (chains and stars of random shape and size)
+    with the F9 fault injector's catalog corruptions, every strictness
+    mode, every registered estimator, every enumerator, and randomized
+    resource budgets, then asserts the global robustness contract:
+
+    - {e never crashes}: raw exceptions escaping the pipeline are counted
+      as failures (structured {!Els.Els_error.t} refusals are fine);
+    - {e never lies}: every produced estimate and cost is finite and
+      non-negative;
+    - {e deadlines hold}: an optimizer run under a wall-clock deadline
+      finishes within the deadline plus a generous tolerance;
+    - {e anytime monotonicity}: with identical inputs, growing the node
+      budget never yields a costlier chosen plan;
+    - {e cancellation is consistent}: however an execution stops, the
+      budget's row count equals [tuples_read + tuples_output].
+
+    Deterministic given [seed] (apart from the wall-clock deadline leg,
+    whose tolerance absorbs scheduler noise). *)
+
+type summary = {
+  iterations : int;
+  estimated : int;  (** iterations that produced a plan *)
+  degraded : int;  (** structured refusals (expected under Strict etc.) *)
+  crashes : int;  (** raw exceptions — any nonzero value is a failure *)
+  first_crash : string option;
+  non_finite : int;
+      (** NaN/negative/infinite estimates that escaped {e uncounted} — a
+          failure in every mode *)
+  first_non_finite : string option;
+      (** estimator/mode/enumerator/query of the first escape, for
+          reproduction *)
+  trap_propagations : int;
+      (** bad numbers that propagated under [Trap] with the violation
+          counted by the guards — the mode's documented observe-only
+          behavior, not a failure *)
+  budget_trips : int;
+  degraded_rungs : int;  (** plans answered by a non-[Dp] ladder rung *)
+  monotonicity_checks : int;
+  monotonicity_violations : int;
+  deadline_checks : int;
+  deadline_violations : int;
+  executions : int;
+  cancelled_runs : int;  (** executions stopped by their row budget *)
+  counter_mismatches : int;
+      (** cancellations where [rows_used <> read + output] *)
+  elapsed_s : float;
+}
+
+val run :
+  ?seed:int ->
+  ?deadline_ms:float ->
+  ?tolerance_ms:float ->
+  iters:int ->
+  unit ->
+  summary
+(** Defaults: seed 1, 5 ms optimizer deadline for the deadline leg,
+    250 ms wall-clock tolerance. *)
+
+val pass : summary -> bool
+(** Zero crashes, non-finite answers, monotonicity violations, deadline
+    violations and counter mismatches. *)
+
+val render : summary -> string

@@ -9,7 +9,22 @@
     different orders).
 
     Cartesian products are considered only for subsets with no predicate-
-    connected extension, as in System R. *)
+    connected extension, as in System R.
+
+    {2 Budgets and anytime degradation}
+
+    Exact DP is exponential, so [optimize] accepts a {!Rel.Budget}: each
+    seed scan and each [extend] is one node expansion charged with
+    {!Rel.Budget.spend_node} (which also probes the deadline), and the
+    deadline is additionally checked at every subset-size boundary. On
+    exhaustion the enumerator does not fail — it returns the cheapest of a
+    ladder of anytime candidates: the best full plan materialized so far,
+    a greedy completion of the best partial plan at each finalized subset
+    size, and the FROM-order left-deep fallback. The candidate set only
+    grows as the budget does, so with identical inputs a larger budget
+    never yields a costlier plan, and {!optimize_traced} reports which
+    rung actually produced the answer. With [?budget:None] the enumeration
+    is bit-identical to the unbudgeted implementation. *)
 
 type node = {
   plan : Exec.Plan.t;
@@ -21,6 +36,7 @@ type node = {
 val optimize :
   ?methods:Exec.Plan.join_method list ->
   ?estimator:Els.Estimator.t ->
+  ?budget:Rel.Budget.t ->
   Els.Profile.t ->
   Query.t ->
   node
@@ -28,8 +44,23 @@ val optimize :
     all three join methods; the paper's experiment restricts it to
     [[Nested_loop; Sort_merge]]. [estimator] overrides the profile's
     estimator for this enumeration (via {!Els.Profile.with_estimator} —
-    the profile's built statistics are shared, not recomputed).
-    @raise Invalid_argument on an empty FROM list or empty [methods]. *)
+    the profile's built statistics are shared, not recomputed). [budget]
+    bounds the search; see the module preamble for the degradation ladder.
+    @raise Invalid_argument on an empty FROM list or empty [methods].
+    @raise Els.Els_error.Error ([Invalid_query]) when [methods] cannot
+    join the query at all (no nested loop and a step without an eligible
+    equi-join predicate). *)
+
+val optimize_traced :
+  ?methods:Exec.Plan.join_method list ->
+  ?estimator:Els.Estimator.t ->
+  ?budget:Rel.Budget.t ->
+  Els.Profile.t ->
+  Query.t ->
+  node * Provenance.t
+(** [optimize] plus the provenance record: which ladder rung produced the
+    plan, whether (and on which resource) the budget tripped, and how many
+    node expansions were performed. *)
 
 val scan_filters : Els.Profile.t -> string -> Query.Predicate.t list
 (** The local predicates of the profile's working conjunction pushed into
@@ -53,3 +84,57 @@ val extend : Els.Profile.t -> node -> string -> Exec.Plan.join_method ->
     a left-deep node, threading the incremental estimation state and the
     cost model. [eligible] must be the predicates connecting [table] to the
     node (as computed by {!Els.Incremental.eligible}). *)
+
+val no_method_error : Exec.Plan.join_method list -> string list -> 'a
+(** Raise the structured [Invalid_query] error for a step where none of
+    the allowed methods applies (shared by all enumerators — this used to
+    be an [assert false]). *)
+
+val best_extension :
+  ?charge:(unit -> unit) ->
+  Els.Profile.t ->
+  Exec.Plan.join_method list ->
+  node ->
+  string ->
+  (node * bool) option
+(** Cheapest applicable extension of the node with the table over the
+    allowed methods, tagged with whether the step is predicate-connected;
+    [None] when no method applies. [charge] is invoked once per [extend]
+    (budget accounting). Shared by the greedy enumerator and the anytime
+    completions. *)
+
+val complete_order :
+  ?charge:(unit -> unit) ->
+  methods:Exec.Plan.join_method list ->
+  Els.Profile.t ->
+  node ->
+  string list ->
+  node
+(** Extend the node with the given tables in exactly the given order,
+    cheapest applicable method per step.
+    @raise Els.Els_error.Error ([Invalid_query]) when a step has no
+    applicable method. *)
+
+val plan_order :
+  ?charge:(unit -> unit) ->
+  methods:Exec.Plan.join_method list ->
+  Els.Profile.t ->
+  string list ->
+  node
+(** Cost a complete left-deep order: {!scan_node} on the first table, then
+    {!complete_order} over the rest.
+    @raise Invalid_argument on the empty list. *)
+
+val greedy_complete :
+  ?charge:(unit -> unit) ->
+  methods:Exec.Plan.join_method list ->
+  Els.Profile.t ->
+  node ->
+  string list ->
+  node
+(** Greedy completion: repeatedly append the (table, method) pair with the
+    least added cost among [remaining], preferring predicate-connected
+    extensions. O(n²·methods), always terminates — the rung exact DP
+    degrades to when its budget runs out.
+    @raise Els.Els_error.Error ([Invalid_query]) when no remaining table
+    has an applicable method. *)

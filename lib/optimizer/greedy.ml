@@ -1,29 +1,8 @@
 let default_methods =
   [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ]
 
-(* Cheapest extension of [node] with [table] over the allowed methods,
-   tagged with whether the step is predicate-connected. *)
-let best_extension profile methods node table =
-  let eligible = Els.Incremental.eligible profile node.Dp.state table in
-  let candidates =
-    List.filter_map
-      (fun method_ ->
-        if Dp.method_applicable method_ eligible then
-          Some (Dp.extend profile node table method_ eligible)
-        else None)
-      methods
-  in
-  match candidates with
-  | [] -> None
-  | first :: rest ->
-    let best =
-      List.fold_left
-        (fun acc node' -> if node'.Dp.cost < acc.Dp.cost then node' else acc)
-        first rest
-    in
-    Some (best, eligible <> [])
-
-let optimize ?(methods = default_methods) ?estimator profile query =
+let optimize_traced ?(methods = default_methods) ?estimator ?budget profile
+    query =
   if methods = [] then invalid_arg "Greedy.optimize: no join methods";
   let profile =
     match estimator with
@@ -32,6 +11,13 @@ let optimize ?(methods = default_methods) ?estimator profile query =
   in
   let tables = query.Query.tables in
   if tables = [] then invalid_arg "Greedy.optimize: query with no tables";
+  let expansions = ref 0 in
+  let charge () =
+    incr expansions;
+    match budget with
+    | None -> ()
+    | Some b -> Rel.Budget.spend_node_exn b 1
+  in
   (* Seed: the table with the smallest effective cardinality. *)
   let smallest acc table =
     let node = Dp.scan_node profile table in
@@ -49,7 +35,13 @@ let optimize ?(methods = default_methods) ?estimator profile query =
     | Some pair -> pair
     | None -> assert false
   in
-  let rec grow node remaining =
+  (* [current] tracks the last fully-grown node so a budget trip mid-step
+     can resume from a consistent (and budget-independent) state. *)
+  let current =
+    ref (start, List.filter (fun t -> not (String.equal t start_table)) tables)
+  in
+  let rec grow () =
+    let node, remaining = !current in
     if remaining = [] then node
     else begin
       let candidates =
@@ -57,14 +49,14 @@ let optimize ?(methods = default_methods) ?estimator profile query =
           (fun table ->
             Option.map
               (fun (node', connected) -> (table, node', connected))
-              (best_extension profile methods node table))
+              (Dp.best_extension ~charge profile methods node table))
           remaining
       in
       (* Prefer predicate-connected extensions, as DP does. *)
       let connected = List.filter (fun (_, _, c) -> c) candidates in
       let pool = if connected <> [] then connected else candidates in
       match pool with
-      | [] -> assert false (* nested loop is always applicable *)
+      | [] -> Dp.no_method_error methods remaining
       | first :: rest ->
         let table, node', _ =
           List.fold_left
@@ -72,8 +64,22 @@ let optimize ?(methods = default_methods) ?estimator profile query =
               if n.Dp.cost < bn.Dp.cost then (t, n, c) else (bt, bn, bc))
             first rest
         in
-        grow node'
-          (List.filter (fun t -> not (String.equal t table)) remaining)
+        current :=
+          (node', List.filter (fun t -> not (String.equal t table)) remaining);
+        grow ()
     end
   in
-  grow start (List.filter (fun t -> not (String.equal t start_table)) tables)
+  match grow () with
+  | node ->
+    (node, Provenance.completed Provenance.Greedy ~expansions:!expansions)
+  | exception Rel.Budget.Exhausted resource ->
+    (* Bottom rung: finish the partial plan in FROM order, cheapest
+       applicable method per step — O(n·methods), never budgeted. *)
+    let node, remaining = !current in
+    let node = Dp.complete_order ~methods profile node remaining in
+    ( node,
+      Provenance.degraded Provenance.Left_deep_fallback resource
+        ~expansions:!expansions )
+
+let optimize ?methods ?estimator ?budget profile query =
+  fst (optimize_traced ?methods ?estimator ?budget profile query)

@@ -5,14 +5,32 @@
     with the smallest effective cardinality, then repeatedly append the
     (table, join method) pair with the least added cost, preferring
     predicate-connected extensions. O(n²·methods) instead of O(2ⁿ);
-    estimates are the same incremental estimates DP uses. *)
+    estimates are the same incremental estimates DP uses.
+
+    Greedy is itself the rung exact DP degrades to, so it accepts a
+    {!Rel.Budget} too: on exhaustion it finishes the partial plan in FROM
+    order (cheapest applicable method per step, unbudgeted) and reports
+    the {!Provenance.Left_deep_fallback} rung. *)
 
 val optimize :
   ?methods:Exec.Plan.join_method list ->
   ?estimator:Els.Estimator.t ->
+  ?budget:Rel.Budget.t ->
   Els.Profile.t ->
   Query.t ->
   Dp.node
 (** Same result type as {!Dp.optimize} so callers can swap enumerators;
     [estimator] overrides the profile's estimator as in {!Dp.optimize}.
-    @raise Invalid_argument on an empty FROM list or empty [methods]. *)
+    @raise Invalid_argument on an empty FROM list or empty [methods].
+    @raise Els.Els_error.Error ([Invalid_query]) when no remaining table
+    has an applicable join method at some step. *)
+
+val optimize_traced :
+  ?methods:Exec.Plan.join_method list ->
+  ?estimator:Els.Estimator.t ->
+  ?budget:Rel.Budget.t ->
+  Els.Profile.t ->
+  Query.t ->
+  Dp.node * Provenance.t
+(** [optimize] plus the provenance record (rung, exhaustion, expansion
+    count). *)

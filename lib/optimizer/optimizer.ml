@@ -2,6 +2,7 @@ module Cost = Cost
 module Dp = Dp
 module Greedy = Greedy
 module Random_walk = Random_walk
+module Provenance = Provenance
 
 type choice = {
   algorithm : string;
@@ -10,6 +11,7 @@ type choice = {
   intermediate_estimates : float list;
   estimated_cost : float;
   profile : Els.Profile.t;
+  provenance : Provenance.t;
 }
 
 type enumerator =
@@ -17,7 +19,8 @@ type enumerator =
   | Greedy_order  (** O(n²) greedy construction *)
   | Randomized of int  (** iterative improvement with the given seed *)
 
-let choose ?methods ?(enumerator = Exhaustive) ?estimator config db query =
+let choose ?methods ?(enumerator = Exhaustive) ?estimator ?budget config db
+    query =
   (* Swap before [build] so the pipeline toggles stay as configured but
      [Config.name] (the reported algorithm) reflects the estimator. *)
   let config =
@@ -26,11 +29,12 @@ let choose ?methods ?(enumerator = Exhaustive) ?estimator config db query =
     | Some e -> Els.Config.with_estimator e config
   in
   let profile = Els.Profile.build config db query in
-  let node =
+  let node, provenance =
     match enumerator with
-    | Exhaustive -> Dp.optimize ?methods profile query
-    | Greedy_order -> Greedy.optimize ?methods profile query
-    | Randomized seed -> Random_walk.optimize ?methods ~seed profile query
+    | Exhaustive -> Dp.optimize_traced ?methods ?budget profile query
+    | Greedy_order -> Greedy.optimize_traced ?methods ?budget profile query
+    | Randomized seed ->
+      Random_walk.optimize_traced ?methods ~seed ?budget profile query
   in
   {
     algorithm = Els.Config.name config;
@@ -39,6 +43,7 @@ let choose ?methods ?(enumerator = Exhaustive) ?estimator config db query =
     intermediate_estimates = Els.Incremental.history node.Dp.state;
     estimated_cost = node.Dp.cost;
     profile;
+    provenance;
   }
 
 (* Render the (left-deep) plan with each join annotated by its estimated
@@ -79,6 +84,7 @@ let pp_annotated ppf plan estimates =
 
 let explain ppf choice =
   Format.fprintf ppf "algorithm: %s@." choice.algorithm;
+  Format.fprintf ppf "provenance: %a@." Provenance.pp choice.provenance;
   Format.fprintf ppf "join order: %s@."
     (String.concat " ⋈ " choice.join_order);
   Format.fprintf ppf "estimated sizes after each join: %s@."

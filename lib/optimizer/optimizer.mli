@@ -9,6 +9,7 @@ module Cost = Cost
 module Dp = Dp
 module Greedy = Greedy
 module Random_walk = Random_walk
+module Provenance = Provenance
 
 type choice = {
   algorithm : string;  (** display name of the estimation configuration *)
@@ -21,6 +22,9 @@ type choice = {
       (** the estimation profile that drove enumeration; its
           {!Els.Profile.cache_stats} expose the hot-path cache hit/miss
           counters accumulated during optimization *)
+  provenance : Provenance.t;
+      (** which anytime rung produced the plan, whether the budget tripped,
+          and how many node expansions ran *)
 }
 
 type enumerator =
@@ -32,6 +36,7 @@ val choose :
   ?methods:Exec.Plan.join_method list ->
   ?enumerator:enumerator ->
   ?estimator:Els.Estimator.t ->
+  ?budget:Rel.Budget.t ->
   Els.Config.t ->
   Catalog.Db.t ->
   Query.t ->
@@ -41,7 +46,12 @@ val choose :
     pipeline toggles stay as configured), so [algorithm] reflects it. The
     plan's scans carry the local predicates of the estimator's working
     conjunction (so a closure-enabled configuration both estimates with and
-    executes the implied predicates, like the paper's PTC rewrite). *)
+    executes the implied predicates, like the paper's PTC rewrite).
+
+    [budget] bounds the enumeration; on exhaustion the chosen enumerator
+    degrades anytime-style instead of failing (see {!Dp}) and [provenance]
+    records which rung answered. Never raises
+    [Els_error.Budget_exhausted] — only execution does. *)
 
 val explain : Format.formatter -> choice -> unit
 (** Human-readable plan summary with per-join estimates. *)

@@ -1,0 +1,31 @@
+type rung = Dp | Greedy | Random_walk | Left_deep_fallback
+
+let rung_name = function
+  | Dp -> "dp"
+  | Greedy -> "greedy"
+  | Random_walk -> "random-walk"
+  | Left_deep_fallback -> "left-deep-fallback"
+
+type t = {
+  rung : rung;
+  exhausted : Rel.Budget.resource option;
+  expansions : int;
+}
+
+let completed rung ~expansions = { rung; exhausted = None; expansions }
+
+let degraded rung resource ~expansions =
+  { rung; exhausted = Some resource; expansions }
+
+let to_string t =
+  match t.exhausted with
+  | None ->
+    Printf.sprintf "%s (completed, %d expansions)" (rung_name t.rung)
+      t.expansions
+  | Some r ->
+    Printf.sprintf "%s (%s budget exhausted after %d expansions)"
+      (rung_name t.rung)
+      (Rel.Budget.resource_name r)
+      t.expansions
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,36 @@
+(** Plan provenance: which rung of the anytime degradation ladder produced
+    the chosen plan, and what it cost the search budget.
+
+    Every enumerator answers even when its {!Rel.Budget} runs out: exact
+    DP degrades to a greedy completion of its best partial plan, greedy
+    degrades to a FROM-order left-deep completion, and the randomized walk
+    returns its incumbent. The provenance record says which of those rungs
+    actually fired, so [elsdb explain] (and the soak harness) can tell an
+    optimal plan from a deadline-rescued one. *)
+
+type rung =
+  | Dp  (** exact Selinger enumeration reached the full join *)
+  | Greedy  (** greedy construction / greedy completion of a DP partial *)
+  | Random_walk  (** incumbent of the randomized iterative improvement *)
+  | Left_deep_fallback
+      (** FROM-order left-deep plan, cheapest method per step — the bottom
+          rung, always O(n·methods), never budgeted *)
+
+val rung_name : rung -> string
+(** ["dp"], ["greedy"], ["random-walk"] or ["left-deep-fallback"]. *)
+
+type t = {
+  rung : rung;  (** the strategy that produced the returned plan *)
+  exhausted : Rel.Budget.resource option;
+      (** [Some r] when the budget tripped on [r] and the ladder fired;
+          [None] when the enumerator ran to completion *)
+  expansions : int;
+      (** join-node expansions performed before returning (the unit
+          {!Rel.Budget.spend_node} counts) *)
+}
+
+val completed : rung -> expansions:int -> t
+val degraded : rung -> Rel.Budget.resource -> expansions:int -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

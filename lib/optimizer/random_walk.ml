@@ -1,31 +1,14 @@
-let plan_of_order ~methods profile order =
-  match order with
-  | [] -> invalid_arg "Random_walk.plan_of_order: empty order"
-  | first :: rest ->
-    List.fold_left
-      (fun node table ->
-        let eligible =
-          Els.Incremental.eligible profile node.Dp.state table
-        in
-        let candidates =
-          List.filter_map
-            (fun method_ ->
-              if Dp.method_applicable method_ eligible then
-                Some (Dp.extend profile node table method_ eligible)
-              else None)
-            methods
-        in
-        match candidates with
-        | [] -> assert false (* nested loop is always applicable *)
-        | c :: cs ->
-          List.fold_left
-            (fun acc n -> if n.Dp.cost < acc.Dp.cost then n else acc)
-            c cs)
-      (Dp.scan_node profile first)
-      rest
+(* Cost a fixed left-deep order, cheapest applicable method per step.
+   A step with no applicable method (e.g. [~methods:[Hash]] and no
+   eligible equi-predicate) is a structured [Invalid_query] error — this
+   used to be an [assert false] crash. *)
+let plan_of_order ?charge ~methods profile order =
+  Dp.plan_order ?charge ~methods profile order
 
-let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ])
-    ?estimator ?(restarts = 8) ?(max_steps = 100) ?(seed = 1) profile query =
+let optimize_traced
+    ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ])
+    ?estimator ?(restarts = 8) ?(max_steps = 100) ?(seed = 1) ?budget profile
+    query =
   if methods = [] then invalid_arg "Random_walk.optimize: no join methods";
   let profile =
     match estimator with
@@ -35,41 +18,80 @@ let optimize ?(methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Pla
   let tables = Array.of_list query.Query.tables in
   let n = Array.length tables in
   if n = 0 then invalid_arg "Random_walk.optimize: query with no tables";
+  let expansions = ref 0 in
+  let charge () =
+    incr expansions;
+    match budget with
+    | None -> ()
+    | Some b -> Rel.Budget.spend_node_exn b 1
+  in
+  let boundary () =
+    match budget with None -> () | Some b -> Rel.Budget.check_exn b
+  in
   let rng = Rel.Prng.create seed in
-  let cost_of order = (plan_of_order ~methods profile order).Dp.cost in
+  let cost_of order = (plan_of_order ~charge ~methods profile order).Dp.cost in
   let best = ref None in
   let consider order =
-    let node = plan_of_order ~methods profile order in
+    let node = plan_of_order ~charge ~methods profile order in
     match !best with
     | Some incumbent when incumbent.Dp.cost <= node.Dp.cost -> ()
     | Some _ | None -> best := Some node
   in
-  for _ = 1 to max 1 restarts do
-    let order = Array.copy tables in
-    Rel.Prng.shuffle rng order;
-    let current = ref (Array.to_list order) in
-    let current_cost = ref (cost_of !current) in
-    (* Descend through random adjacent transpositions. *)
-    let stale = ref 0 in
-    let steps = ref 0 in
-    while n >= 2 && !steps < max_steps && !stale < 3 * n do
-      incr steps;
-      let i = if n <= 1 then 0 else Rel.Prng.int rng (n - 1) in
-      let arr = Array.of_list !current in
-      let tmp = arr.(i) in
-      arr.(i) <- arr.(i + 1);
-      arr.(i + 1) <- tmp;
-      let neighbor = Array.to_list arr in
-      let cost = cost_of neighbor in
-      if cost < !current_cost then begin
-        current := neighbor;
-        current_cost := cost;
-        stale := 0
-      end
-      else incr stale
-    done;
-    consider !current
-  done;
-  match !best with
-  | Some node -> node
-  | None -> assert false
+  let search () =
+    for _ = 1 to max 1 restarts do
+      boundary ();
+      let order = Array.copy tables in
+      Rel.Prng.shuffle rng order;
+      let current = ref (Array.to_list order) in
+      let current_cost = ref (cost_of !current) in
+      (* Descend through random adjacent transpositions. *)
+      let stale = ref 0 in
+      let steps = ref 0 in
+      while n >= 2 && !steps < max_steps && !stale < 3 * n do
+        incr steps;
+        let i = if n <= 1 then 0 else Rel.Prng.int rng (n - 1) in
+        let arr = Array.of_list !current in
+        let tmp = arr.(i) in
+        arr.(i) <- arr.(i + 1);
+        arr.(i + 1) <- tmp;
+        let neighbor = Array.to_list arr in
+        let cost = cost_of neighbor in
+        if cost < !current_cost then begin
+          current := neighbor;
+          current_cost := cost;
+          stale := 0
+        end
+        else incr stale
+      done;
+      consider !current
+    done
+  in
+  match search () with
+  | () -> begin
+    match !best with
+    | Some node ->
+      ( node,
+        Provenance.completed Provenance.Random_walk ~expansions:!expansions )
+    | None -> assert false (* restarts >= 1, so consider ran at least once *)
+  end
+  | exception Rel.Budget.Exhausted resource -> begin
+    match !best with
+    | Some node ->
+      (* Return the incumbent: the best complete order costed so far. *)
+      ( node,
+        Provenance.degraded Provenance.Random_walk resource
+          ~expansions:!expansions )
+    | None ->
+      (* Exhausted before even one full costing: FROM-order fallback,
+         unbudgeted. *)
+      let node = Dp.plan_order ~methods profile (Array.to_list tables) in
+      ( node,
+        Provenance.degraded Provenance.Left_deep_fallback resource
+          ~expansions:!expansions )
+  end
+
+let optimize ?methods ?estimator ?restarts ?max_steps ?seed ?budget profile
+    query =
+  fst
+    (optimize_traced ?methods ?estimator ?restarts ?max_steps ?seed ?budget
+       profile query)

@@ -7,7 +7,11 @@
     no accepted move occurs for a while. For each visited order the
     cheapest join method per step is chosen greedily.
 
-    Deterministic given [seed]. *)
+    Deterministic given [seed]. With a {!Rel.Budget} the walk checks the
+    deadline between restarts and charges every costed extension; on
+    exhaustion it returns the best complete order costed so far (rung
+    {!Provenance.Random_walk}), or the FROM-order fallback when not even
+    one costing finished. *)
 
 val optimize :
   ?methods:Exec.Plan.join_method list ->
@@ -15,19 +19,39 @@ val optimize :
   ?restarts:int ->
   ?max_steps:int ->
   ?seed:int ->
+  ?budget:Rel.Budget.t ->
   Els.Profile.t ->
   Query.t ->
   Dp.node
 (** Defaults: 8 restarts, 100 steps per restart, seed 1. Same result type
     as {!Dp.optimize}; [estimator] overrides the profile's estimator as in
     {!Dp.optimize}.
-    @raise Invalid_argument on an empty FROM list or empty [methods]. *)
+    @raise Invalid_argument on an empty FROM list or empty [methods].
+    @raise Els.Els_error.Error ([Invalid_query]) when a visited step has
+    no applicable join method (e.g. [~methods:[Hash]] across a step with
+    no eligible equi-join predicate). *)
+
+val optimize_traced :
+  ?methods:Exec.Plan.join_method list ->
+  ?estimator:Els.Estimator.t ->
+  ?restarts:int ->
+  ?max_steps:int ->
+  ?seed:int ->
+  ?budget:Rel.Budget.t ->
+  Els.Profile.t ->
+  Query.t ->
+  Dp.node * Provenance.t
+(** [optimize] plus the provenance record (rung, exhaustion, expansion
+    count). *)
 
 val plan_of_order :
+  ?charge:(unit -> unit) ->
   methods:Exec.Plan.join_method list ->
   Els.Profile.t ->
   string list ->
   Dp.node
 (** Cost a fixed left-deep order, choosing the cheapest applicable method
     at each step (exposed for tests and for costing externally supplied
-    orders). *)
+    orders); alias of {!Dp.plan_order}.
+    @raise Els.Els_error.Error ([Invalid_query]) when a step has no
+    applicable method — previously an [assert false] crash. *)

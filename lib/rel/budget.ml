@@ -1,0 +1,121 @@
+type resource = Deadline | Nodes | Rows
+
+let resource_name = function
+  | Deadline -> "deadline"
+  | Nodes -> "nodes"
+  | Rows -> "rows"
+
+exception Exhausted of resource
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted r -> Some (Printf.sprintf "Budget.Exhausted(%s)" (resource_name r))
+    | _ -> None)
+
+type t = {
+  clock : unit -> float;
+  deadline : float option;  (* absolute, on [clock]'s timeline *)
+  node_limit : int option;
+  row_limit : int option;
+  mutable nodes_used : int;
+  mutable rows_used : int;
+  mutable row_spends : int;  (* throttles deadline probes on the row path *)
+  mutable tripped : resource option;
+}
+
+let row_deadline_stride = 64
+
+let create ?(clock = Unix.gettimeofday) ?deadline_ms ?node_budget ?row_budget
+    () =
+  (match deadline_ms with
+  | Some ms when not (ms > 0.) ->
+    invalid_arg "Budget.create: deadline_ms must be positive"
+  | _ -> ());
+  let nonneg what = function
+    | Some n when n < 0 ->
+      invalid_arg (Printf.sprintf "Budget.create: %s must be >= 0" what)
+    | _ -> ()
+  in
+  nonneg "node_budget" node_budget;
+  nonneg "row_budget" row_budget;
+  {
+    clock;
+    deadline = Option.map (fun ms -> clock () +. (ms /. 1000.)) deadline_ms;
+    node_limit = node_budget;
+    row_limit = row_budget;
+    nodes_used = 0;
+    rows_used = 0;
+    row_spends = 0;
+    tripped = None;
+  }
+
+let trip t r =
+  (* First trip wins, except that a node trip — which the optimizer
+     absorbs and degrades on — can be superseded by a globally-blocking
+     deadline or row trip later in the same run. *)
+  (match t.tripped with
+  | None | Some Nodes -> t.tripped <- Some r
+  | Some Deadline | Some Rows -> ());
+  Error r
+
+let deadline_passed t =
+  match t.deadline with Some d -> t.clock () > d | None -> false
+
+let check t =
+  match t.tripped with
+  | Some r -> Error r
+  | None -> if deadline_passed t then trip t Deadline else Ok ()
+
+let spend_node t n =
+  t.nodes_used <- t.nodes_used + n;
+  match t.tripped with
+  | Some ((Deadline | Nodes) as r) -> Error r
+  | Some Rows | None -> begin
+    match t.node_limit with
+    | Some limit when t.nodes_used > limit -> trip t Nodes
+    | Some _ | None ->
+      if deadline_passed t then trip t Deadline else Ok ()
+  end
+
+(* A prior [Nodes] trip does not block the row path: the optimizer
+   absorbed that exhaustion by degrading, and a shared budget must still
+   let the chosen plan execute against the row/deadline limits. The row
+   path stays sticky regardless, because [rows_used] only grows (the
+   limit comparison re-fails every spend) and a passed deadline is
+   recorded as a [Deadline] trip, which does block. *)
+let spend_rows t n =
+  t.rows_used <- t.rows_used + n;
+  t.row_spends <- t.row_spends + 1;
+  match t.tripped with
+  | Some ((Deadline | Rows) as r) -> Error r
+  | Some Nodes | None -> begin
+    match t.row_limit with
+    | Some limit when t.rows_used > limit -> trip t Rows
+    | Some _ | None ->
+      if t.row_spends mod row_deadline_stride = 0 && deadline_passed t then
+        trip t Deadline
+      else Ok ()
+  end
+
+let lift = function Ok () -> () | Error r -> raise (Exhausted r)
+let check_exn t = lift (check t)
+let spend_node_exn t n = lift (spend_node t n)
+let spend_rows_exn t n = lift (spend_rows t n)
+
+let exhausted t = t.tripped
+let nodes_used t = t.nodes_used
+let rows_used t = t.rows_used
+
+let remaining_ms t =
+  Option.map (fun d -> (d -. t.clock ()) *. 1000.) t.deadline
+
+let pp ppf t =
+  let limit = function None -> "∞" | Some n -> string_of_int n in
+  Format.fprintf ppf "nodes %d/%s rows %d/%s%s%s" t.nodes_used
+    (limit t.node_limit) t.rows_used (limit t.row_limit)
+    (match remaining_ms t with
+    | None -> ""
+    | Some ms -> Printf.sprintf " deadline %+.1fms" ms)
+    (match t.tripped with
+    | None -> ""
+    | Some r -> Printf.sprintf " [exhausted: %s]" (resource_name r))

@@ -1,0 +1,88 @@
+(** Cooperative resource budgets.
+
+    A budget bounds how much work a long-running computation may do before
+    it must stop and degrade: a wall-clock deadline, a count of "node"
+    expansions (optimizer search steps), and a count of rows moved
+    (executor tuples read or emitted). The computation {e cooperates}: it
+    calls {!check} / {!spend_node} / {!spend_rows} at its natural
+    boundaries and receives [Error resource] once any limit is crossed —
+    nothing is preempted, so a budgeted loop can never wedge as long as
+    every unbounded loop contains a spend or a check.
+
+    Budgets are {e sticky per path}: a [Deadline] or [Rows] trip
+    permanently fails every later spend and check, while a [Nodes] trip
+    permanently fails only the node path — the optimizer absorbs node
+    exhaustion by degrading anytime-style, so a budget shared across
+    optimize + execute must still let the chosen plan run against its
+    remaining row and deadline limits. Usage counters keep accumulating
+    past any trip, so cancellation sites can still record the work
+    actually done. The clock
+    is injectable for deterministic tests; the default is
+    [Unix.gettimeofday], the closest thing to a monotonic clock available
+    without extra dependencies. *)
+
+type resource =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Nodes  (** the node/expansion budget is spent *)
+  | Rows  (** the row budget is spent *)
+
+val resource_name : resource -> string
+(** ["deadline"], ["nodes"] or ["rows"]. *)
+
+exception Exhausted of resource
+(** Raised by the [*_exn] variants. Budgeted subsystems are expected to
+    catch it at their boundary and either degrade (optimizer) or report a
+    structured error (executor); it must never escape to the user. *)
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?deadline_ms:float ->
+  ?node_budget:int ->
+  ?row_budget:int ->
+  unit ->
+  t
+(** A fresh budget. [deadline_ms] is relative to [clock ()] at creation
+    time; omitted dimensions are unlimited. [clock] (seconds, arbitrary
+    epoch) defaults to [Unix.gettimeofday] and exists so tests can drive
+    deadlines deterministically.
+    @raise Invalid_argument when [deadline_ms] is not positive or a count
+    budget is negative. *)
+
+val check : t -> (unit, resource) result
+(** Cooperative checkpoint: re-reports a previous trip, else probes the
+    deadline. Call at coarse boundaries (e.g. between DP subset sizes). *)
+
+val spend_node : t -> int -> (unit, resource) result
+(** Record [n] node expansions, then check the node limit and the
+    deadline. The expansion is recorded even when the result is an error
+    (usage counters are monotone). *)
+
+val spend_rows : t -> int -> (unit, resource) result
+(** Record [n] rows of executor work, then check the row limit; the
+    deadline is probed only every {!row_deadline_stride}-th call so
+    per-tuple accounting stays cheap. A prior [Nodes] trip does not fail
+    the row path (see above). *)
+
+val check_exn : t -> unit
+val spend_node_exn : t -> int -> unit
+val spend_rows_exn : t -> int -> unit
+(** Same, raising {!Exhausted} instead of returning [Error]. *)
+
+val exhausted : t -> resource option
+(** The resource that tripped, if any. The first trip is kept, except
+    that a [Nodes] trip is superseded by a later globally-blocking
+    [Deadline] or [Rows] trip. *)
+
+val nodes_used : t -> int
+val rows_used : t -> int
+
+val remaining_ms : t -> float option
+(** Milliseconds to the deadline by the budget's own clock ([None] when no
+    deadline was set); negative once passed. *)
+
+val row_deadline_stride : int
+(** How many {!spend_rows} calls separate two deadline probes (64). *)
+
+val pp : Format.formatter -> t -> unit

@@ -28,4 +28,5 @@ let () =
       ("integration", Test_integration.suite);
       ("accuracy", Test_accuracy.suite);
       ("fault", Test_fault.suite);
+      ("budget", Test_budget.suite);
     ]
