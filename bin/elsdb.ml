@@ -8,6 +8,13 @@
      closure    print the transitive closure of a query's predicates
      fault      run the fault-injection suite (experiment F9)
      soak       run the randomized soak/chaos harness (experiment F11)
+     check-metrics   validate a --metrics json snapshot from stdin
+
+   estimate/explain/run accept --trace[=pretty|json] (hierarchical spans
+   over bind → validate → profile → optimize → execute) and
+   --metrics=text|json (the unified Obs.Metrics snapshot). explain always
+   prints the estimate derivation card; with --trace=json the derivation
+   is embedded in the trace object.
 
    explain/run accept --deadline-ms/--node-budget/--row-budget: one
    budget spans the whole invocation, so the optimizer degrades down its
@@ -184,6 +191,65 @@ let resolve_budget deadline_ms node_budget row_budget =
   | _ ->
     Some (Rel.Budget.create ?deadline_ms ?node_budget ?row_budget ())
 
+(* --- observability flags (estimate/explain/run) --- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "pretty") (some string) None
+    & info [ "trace" ] ~docv:"FMT"
+        ~doc:
+          "Record trace spans over the pipeline (bind → validate → profile \
+           → optimize → execute) and print them as $(docv): pretty \
+           (default) or json.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FMT"
+        ~doc:
+          "Print the unified metrics snapshot (profile caches, guard \
+           counters, catalog issues, budget usage, executor work, \
+           optimizer provenance) as $(docv): text or json.")
+
+let resolve_trace = function
+  | None -> (None, `Off)
+  | Some "pretty" -> (Some (Obs.Trace.create ()), `Pretty)
+  | Some "json" -> (Some (Obs.Trace.create ()), `Json)
+  | Some other ->
+    invalid_arg (Printf.sprintf "unknown trace format %S (pretty, json)" other)
+
+let resolve_metrics = function
+  | None -> (None, `Off)
+  | Some "text" -> (Some (Obs.Metrics.create ()), `Text)
+  | Some "json" -> (Some (Obs.Metrics.create ()), `Json)
+  | Some other ->
+    invalid_arg (Printf.sprintf "unknown metrics format %S (text, json)" other)
+
+(* [extra] carries sibling JSON fields (the derivation) so [--trace json]
+   emits one self-contained object. *)
+let print_trace ?(extra = []) mode tracer =
+  match (mode, tracer) with
+  | `Off, _ | _, None -> ()
+  | `Pretty, Some t -> Format.printf "@.trace:@.%a" Obs.Trace.pp t
+  | `Json, Some t ->
+    let json =
+      match Obs.Trace.to_json t with
+      | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ extra)
+      | other -> other
+    in
+    print_endline (Obs.Json.to_string json)
+
+let print_metrics mode registry =
+  match (mode, registry) with
+  | `Off, _ | _, None -> ()
+  | `Text, Some m ->
+    Format.printf "@.metrics:@.%a" Obs.Metrics.pp (Obs.Metrics.snapshot m)
+  | `Json, Some m ->
+    print_endline
+      (Obs.Json.to_string (Obs.Metrics.to_json (Obs.Metrics.snapshot m)))
+
 let resolve_query (db, default_query) sql =
   match sql with
   | Some text -> Sqlfront.Binder.compile db text
@@ -231,10 +297,15 @@ let section8_cmd =
 (* --- estimate --- *)
 
 let estimate_cmd =
-  let run dbspec sql estimator =
+  let run dbspec sql estimator trace_fmt metrics_fmt =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
-    let query = or_die (resolve_query dbspec sql) in
+    let tracer, trace_mode = resolve_trace trace_fmt in
+    let registry, metrics_mode = resolve_metrics metrics_fmt in
+    let query =
+      Obs.Trace.with_span tracer "bind" @@ fun () ->
+      or_die (resolve_query dbspec sql)
+    in
     Printf.printf "query: %s\n\n" (Query.to_string query);
     let order = query.Query.tables in
     let configs =
@@ -247,54 +318,97 @@ let estimate_cmd =
     in
     List.iter
       (fun config ->
+        let profile = Els.prepare ?trace:tracer config db query in
         let history =
-          Harness.Runner.estimate_only config db query order
+          Els.Incremental.history (Els.Incremental.estimate_order profile order)
         in
+        Option.iter
+          (fun m -> Harness.Obs_report.absorb_profile m profile)
+          registry;
         Printf.printf "%-8s along %s: %s\n"
           (Els.Config.name config)
           (String.concat " ⋈ " order)
           (Harness.Report.size_list history))
-      configs
+      configs;
+    print_trace trace_mode tracer;
+    print_metrics metrics_mode registry
   in
   Cmd.v
     (Cmd.info "estimate"
        ~doc:
          "Estimate intermediate join sizes under every registered \
           estimator (or just one, with --estimator).")
-    Term.(const run $ db_arg $ sql_arg $ estimator_arg)
+    Term.(
+      const run $ db_arg $ sql_arg $ estimator_arg $ trace_arg $ metrics_arg)
 
 (* --- explain --- *)
 
 let explain_cmd =
   let run dbspec sql algo enumerator estimator deadline_ms node_budget
-      row_budget =
+      row_budget trace_fmt metrics_fmt =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
-    let query = or_die (resolve_query dbspec sql) in
+    let tracer, trace_mode = resolve_trace trace_fmt in
+    let registry, metrics_mode = resolve_metrics metrics_fmt in
+    let query =
+      Obs.Trace.with_span tracer "bind" @@ fun () ->
+      or_die (resolve_query dbspec sql)
+    in
     let config = resolve_config algo estimator in
     let budget = resolve_budget deadline_ms node_budget row_budget in
-    let choice = Optimizer.choose ~enumerator ?budget config db query in
+    let choice =
+      Optimizer.choose ~enumerator ?budget ?trace:tracer config db query
+    in
     Optimizer.explain Format.std_formatter choice;
     Option.iter
       (fun b -> Format.printf "budget: %a@." Rel.Budget.pp b)
-      budget
+      budget;
+    (* Derivation card: replay the chosen order with a sink attached. The
+       re-walk reuses the profile's memo caches, so every number printed is
+       the number the optimizer used. *)
+    let deriv = Obs.Derivation.create () in
+    let profile = choice.Optimizer.profile in
+    Els.Profile.set_derivation profile (Some deriv);
+    (match choice.Optimizer.join_order with
+    | [] -> ()
+    | order ->
+      ignore
+        (Obs.Trace.with_span tracer "derive" @@ fun () ->
+         Els.Incremental.estimate_order profile order));
+    Els.Profile.set_derivation profile None;
+    Format.printf "%a" Obs.Derivation.pp_card deriv;
+    Option.iter
+      (fun m ->
+        Harness.Obs_report.absorb_choice m choice;
+        Option.iter (Harness.Obs_report.absorb_budget m) budget)
+      registry;
+    print_trace trace_mode tracer
+      ~extra:[ ("derivation", Obs.Derivation.to_json deriv) ];
+    print_metrics metrics_mode registry
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the plan the chosen algorithm leads to.")
     Term.(
       const run $ db_arg $ sql_arg $ algo_arg $ enumerator_arg
-      $ estimator_arg $ deadline_arg $ node_budget_arg $ row_budget_arg)
+      $ estimator_arg $ deadline_arg $ node_budget_arg $ row_budget_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- run --- *)
 
 let run_cmd =
-  let run dbspec sql algo estimator deadline_ms node_budget row_budget =
+  let run dbspec sql algo estimator deadline_ms node_budget row_budget
+      trace_fmt metrics_fmt =
     handle_errors @@ fun () ->
     let db, _ = dbspec in
-    let query = or_die (resolve_query dbspec sql) in
+    let tracer, trace_mode = resolve_trace trace_fmt in
+    let registry, metrics_mode = resolve_metrics metrics_fmt in
+    let query =
+      Obs.Trace.with_span tracer "bind" @@ fun () ->
+      or_die (resolve_query dbspec sql)
+    in
     let config = resolve_config algo estimator in
     let budget = resolve_budget deadline_ms node_budget row_budget in
-    let trial = Harness.Runner.run ?budget config db query in
+    let trial = Harness.Runner.run ?budget ?trace:tracer config db query in
     Printf.printf "algorithm:  %s\n" trial.Harness.Runner.algorithm;
     Printf.printf "provenance: %s\n"
       (Optimizer.Provenance.to_string trial.Harness.Runner.provenance);
@@ -306,13 +420,20 @@ let run_cmd =
       (Harness.Report.size_list trial.Harness.Runner.true_sizes);
     Printf.printf "result:     %d rows\n" trial.Harness.Runner.result_rows;
     Printf.printf "work:       %d tuples (%.3fs)\n" trial.Harness.Runner.work
-      trial.Harness.Runner.elapsed_s
+      trial.Harness.Runner.elapsed_s;
+    Option.iter
+      (fun m ->
+        Harness.Obs_report.absorb_trial m trial;
+        Option.iter (Harness.Obs_report.absorb_budget m) budget)
+      registry;
+    print_trace trace_mode tracer;
+    print_metrics metrics_mode registry
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize, execute and report measured work.")
     Term.(
       const run $ db_arg $ sql_arg $ algo_arg $ estimator_arg $ deadline_arg
-      $ node_budget_arg $ row_budget_arg)
+      $ node_budget_arg $ row_budget_arg $ trace_arg $ metrics_arg)
 
 (* --- closure --- *)
 
@@ -435,6 +556,106 @@ let soak_cmd =
           consistent cancellation.")
     Term.(const run $ iters $ deadline_ms $ seed)
 
+(* --- check-metrics --- *)
+
+(* Schema check for the [--metrics json] output: an object with the three
+   instrument sections, counters integral and non-negative, histogram
+   summaries carrying numeric count/sum. Used by CI to pin the snapshot
+   shape; exits 2 with the first violation otherwise. *)
+let check_metrics_json json =
+  let ( let* ) = Result.bind in
+  let* fields =
+    match json with
+    | Obs.Json.Obj fields -> Ok fields
+    | _ -> Error "top level is not an object"
+  in
+  let* () =
+    List.fold_left
+      (fun acc section ->
+        let* () = acc in
+        match List.assoc_opt section fields with
+        | Some (Obs.Json.Obj _) -> Ok ()
+        | Some _ -> Error (Printf.sprintf "%S is not an object" section)
+        | None -> Error (Printf.sprintf "missing section %S" section))
+      (Ok ())
+      [ "counters"; "gauges"; "histograms" ]
+  in
+  let section name =
+    match List.assoc_opt name fields with
+    | Some (Obs.Json.Obj entries) -> entries
+    | _ -> []
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        match v with
+        | Obs.Json.Int n when n >= 0 -> Ok ()
+        | _ -> Error (Printf.sprintf "counter %S is not a non-negative integer" name))
+      (Ok ()) (section "counters")
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        match v with
+        | Obs.Json.Float _ | Obs.Json.Int _ | Obs.Json.Null -> Ok ()
+        | _ -> Error (Printf.sprintf "gauge %S is not numeric" name))
+      (Ok ()) (section "gauges")
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        let numeric field entries =
+          match List.assoc_opt field entries with
+          | Some (Obs.Json.Int _ | Obs.Json.Float _ | Obs.Json.Null) -> Ok ()
+          | Some _ | None ->
+            Error (Printf.sprintf "histogram %S lacks numeric %S" name field)
+        in
+        match v with
+        | Obs.Json.Obj entries ->
+          let* () = numeric "count" entries in
+          let* () = numeric "sum" entries in
+          Ok ()
+        | _ -> Error (Printf.sprintf "histogram %S is not an object" name))
+      (Ok ()) (section "histograms")
+  in
+  Ok
+    (List.length (section "counters")
+    + List.length (section "gauges")
+    + List.length (section "histograms"))
+
+let check_metrics_cmd =
+  let run () =
+    handle_errors @@ fun () ->
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf stdin 1
+       done
+     with End_of_file -> ());
+    let text = Buffer.contents buf in
+    match Obs.Json.of_string text with
+    | Error msg ->
+      Printf.eprintf "check-metrics: invalid JSON: %s\n" msg;
+      exit 2
+    | Ok json -> begin
+      match check_metrics_json json with
+      | Ok n -> Printf.printf "metrics JSON: ok (%d instruments)\n" n
+      | Error msg ->
+        Printf.eprintf "check-metrics: %s\n" msg;
+        exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "check-metrics"
+       ~doc:
+         "Validate a --metrics json snapshot read from stdin against the \
+          expected schema (counters/gauges/histograms sections, \
+          non-negative integer counters).")
+    Term.(const run $ const ())
+
 let () =
   let info =
     Cmd.info "elsdb" ~version:"1.0.0"
@@ -447,5 +668,5 @@ let () =
        (Cmd.group info
           [
             section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd;
-            fault_cmd; soak_cmd;
+            fault_cmd; soak_cmd; check_metrics_cmd;
           ]))

@@ -23,6 +23,7 @@ type kind =
   | Invalid_bounds
   | Nan_histogram
   | Non_monotone_histogram
+  | Excess_buckets
   | Invalid_mcv
 
 let kind_name = function
@@ -34,6 +35,7 @@ let kind_name = function
   | Invalid_bounds -> "invalid-bounds"
   | Nan_histogram -> "nan-histogram"
   | Non_monotone_histogram -> "non-monotone-histogram"
+  | Excess_buckets -> "excess-buckets"
   | Invalid_mcv -> "invalid-mcv"
 
 type issue = {
@@ -79,7 +81,16 @@ let histogram_issue table column h =
     List.exists (fun b -> b.Stats.Histogram.lo > b.Stats.Histogram.hi) buckets
     || not (monotone buckets)
   then issue Non_monotone_histogram "histogram bucket bounds are not monotone"
-  else None
+  else
+    (* [Histogram.build]'s contract: never more buckets than requested.
+       A violation means the histogram was tampered with (or a builder
+       regression slipped through), so the sketch is untrustworthy. *)
+    match Stats.Histogram.requested_buckets h with
+    | Some n when List.length buckets > n ->
+      issue Excess_buckets
+        (Printf.sprintf "histogram has %d buckets but %d were requested"
+           (List.length buckets) n)
+    | Some _ | None -> None
 
 (* --- MCV --- *)
 

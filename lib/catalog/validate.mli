@@ -30,6 +30,8 @@ type kind =
   | Invalid_bounds         (** min > max, or a NaN bound *)
   | Nan_histogram          (** NaN / negative bucket statistics *)
   | Non_monotone_histogram
+  | Excess_buckets         (** more buckets than {!Stats.Histogram.build}
+                               was asked for *)
   | Invalid_mcv            (** fraction outside [0,1] or sum > 1 *)
 
 val kind_name : kind -> string

@@ -9,7 +9,8 @@ module Incremental = Incremental
 module Els_error = Els_error
 module Guard = Guard
 
-let prepare ?memoize config db query = Profile.build ?memoize config db query
+let prepare ?memoize ?trace config db query =
+  Profile.build ?memoize ?trace config db query
 
 let estimate config db query order =
   Incremental.final_size (prepare config db query) order
@@ -18,8 +19,8 @@ let intermediate_sizes config db query order =
   Incremental.history
     (Incremental.estimate_order (prepare config db query) order)
 
-let prepare_result ?memoize config db query =
-  Profile.build_result ?memoize config db query
+let prepare_result ?memoize ?trace config db query =
+  Profile.build_result ?memoize ?trace config db query
 
 (* Reify everything the pipeline can throw at the API boundary; the inner
    code still uses exceptions freely. *)

@@ -25,12 +25,14 @@ module Incremental = Incremental
 module Els_error = Els_error
 module Guard = Guard
 
-val prepare : ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> Profile.t
+val prepare :
+  ?memoize:bool -> ?trace:Obs.Trace.t -> Config.t -> Catalog.Db.t -> Query.t ->
+  Profile.t
 (** The preliminary phase (steps 1–5): dedup, closure, equivalence classes,
     local-predicate effects, single-table handling, the hot-path predicate
     indexes and everything join selectivities need. Alias of
     {!Profile.build}; [memoize] (default [true]) controls the profile's
-    selectivity caches. *)
+    selectivity caches, [trace] records "profile"/"validate" spans. *)
 
 val estimate : Config.t -> Catalog.Db.t -> Query.t -> string list -> float
 (** One-shot: prepare and estimate the final join result size along the
@@ -52,6 +54,7 @@ val intermediate_sizes :
 
 val prepare_result :
   ?memoize:bool ->
+  ?trace:Obs.Trace.t ->
   Config.t ->
   Catalog.Db.t ->
   Query.t ->

@@ -19,6 +19,10 @@ let history state = List.rev state.rev_history
 let start profile name =
   let bit = Profile.table_bit profile name in
   let table = Profile.table_at profile bit in
+  (match Profile.derivation profile with
+  | Some sink ->
+    Obs.Derivation.set_base sink table.Profile.name table.Profile.rows
+  | None -> ());
   { mask = 1 lsl bit; size = table.Profile.rows; rev_history = [] }
 
 (* Ids of the join predicates linking [bit]'s table to [mask], via the
@@ -123,6 +127,75 @@ let capped_size profile ~bridged ~left_rows ~right_rows raw =
   | Some cap when bridged -> Float.min raw (cap ~left_rows ~right_rows)
   | Some _ | None -> raw
 
+(* --- derivation recording ----------------------------------------------
+
+   When a sink is attached ([Profile.set_derivation]), each estimation step
+   appends a record of the classes, rules, input selectivities and d′
+   provenance behind its output. Every number is re-read through the
+   profile's memo caches, so recording never changes a computed value. *)
+
+let column_records profile group =
+  let crefs =
+    List.rev
+      (List.fold_left
+         (fun acc id ->
+           List.fold_left
+             (fun acc c ->
+               if List.exists (Query.Cref.equal c) acc then acc else c :: acc)
+             acc
+             (Predicate.columns (Profile.pred profile id).Profile.pred))
+         [] group)
+  in
+  List.map
+    (fun cref ->
+      let table = Profile.table profile cref.Query.Cref.table in
+      match Query.Cref.Map.find_opt cref table.Profile.columns with
+      | Some col ->
+        {
+          Obs.Derivation.column = Query.Cref.to_string cref;
+          base_distinct = col.Profile.base_distinct;
+          join_distinct = Profile.join_card profile cref;
+          source = col.Profile.d_source;
+        }
+      | None ->
+        (* Never mentioned in predicates: [join_card] falls back to the
+           table's row count. *)
+        {
+          Obs.Derivation.column = Query.Cref.to_string cref;
+          base_distinct = table.Profile.base_rows;
+          join_distinct = Profile.join_card profile cref;
+          source = "catalog";
+        })
+    crefs
+
+let record_step profile ~index ~table ~left_rows ~right_rows ~ids ~output sink =
+  let rule = (Profile.estimator profile).Estimator.id in
+  let classes =
+    List.map
+      (fun group ->
+        {
+          Obs.Derivation.class_root =
+            Query.Cref.to_string (Profile.pred profile (List.hd group)).Profile.root;
+          rule;
+          inputs =
+            List.map
+              (fun id ->
+                ( Predicate.to_string (Profile.pred profile id).Profile.pred,
+                  Profile.join_selectivity profile id ))
+              group;
+          combined = Profile.class_selectivity profile group;
+          columns = column_records profile group;
+        })
+      (class_groups profile ids)
+  in
+  let cap =
+    match (Profile.estimator profile).Estimator.cap with
+    | Some cap when ids <> [] -> Some (cap ~left_rows ~right_rows)
+    | Some _ | None -> None
+  in
+  Obs.Derivation.record_step sink
+    { Obs.Derivation.index; table; left_rows; right_rows; classes; cap; output }
+
 let join_states profile s1 s2 =
   let overlap = s1.mask land s2.mask in
   if overlap <> 0 then begin
@@ -140,6 +213,12 @@ let join_states profile s1 s2 =
          ~right_rows:s2.size
          (s1.size *. s2.size *. s))
   in
+  (match Profile.derivation profile with
+  | Some sink ->
+    record_step profile
+      ~index:(List.length s1.rev_history + List.length s2.rev_history)
+      ~table:"⋈" ~left_rows:s1.size ~right_rows:s2.size ~ids ~output:size sink
+  | None -> ());
   {
     mask = s1.mask lor s2.mask;
     size;
@@ -164,6 +243,13 @@ let extend profile state name =
          ~right_rows:table.Profile.rows
          (state.size *. table.Profile.rows *. s))
   in
+  (match Profile.derivation profile with
+  | Some sink ->
+    record_step profile
+      ~index:(List.length state.rev_history)
+      ~table:table.Profile.name ~left_rows:state.size
+      ~right_rows:table.Profile.rows ~ids ~output:size sink
+  | None -> ());
   {
     mask = state.mask lor (1 lsl bit);
     size;

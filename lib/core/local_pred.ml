@@ -14,14 +14,14 @@ let satisfies op v const = Rel.Cmp.eval op v const
 (* Tightest lower bound: larger constant wins; on ties the exclusive
    ([>]) bound wins. Dually for upper bounds. *)
 let tighter_lower (op_a, a) (op_b, b) =
-  let c = Rel.Value.compare a b in
+  let c = Rel.Value.compare_sem a b in
   if c > 0 then (op_a, a)
   else if c < 0 then (op_b, b)
   else if op_a = Rel.Cmp.Gt then (op_a, a)
   else (op_b, b)
 
 let tighter_upper (op_a, a) (op_b, b) =
-  let c = Rel.Value.compare a b in
+  let c = Rel.Value.compare_sem a b in
   if c < 0 then (op_a, a)
   else if c > 0 then (op_b, b)
   else if op_a = Rel.Cmp.Lt then (op_a, a)
@@ -35,7 +35,7 @@ let fold_tightest tighter = function
 let interval_nonempty lower upper =
   match lower, upper with
   | Some (lop, lo), Some (uop, hi) ->
-    let c = Rel.Value.compare lo hi in
+    let c = Rel.Value.compare_sem lo hi in
     if c > 0 then false
     else if c = 0 then lop = Rel.Cmp.Ge && uop = Rel.Cmp.Le
     else true
@@ -63,12 +63,12 @@ let combine stats preds =
     | v :: rest ->
       (* Most restrictive equality: all equalities must agree and the
          pinned value must satisfy every other predicate. *)
-      if not (List.for_all (Rel.Value.equal v) rest) then contradiction
+      if not (List.for_all (Rel.Value.equal_sem v) rest) then contradiction
       else if
         not
           (List.for_all (fun (op, c) -> satisfies op v c) !lowers
           && List.for_all (fun (op, c) -> satisfies op v c) !uppers
-          && List.for_all (fun c -> not (Rel.Value.equal v c)) !nes)
+          && List.for_all (fun c -> not (Rel.Value.equal_sem v c)) !nes)
       then contradiction
       else
         {
@@ -104,7 +104,9 @@ let combine stats preds =
                    -. Stats.Selectivity_est.comparison stats Rel.Cmp.Eq c)
               else acc)
             1.
-            (List.sort_uniq Rel.Value.compare !nes)
+            (* Numeric-aware dedup: [<> 3] and [<> 3.0] exclude the same
+               value and must not be double-counted. *)
+            (List.sort_uniq Rel.Value.compare_sem !nes)
         in
         let selectivity = range_sel *. ne_factor in
         let restriction =

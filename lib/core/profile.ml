@@ -6,6 +6,7 @@ type column_profile = {
   base_distinct : float;
   local_distinct : float;
   join_distinct : float;
+  d_source : string;
 }
 
 type table_profile = {
@@ -55,6 +56,7 @@ type t = {
   stats : cache_stats;
   guard : Guard.t;
   validation : Catalog.Validate.issue list;
+  mutable deriv : Obs.Derivation.t option;
 }
 
 (* Hot-path friendly: names are almost always lowercase already, so avoid
@@ -141,21 +143,20 @@ let local_effects guard db_table predicates columns =
     List.map
       (fun col ->
         let stats = stats_of guard db_table col.Cref.column in
-        let combined =
-          Local_pred.combine stats (const_preds_on predicates col)
-        in
+        let preds = const_preds_on predicates col in
+        let combined = Local_pred.combine stats preds in
         let combined =
           { combined with
             Local_pred.selectivity =
               Guard.selectivity guard ~site:"Profile.local_pred"
                 combined.Local_pred.selectivity }
         in
-        (col, stats, combined))
+        (col, stats, preds, combined))
       (Cref.Set.elements columns)
   in
   let selectivity =
     List.fold_left
-      (fun acc (_, _, combined) -> acc *. combined.Local_pred.selectivity)
+      (fun acc (_, _, _, combined) -> acc *. combined.Local_pred.selectivity)
       1. per_column
   in
   let rows =
@@ -163,9 +164,31 @@ let local_effects guard db_table predicates columns =
       ~upper:(Float.max 0. base_rows)
       (base_rows *. selectivity)
   in
+  (* Label which statistic shaped a column's d′ (the derivation card's
+     vocabulary). Pure observation: [Selectivity_est.comparison_source]
+     mirrors the estimator's branch structure without computing numbers. *)
+  let d_source_of stats preds combined =
+    let src op c =
+      Stats.Selectivity_est.(source_name (comparison_source stats op c))
+    in
+    match combined.Local_pred.restriction with
+    | Local_pred.Contradiction -> "contradiction"
+    | Local_pred.Equality v -> "equality(" ^ src Rel.Cmp.Eq v ^ ")"
+    | Local_pred.Range _ -> begin
+      let is_range (op, _) =
+        match op with
+        | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Gt | Rel.Cmp.Ge -> true
+        | Rel.Cmp.Eq | Rel.Cmp.Ne -> false
+      in
+      match List.find_opt is_range preds with
+      | Some (op, c) -> "range(" ^ src op c ^ ")"
+      | None -> "ne" (* only <> predicates restrict this column *)
+    end
+    | Local_pred.Unrestricted -> if rows >= base_rows then "base" else "urn"
+  in
   let column_profiles =
     List.fold_left
-      (fun acc (col, stats, combined) ->
+      (fun acc (col, stats, preds, combined) ->
         let base_distinct = float_of_int stats.Stats.Col_stats.distinct in
         let local_distinct =
           match combined.Local_pred.restriction with
@@ -193,7 +216,8 @@ let local_effects guard db_table predicates columns =
         in
         Cref.Map.add col
           { cref = col; base_distinct; local_distinct;
-            join_distinct = local_distinct }
+            join_distinct = local_distinct;
+            d_source = d_source_of stats preds combined }
           acc)
       Cref.Map.empty per_column
   in
@@ -248,7 +272,9 @@ let single_table_effects guard classes rows columns =
           List.fold_left
             (fun acc member ->
               Cref.Map.add member.cref
-                { member with join_distinct = rep_card }
+                { member with
+                  join_distinct = rep_card;
+                  d_source = "single-table(" ^ member.d_source ^ ")" }
                 acc)
             columns sorted
         in
@@ -301,9 +327,7 @@ let validated_table config guard note_issues db source =
     note_issues issues;
     db_table
 
-let build_table config guard note_issues predicates classes db query_table
-    ~source =
-  let db_table = validated_table config guard note_issues db source in
+let build_table config guard predicates classes db_table query_table ~source =
   let columns = predicate_columns predicates query_table in
   let base_rows, rows, _selectivity, column_profiles =
     local_effects guard db_table predicates columns
@@ -385,7 +409,8 @@ let build_index classes tables working =
     local_preds_by_table = Array.map List.rev local_rev;
   }
 
-let build ?(memoize = true) config db query =
+let build ?(memoize = true) ?trace config db query =
+  Obs.Trace.with_span trace "profile" @@ fun () ->
   let deduped = Predicate.Set.elements (Predicate.Set.of_list query.Query.predicates) in
   let working =
     if config.Config.closure then (Closure.compute deduped).Closure.predicates
@@ -395,13 +420,27 @@ let build ?(memoize = true) config db query =
   let guard = Guard.create config.Config.strictness in
   let issues = ref [] in
   let note_issues found = issues := List.rev_append found !issues in
+  (* Validation is its own phase: every referenced table is audited before
+     any of its numbers enter a formula. *)
+  let validated =
+    Obs.Trace.with_span trace "validate" @@ fun () ->
+    let tables =
+      List.map
+        (fun name ->
+          let source = Query.source query name in
+          (name, source, validated_table config guard note_issues db source))
+        query.Query.tables
+    in
+    Obs.Trace.attr_int trace "tables" (List.length tables);
+    Obs.Trace.attr_int trace "issues" (List.length !issues);
+    tables
+  in
+  Obs.Trace.attr_int trace "predicates" (List.length working);
   let tables =
     List.map
-      (fun name ->
-        ( name,
-          build_table config guard note_issues working classes db name
-            ~source:(Query.source query name) ))
-      query.Query.tables
+      (fun (name, source, db_table) ->
+        (name, build_table config guard working classes db_table name ~source))
+      validated
   in
   let index = build_index classes tables working in
   {
@@ -416,10 +455,11 @@ let build ?(memoize = true) config db query =
     stats = create_stats ();
     guard;
     validation = List.rev !issues;
+    deriv = None;
   }
 
-let build_result ?memoize config db query =
-  match build ?memoize config db query with
+let build_result ?memoize ?trace config db query =
+  match build ?memoize ?trace config db query with
   | profile -> Ok profile
   | exception Els_error.Error e -> Error e
   | exception Invalid_argument msg ->
@@ -445,6 +485,12 @@ let reset_cache_stats t = reset_stats t.stats
 let guard t = t.guard
 let guard_stats t = Guard.stats t.guard
 let validation_issues t = t.validation
+
+(* Derivation recording is opt-in per profile and normally attached only
+   around a single estimation pass — during DP enumeration the same profile
+   serves thousands of candidate steps, which would swamp the sink. *)
+let set_derivation t d = t.deriv <- d
+let derivation t = t.deriv
 
 let join_card t cref =
   let profile = table t cref.Cref.table in

@@ -34,6 +34,11 @@ type column_profile = {
   join_distinct : float;
       (** cardinality to use in join selectivities; differs from
           [local_distinct] only under the Section 6 treatment *)
+  d_source : string;
+      (** which statistic shaped [local_distinct] — the derivation card's
+          d′ provenance, e.g. ["equality(mcv)"], ["range(histogram)"],
+          ["urn"], ["single-table(urn)"]. Observation only: never read by
+          the estimator. *)
 }
 
 type table_profile = {
@@ -103,6 +108,9 @@ type t = {
       (** catalog-statistics issues found (and, under [Repair], fixed)
           while building the profile; empty under [Strict] (the first
           issue raises) *)
+  mutable deriv : Obs.Derivation.t option;
+      (** derivation sink; when set, {!Incremental} records each
+          estimation step into it (see {!set_derivation}) *)
 }
 
 val normalize : string -> string
@@ -110,18 +118,26 @@ val normalize : string -> string
     lookup in this module and {!Incremental} goes through it, so
     mixed-case callers cannot silently miss filters or predicates. *)
 
-val build : ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> t
+val build :
+  ?memoize:bool -> ?trace:Obs.Trace.t -> Config.t -> Catalog.Db.t -> Query.t -> t
 (** [memoize] defaults to [true]; pass [false] to recompute every
     selectivity (the caches are bit-transparent — see the property tests).
     Catalog statistics of every referenced table are audited under
     [config.strictness] before use (see {!Catalog.Validate}).
+    [trace] records a ["profile"] span with a ["validate"] child covering
+    the catalog audit; tracing never changes any computed number.
     @raise Invalid_argument when a query table is missing from the catalog
     or on more than 62 tables (bitset index limit).
     @raise Els_error.Error under [Strict] strictness when a referenced
     table carries corrupt statistics. *)
 
 val build_result :
-  ?memoize:bool -> Config.t -> Catalog.Db.t -> Query.t -> (t, Els_error.t) result
+  ?memoize:bool ->
+  ?trace:Obs.Trace.t ->
+  Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
+  (t, Els_error.t) result
 (** [build] with failures reified: corrupt statistics under [Strict]
     become [Error (Corrupt_stats _)], unknown tables and structural limits
     become [Error (Invalid_query _)]. Never raises. *)
@@ -186,3 +202,14 @@ val guard_stats : t -> Guard.stats
 
 val validation_issues : t -> Catalog.Validate.issue list
 (** Catalog issues found while building, in table order. *)
+
+val set_derivation : t -> Obs.Derivation.t option -> unit
+(** Attach (or detach, with [None]) a derivation sink. While attached,
+    every {!Incremental} estimation step appends a
+    {!Obs.Derivation.step} describing the classes, rules, input
+    selectivities and d′ provenance behind its output. Attach only around
+    a single estimation pass — during DP enumeration the same profile
+    serves thousands of candidate steps. Observation only: recording
+    never changes any computed number. *)
+
+val derivation : t -> Obs.Derivation.t option

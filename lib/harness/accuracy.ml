@@ -59,7 +59,7 @@ let percentile sorted p =
     let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
     arr.(max 0 (min (n - 1) idx))
 
-let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
+let run ?(seeds = List.init 8 (fun i -> i + 1)) ?metrics () =
   let algorithms = algorithms () in
   let per_algo = Hashtbl.create 4 in
   let record algo q under =
@@ -76,7 +76,13 @@ let run ?(seeds = List.init 8 (fun i -> i + 1)) () =
           in
           List.iter
             (fun config ->
-              let est = Els.estimate config db query query.Query.tables in
+              (* Same path as [Els.estimate]; keeping the profile lets an
+                 optional registry absorb its counters. *)
+              let profile = Els.prepare config db query in
+              let est =
+                Els.Incremental.final_size profile query.Query.tables
+              in
+              Option.iter (fun m -> Obs_report.absorb_profile m profile) metrics;
               record (Els.Config.name config) (q_error ~est ~truth)
                 (truth > 0. && est < truth))
             algorithms)

@@ -32,8 +32,11 @@ type summary = {
 (** Percentiles are computed over the finite q-errors only; the skipped
     cases are counted, not folded into the statistics. *)
 
-val run : ?seeds:int list -> unit -> summary list
+val run : ?seeds:int list -> ?metrics:Obs.Metrics.t -> unit -> summary list
 (** Each seed contributes one chain (4 tables, with a local predicate) and
-    one star (3 dimensions) query. Defaults: seeds [1..8]. *)
+    one star (3 dimensions) query. Defaults: seeds [1..8]. [metrics]
+    absorbs every built profile's cache/guard/validation counters
+    (see {!Obs_report.absorb_profile}); passing it never changes any
+    estimate. *)
 
 val render : summary list -> string

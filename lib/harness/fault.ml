@@ -307,6 +307,23 @@ let all_pass outcomes = List.for_all acceptable outcomes
 let budget_trips outcomes =
   List.length (List.filter (fun o -> o.budget_tripped <> None) outcomes)
 
+let metrics outcomes =
+  let m = Obs.Metrics.create () in
+  let c name by = Obs.Metrics.incr ~by (Obs.Metrics.counter m name) in
+  List.iter
+    (fun o ->
+      c "fault.outcomes" 1;
+      (match o.status with
+      | Estimated _ -> c "fault.estimated" 1
+      | Degraded _ -> c "fault.degraded" 1
+      | Crashed _ -> c "fault.crashed" 1);
+      c "guard.violations" o.violations;
+      c "guard.repairs" o.repairs;
+      c "guard.fallbacks" o.fallbacks;
+      if o.budget_tripped <> None then c "budget.exhausted" 1)
+    outcomes;
+  Obs.Metrics.snapshot m
+
 let status_cell = function
   | Estimated x -> Printf.sprintf "ok %s" (Report.float_cell x)
   | Degraded e -> "degraded: " ^ Els.Els_error.to_string e

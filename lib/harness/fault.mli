@@ -118,4 +118,9 @@ val budget_trips : outcome list -> int
 (** How many outcomes had their budget trip — reported in the F9
     summary. *)
 
+val metrics : outcome list -> Obs.Metrics.snapshot
+(** The grid's guard counters, outcome statuses and budget trips as one
+    {!Obs.Metrics} snapshot (["fault.*"], ["guard.*"],
+    ["budget.exhausted"]). *)
+
 val render : outcome list -> string

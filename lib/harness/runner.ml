@@ -42,10 +42,15 @@ let true_prefix_sizes db query order =
 (* One [budget] spans the whole trial: optimization spends node
    expansions against it, then execution spends rows against whatever
    remains — the deadline is shared end to end. *)
-let run ?methods ?budget config db query =
-  let choice = Optimizer.choose ?methods ?budget config db query in
+let run ?methods ?budget ?trace config db query =
+  let choice = Optimizer.choose ?methods ?budget ?trace config db query in
   let rows, counters, elapsed_s =
-    Exec.Executor.count ?budget db choice.Optimizer.plan
+    Obs.Trace.with_span trace "execute" @@ fun () ->
+    let result = Exec.Executor.count ?budget db choice.Optimizer.plan in
+    let rows, counters, _ = result in
+    Obs.Trace.attr_int trace "rows" rows;
+    Obs.Trace.attr_int trace "work" (Exec.Counters.total_work counters);
+    result
   in
   {
     algorithm = choice.Optimizer.algorithm;

@@ -31,6 +31,7 @@ val true_prefix_sizes :
 val run :
   ?methods:Exec.Plan.join_method list ->
   ?budget:Rel.Budget.t ->
+  ?trace:Obs.Trace.t ->
   Els.Config.t ->
   Catalog.Db.t ->
   Query.t ->
@@ -38,7 +39,9 @@ val run :
 (** [budget] is shared across the whole trial: node expansions are spent
     during optimization (which degrades anytime-style on exhaustion) and
     rows during execution (which cancels with a structured
-    [Budget_exhausted] error on exhaustion).
+    [Budget_exhausted] error on exhaustion). [trace] records the
+    optimizer's "profile"/"validate"/"optimize" spans plus an "execute"
+    span with row/work attributes.
     @raise Invalid_argument when the catalog tables are stats-only.
     @raise Els.Els_error.Error ([Budget_exhausted]) when the row budget or
     deadline trips during execution. *)

@@ -34,6 +34,7 @@ type summary = {
   cancelled_runs : int;
   counter_mismatches : int;
   elapsed_s : float;
+  metrics : Obs.Metrics.snapshot;
 }
 
 let strictnesses =
@@ -72,6 +73,7 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
   let dl_checks = ref 0 and dl_violations = ref 0 in
   let executions = ref 0 and cancelled = ref 0 in
   let mismatches = ref 0 in
+  let metrics = Obs.Metrics.create () in
   let crash exn =
     incr crashes;
     if !first_crash = None then first_crash := Some (Printexc.to_string exn)
@@ -112,6 +114,7 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
     | exception exn -> crash exn
     | choice ->
       incr estimated;
+      Obs_report.absorb_choice metrics choice;
       if not (finite_choice choice) then begin
         (* Trap mode is observe-only by design: a bad number may
            propagate, but only when the guards counted the violation —
@@ -154,6 +157,8 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
          Exec.Executor.count_result ~budget:b db choice.Optimizer.plan
        with
       | Ok _, counters, _ | Error _, counters, _ ->
+        Obs_report.absorb_counters metrics counters;
+        Obs_report.absorb_budget metrics b;
         if Rel.Budget.exhausted b <> None then incr cancelled;
         if
           Rel.Budget.rows_used b
@@ -228,6 +233,7 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
     cancelled_runs = !cancelled;
     counter_mismatches = !mismatches;
     elapsed_s = Unix.gettimeofday () -. t_start;
+    metrics = Obs.Metrics.snapshot metrics;
   }
 
 let pass s =
@@ -261,5 +267,12 @@ let render s =
     s.deadline_violations;
   line "  executions:            %d (%d cancelled, %d counter mismatches)"
     s.executions s.cancelled_runs s.counter_mismatches;
+  if not (Obs.Metrics.is_empty s.metrics) then begin
+    line "  metrics:";
+    List.iter
+      (fun l -> if not (String.equal l "") then line "    %s" l)
+      (String.split_on_char '\n'
+         (Format.asprintf "%a" Obs.Metrics.pp s.metrics))
+  end;
   line "soak: %s" (if pass s then "PASS" else "FAIL");
   Buffer.contents b

@@ -47,6 +47,10 @@ type summary = {
   counter_mismatches : int;
       (** cancellations where [rows_used <> read + output] *)
   elapsed_s : float;
+  metrics : Obs.Metrics.snapshot;
+      (** unified metrics accumulated over the whole run via
+          {!Obs_report}: profile caches, guard counters, catalog issues,
+          executor work, budget usage, optimizer provenance *)
 }
 
 val run :

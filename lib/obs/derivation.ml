@@ -1,0 +1,139 @@
+type column_record = {
+  column : string;
+  base_distinct : float;
+  join_distinct : float;
+  source : string;
+}
+
+type class_record = {
+  class_root : string;
+  rule : string;
+  inputs : (string * float) list;
+  combined : float;
+  columns : column_record list;
+}
+
+type step = {
+  index : int;
+  table : string;
+  left_rows : float;
+  right_rows : float;
+  classes : class_record list;
+  cap : float option;
+  output : float;
+}
+
+type t = {
+  mutable base_rev : (string * float) list;
+  mutable steps_rev : step list;
+}
+
+let create () = { base_rev = []; steps_rev = [] }
+let set_base t table rows = t.base_rev <- (table, rows) :: t.base_rev
+let record_step t step = t.steps_rev <- step :: t.steps_rev
+let base t = List.rev t.base_rev
+let steps t = List.rev t.steps_rev
+
+(* Mirrors Guard's Repair-mode clamps: the comparison chain rejects NaN,
+   which repairs to the lower bound. *)
+let clamp01 s = if s >= 0. && s <= 1. then s else if s > 1. then 1. else 0.
+
+let clamp_card ~upper x =
+  if x >= 0. && x <= upper then x else if x > upper then upper else 0.
+
+let replay ~combine t =
+  List.map
+    (fun step ->
+      let s =
+        List.fold_left
+          (fun acc c ->
+            acc *. clamp01 (combine ~rule:c.rule (List.map snd c.inputs)))
+          1. step.classes
+      in
+      let raw = step.left_rows *. step.right_rows *. s in
+      let capped =
+        match step.cap with Some cap -> Float.min raw cap | None -> raw
+      in
+      clamp_card ~upper:(step.left_rows *. step.right_rows) capped)
+    (steps t)
+
+let pp_card ppf t =
+  Format.fprintf ppf "derivation:@.";
+  List.iter
+    (fun (table, rows) ->
+      Format.fprintf ppf "  base %s: %.4g rows@." table rows)
+    (base t);
+  List.iter
+    (fun step ->
+      Format.fprintf ppf "  step %d: ⋈ %s  (%.4g × %.4g rows)@." step.index
+        step.table step.left_rows step.right_rows;
+      if step.classes = [] then
+        Format.fprintf ppf "    cartesian step (no eligible predicates)@.";
+      List.iter
+        (fun c ->
+          Format.fprintf ppf "    class %s  rule=%s  S=%.6g@." c.class_root
+            c.rule c.combined;
+          List.iter
+            (fun (pred, s) ->
+              Format.fprintf ppf "      %s  s=%.6g@." pred s)
+            c.inputs;
+          List.iter
+            (fun col ->
+              Format.fprintf ppf "      d′(%s)=%.4g of %.4g  [%s]@."
+                col.column col.join_distinct col.base_distinct col.source)
+            c.columns)
+        step.classes;
+      (match step.cap with
+      | Some cap -> Format.fprintf ppf "    cap: %.4g@." cap
+      | None -> ());
+      Format.fprintf ppf "    → %.4g rows@." step.output)
+    (steps t)
+
+let column_json c =
+  Json.Obj
+    [
+      ("column", Json.String c.column);
+      ("base_distinct", Json.Float c.base_distinct);
+      ("join_distinct", Json.Float c.join_distinct);
+      ("source", Json.String c.source);
+    ]
+
+let class_json c =
+  Json.Obj
+    [
+      ("class", Json.String c.class_root);
+      ("rule", Json.String c.rule);
+      ( "inputs",
+        Json.List
+          (List.map
+             (fun (pred, s) ->
+               Json.Obj
+                 [ ("predicate", Json.String pred); ("selectivity", Json.Float s) ])
+             c.inputs) );
+      ("combined", Json.Float c.combined);
+      ("columns", Json.List (List.map column_json c.columns));
+    ]
+
+let step_json s =
+  Json.Obj
+    [
+      ("index", Json.Int s.index);
+      ("table", Json.String s.table);
+      ("left_rows", Json.Float s.left_rows);
+      ("right_rows", Json.Float s.right_rows);
+      ("classes", Json.List (List.map class_json s.classes));
+      ("cap", match s.cap with Some c -> Json.Float c | None -> Json.Null);
+      ("output", Json.Float s.output);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "base",
+        Json.List
+          (List.map
+             (fun (table, rows) ->
+               Json.Obj [ ("table", Json.String table); ("rows", Json.Float rows) ])
+             (base t)) );
+      ("steps", Json.List (List.map step_json (steps t)));
+    ]

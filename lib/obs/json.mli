@@ -1,0 +1,31 @@
+(** Minimal JSON values for the observability surface.
+
+    The observability layer emits machine-readable snapshots (metric
+    registries, span trees, derivation traces) without taking a dependency
+    on an external JSON library: this module is the whole story — an ADT,
+    a standards-compliant printer, and a small parser used by the schema
+    checker and the tests to round-trip what the CLI emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion order is preserved *)
+
+val to_string : t -> string
+(** Compact rendering. Non-finite floats have no JSON spelling and are
+    emitted as [null]; strings are escaped per RFC 8259. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same rendering as {!to_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed). Numbers
+    without [.], [e] or [E] parse as [Int]; everything else as [Float].
+    Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] for other constructors. *)

@@ -19,8 +19,8 @@ type enumerator =
   | Greedy_order  (** O(n²) greedy construction *)
   | Randomized of int  (** iterative improvement with the given seed *)
 
-let choose ?methods ?(enumerator = Exhaustive) ?estimator ?budget config db
-    query =
+let choose ?methods ?(enumerator = Exhaustive) ?estimator ?budget ?trace config
+    db query =
   (* Swap before [build] so the pipeline toggles stay as configured but
      [Config.name] (the reported algorithm) reflects the estimator. *)
   let config =
@@ -28,13 +28,21 @@ let choose ?methods ?(enumerator = Exhaustive) ?estimator ?budget config db
     | None -> config
     | Some e -> Els.Config.with_estimator e config
   in
-  let profile = Els.Profile.build config db query in
+  let profile = Els.Profile.build ?trace config db query in
   let node, provenance =
-    match enumerator with
-    | Exhaustive -> Dp.optimize_traced ?methods ?budget profile query
-    | Greedy_order -> Greedy.optimize_traced ?methods ?budget profile query
-    | Randomized seed ->
-      Random_walk.optimize_traced ?methods ~seed ?budget profile query
+    Obs.Trace.with_span trace "optimize" @@ fun () ->
+    let result =
+      match enumerator with
+      | Exhaustive -> Dp.optimize_traced ?methods ?budget profile query
+      | Greedy_order -> Greedy.optimize_traced ?methods ?budget profile query
+      | Randomized seed ->
+        Random_walk.optimize_traced ?methods ~seed ?budget profile query
+    in
+    let _, provenance = result in
+    Obs.Trace.attr_str trace "rung"
+      (Provenance.rung_name provenance.Provenance.rung);
+    Obs.Trace.attr_int trace "expansions" provenance.Provenance.expansions;
+    result
   in
   {
     algorithm = Els.Config.name config;

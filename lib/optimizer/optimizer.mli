@@ -37,6 +37,7 @@ val choose :
   ?enumerator:enumerator ->
   ?estimator:Els.Estimator.t ->
   ?budget:Rel.Budget.t ->
+  ?trace:Obs.Trace.t ->
   Els.Config.t ->
   Catalog.Db.t ->
   Query.t ->
@@ -51,7 +52,11 @@ val choose :
     [budget] bounds the enumeration; on exhaustion the chosen enumerator
     degrades anytime-style instead of failing (see {!Dp}) and [provenance]
     records which rung answered. Never raises
-    [Els_error.Budget_exhausted] — only execution does. *)
+    [Els_error.Budget_exhausted] — only execution does.
+
+    [trace] records the "profile"/"validate" spans of the build plus an
+    "optimize" span (with rung and expansion-count attributes) around
+    enumeration; tracing never changes the chosen plan or any estimate. *)
 
 val explain : Format.formatter -> choice -> unit
 (** Human-readable plan summary with per-join estimates. *)

@@ -15,9 +15,11 @@ let holds op c =
   | Gt -> c > 0
   | Ge -> c >= 0
 
+(* Predicate truth uses the numeric-aware order: [x < 3.0] on an int
+   column must compare values, not type ranks. *)
 let eval op a b =
   if Value.is_null a || Value.is_null b then false
-  else holds op (Value.compare a b)
+  else holds op (Value.compare_sem a b)
 
 let flip = function
   | Eq -> Eq

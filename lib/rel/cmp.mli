@@ -16,7 +16,9 @@ val holds : t -> int -> bool
     under [op]; e.g. [holds Lt (-1) = true]. *)
 
 val eval : t -> Value.t -> Value.t -> bool
-(** SQL semantics: any comparison involving [Null] is false. *)
+(** SQL semantics: any comparison involving [Null] is false. Ordering is
+    {!Value.compare_sem}, so mixed [Int]/[Float] operands compare by
+    numeric value rather than type rank. *)
 
 val flip : t -> t
 (** Operator seen from the other side: [a < b] iff [b > a]. *)

@@ -54,6 +54,19 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+(* Numeric-aware order for predicate evaluation: Int and Float compare by
+   value instead of by type rank, so [Int 5 < Float 3.0] is false. Ints
+   beyond 2^53 lose precision in the float conversion; the workloads the
+   engine targets (catalog cardinalities, generated keys) stay far below
+   that. All other type pairs keep the total rank order. *)
+let compare_sem a b =
+  match a, b with
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | (Null | Int _ | Float _ | String _ | Bool _), _ -> compare a b
+
+let equal_sem a b = compare_sem a b = 0
+
 let hash = function
   | Null -> 0x9e37
   | Int x -> Hashtbl.hash (1, x)

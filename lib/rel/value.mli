@@ -41,6 +41,16 @@ val equal : t -> t -> bool
     [true]; predicate evaluation (see {!Query.Eval}) layers SQL semantics on
     top where needed. *)
 
+val compare_sem : t -> t -> int
+(** Numeric-aware order for predicate evaluation: [Int] and [Float] compare
+    by numeric value ([compare_sem (Int 5) (Float 3.0) > 0]), every other
+    pair falls back to {!compare}. Sort keys and indexes must keep using
+    {!compare}, whose type-rank order is total and hash-compatible. Integers
+    beyond 2^53 lose precision in the mixed comparison. *)
+
+val equal_sem : t -> t -> bool
+(** [compare_sem a b = 0]: numeric-value equality across [Int]/[Float]. *)
+
 val hash : t -> int
 (** Hash compatible with {!equal}; used by hash joins and distinct counts. *)
 

@@ -13,11 +13,15 @@ type t = {
   kind : kind;
   buckets : bucket array;
   total : float;
+  requested : int option;
+      (* bucket budget [build] was asked for; [None] for raw [of_buckets]
+         histograms, whose shape nobody promised anything about *)
 }
 
 let kind t = t.kind
 let buckets t = Array.to_list t.buckets
 let total_count t = t.total
+let requested_buckets t = t.requested
 
 (* Counts the distinct values of a sorted slice [values.(i..j-1)]. *)
 let distinct_in_sorted values i j =
@@ -64,11 +68,16 @@ let build_equi_depth ~buckets:n values =
   let sorted = Array.copy values in
   Array.sort Float.compare sorted;
   let len = Array.length sorted in
-  let per = max 1 (len / n) in
+  (* Bucket [b] targets the prefix of ⌈(b+1)·len/n⌉ values, so the
+     division remainder is spread one value at a time across the leading
+     buckets instead of spilling into an extra trailing bucket (10 values
+     into 3 buckets → 4|3|3, never a fourth bucket). *)
+  let target b = ((b + 1) * len + (n - 1)) / n in
   let out = ref [] in
   let start = ref 0 in
+  let b = ref 0 in
   while !start < len do
-    let stop = min len (!start + per) in
+    let stop = min len (max (!start + 1) (target !b)) in
     (* Extend past duplicates of the boundary value so a value never
        straddles two buckets; keeps equality estimates consistent. *)
     let stop = ref stop in
@@ -83,14 +92,15 @@ let build_equi_depth ~buckets:n values =
         distinct = float_of_int (distinct_in_sorted sorted !start !stop);
       }
       :: !out;
-    start := !stop
+    start := !stop;
+    incr b
   done;
   Array.of_list (List.rev !out)
 
 let of_buckets kind buckets =
   let bs = Array.of_list buckets in
   let total = Array.fold_left (fun acc b -> acc +. b.count) 0. bs in
-  { kind; buckets = bs; total }
+  { kind; buckets = bs; total; requested = None }
 
 let build kind ~buckets values =
   if buckets < 1 then invalid_arg "Histogram.build: buckets < 1";
@@ -101,8 +111,9 @@ let build kind ~buckets values =
       | Equi_width -> build_equi_width ~buckets values
       | Equi_depth -> build_equi_depth ~buckets values
     in
+    assert (Array.length bs <= buckets);
     let total = Array.fold_left (fun acc b -> acc +. b.count) 0. bs in
-    Some { kind; buckets = bs; total }
+    Some { kind; buckets = bs; total; requested = Some buckets }
 
 let clamp01 x = Float.min 1. (Float.max 0. x)
 

@@ -38,6 +38,11 @@ val kind : t -> kind
 val buckets : t -> bucket list
 val total_count : t -> float
 
+val requested_buckets : t -> int option
+(** The bucket budget passed to {!build} — an invariant ([length buckets
+    <= n]) that [Catalog.Validate] audits. [None] for raw {!of_buckets}
+    histograms, which carry no such promise. *)
+
 val selectivity : t -> Rel.Cmp.t -> float -> float
 (** [selectivity h op c] estimates the fraction of the histogrammed values
     [v] with [v op c], assuming values are spread uniformly over each

@@ -46,18 +46,26 @@ let of_entries entries =
 
 let entries t = t.entries
 
+(* Numeric-aware: a Float literal must hit the tracked Int entry of an
+   int column (and vice versa), matching predicate-evaluation equality. *)
 let lookup t v =
   List.find_map
-    (fun e -> if Rel.Value.equal e.value v then Some e.fraction else None)
+    (fun e -> if Rel.Value.equal_sem e.value v then Some e.fraction else None)
     t.entries
 
 let covered_fraction t = t.covered
 let tracked_count t = List.length t.entries
 
 let remainder_eq_selectivity t ~distinct =
-  let untracked = distinct - tracked_count t in
-  if untracked <= 0 then 0.
-  else Float.max 0. (1. -. t.covered) /. float_of_int untracked
+  let residual = Float.max 0. (1. -. t.covered) in
+  if residual <= 0. then 0.
+  else
+    (* A stale catalog can report distinct <= tracked even though the
+       sketch covers less than the whole column; an untracked literal then
+       deserves the residual mass, not a hard zero. Treat the untracked
+       population as at least one value and clamp the result to [0, 1]. *)
+    let untracked = max 1 (distinct - tracked_count t) in
+    Float.min 1. (residual /. float_of_int untracked)
 
 let pp ppf t =
   Format.fprintf ppf "mcv(%d values, %.1f%% covered):@." (tracked_count t)

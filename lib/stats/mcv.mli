@@ -33,7 +33,9 @@ val entries : t -> entry list
 (** Tracked values, most frequent first. *)
 
 val lookup : t -> Rel.Value.t -> float option
-(** Exact fraction of rows with the given value, when tracked. *)
+(** Exact fraction of rows with the given value, when tracked. Matching
+    uses {!Rel.Value.equal_sem}, so a [Float] literal hits the tracked
+    [Int] entry of an integer column. *)
 
 val covered_fraction : t -> float
 (** Total fraction of rows covered by the tracked values. *)
@@ -43,6 +45,9 @@ val tracked_count : t -> int
 val remainder_eq_selectivity : t -> distinct:int -> float
 (** Equality selectivity for an untracked value: the uncovered mass spread
     uniformly over the untracked distinct values; 0 when the sketch covers
-    the whole column. *)
+    the whole column. When a stale catalog reports [distinct] at or below
+    the tracked count while mass remains uncovered, the untracked
+    population is treated as one value (the residual mass, clamped to
+    [[0, 1]]) rather than estimating zero rows. *)
 
 val pp : Format.formatter -> t -> unit

@@ -51,7 +51,9 @@ let eq_selectivity stats c =
   let out_of_bounds =
     match stats.Col_stats.min_value, stats.Col_stats.max_value with
     | Some lo, Some hi when not (Rel.Value.is_null c) ->
-      Rel.Value.compare c lo < 0 || Rel.Value.compare c hi > 0
+      (* Numeric-aware: a Float literal probed against Int bounds must
+         compare by value, or every float constant lands out of bounds. *)
+      Rel.Value.compare_sem c lo < 0 || Rel.Value.compare_sem c hi > 0
     | _, _ -> false
   in
   if out_of_bounds then 0.
@@ -101,6 +103,79 @@ let comparison stats op c =
           | Rel.Cmp.Eq | Rel.Cmp.Ne -> assert false
         end
         | None -> default_range
+      end
+    end
+
+(* --- provenance classifier ----------------------------------------------
+
+   Which statistic *would* produce the estimate for [op c]? The branch
+   structure below mirrors [comparison]/[eq_selectivity] exactly, but the
+   classifier computes no numbers: branch selection depends only on the
+   shape of the statistics (sketch presence, bounds, constant type), so the
+   observability layer can label a d′ without touching the value path. *)
+
+type source =
+  | Src_mcv  (** exact tracked frequency from the MCV sketch *)
+  | Src_mcv_remainder  (** uniform share of the sketch's uncovered mass *)
+  | Src_histogram
+  | Src_interpolation  (** linear interpolation between min/max bounds *)
+  | Src_uniform  (** 1/d *)
+  | Src_bounds  (** constant outside the recorded bounds: zero rows *)
+  | Src_default  (** System R default fraction *)
+
+let source_name = function
+  | Src_mcv -> "mcv"
+  | Src_mcv_remainder -> "mcv-remainder"
+  | Src_histogram -> "histogram"
+  | Src_interpolation -> "interpolation"
+  | Src_uniform -> "uniform"
+  | Src_bounds -> "bounds"
+  | Src_default -> "default"
+
+let eq_source stats c =
+  let out_of_bounds =
+    match stats.Col_stats.min_value, stats.Col_stats.max_value with
+    | Some lo, Some hi when not (Rel.Value.is_null c) ->
+      Rel.Value.compare_sem c lo < 0 || Rel.Value.compare_sem c hi > 0
+    | _, _ -> false
+  in
+  if out_of_bounds then Src_bounds
+  else
+    match stats.Col_stats.mcv with
+    | Some mcv -> begin
+      match Mcv.lookup mcv c with
+      | Some _ -> Src_mcv
+      | None -> Src_mcv_remainder
+    end
+    | None -> if stats.Col_stats.distinct > 0 then Src_uniform else Src_default
+
+let comparison_source stats op c =
+  if Rel.Value.is_null c then Src_default
+  else
+    let mcv_applies =
+      stats.Col_stats.mcv <> None
+      &&
+      match op with
+      | Rel.Cmp.Eq | Rel.Cmp.Ne -> true
+      | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Gt | Rel.Cmp.Ge -> false
+    in
+    let histogram_applies =
+      (not mcv_applies)
+      && stats.Col_stats.histogram <> None
+      && as_float c <> None
+    in
+    if histogram_applies then Src_histogram
+    else begin
+      match op with
+      | Rel.Cmp.Eq | Rel.Cmp.Ne -> eq_source stats c
+      | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Gt | Rel.Cmp.Ge -> begin
+        match stats.Col_stats.min_value, stats.Col_stats.max_value with
+        | Some lo_v, Some hi_v
+          when as_float lo_v <> None
+               && as_float hi_v <> None
+               && as_float c <> None ->
+          Src_interpolation
+        | _, _ -> Src_default
       end
     end
 

@@ -19,6 +19,24 @@ val comparison : Col_stats.t -> Rel.Cmp.t -> Rel.Value.t -> float
 (** [comparison stats op c] estimates the fraction of a column's rows [v]
     satisfying [v op c]. Result lies in [[0, 1]]. *)
 
+type source =
+  | Src_mcv  (** exact tracked frequency from the MCV sketch *)
+  | Src_mcv_remainder  (** uniform share of the sketch's uncovered mass *)
+  | Src_histogram
+  | Src_interpolation  (** linear interpolation between min/max bounds *)
+  | Src_uniform  (** the uniform [1/d] rule *)
+  | Src_bounds  (** constant outside the recorded bounds: zero rows *)
+  | Src_default  (** System R default fraction *)
+(** Which statistic produced (or would produce) an estimate — the d′
+    provenance vocabulary of the observability layer. *)
+
+val source_name : source -> string
+
+val comparison_source : Col_stats.t -> Rel.Cmp.t -> Rel.Value.t -> source
+(** Classify which statistic {!comparison} uses for [op c]. Pure
+    observation: mirrors [comparison]'s branch structure (which depends
+    only on the shape of the statistics) without computing any number. *)
+
 val range_pair :
   Col_stats.t ->
   lower:(Rel.Cmp.t * Rel.Value.t) option ->

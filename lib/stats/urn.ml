@@ -1,17 +1,22 @@
 (* (1 - 1/n)^k = exp (k * log1p (-1/n)); log1p keeps precision for large n
-   and the exponential form avoids pow underflow for large k. *)
+   and the exponential form avoids pow underflow for large k. The hit
+   probability 1 - (1-1/n)^k goes through expm1 because for n ≫ k it is of
+   order k/n — far below the rounding step of exp's result near 1, where
+   the subtraction would cancel to 0 (e.g. n = max_int, k = 1). *)
 let expected_distinct ~urns ~balls =
   if urns <= 0. || balls <= 0. then 0.
   else if urns = 1. then 1.
-  else
-    let miss = exp (balls *. Float.log1p (-1. /. urns)) in
-    urns *. (1. -. miss)
+  else urns *. -.Float.expm1 (balls *. Float.log1p (-1. /. urns))
 
 let expected_distinct_int ~urns ~balls =
   let est =
     expected_distinct ~urns:(float_of_int urns) ~balls:(float_of_int balls)
   in
-  int_of_float (Float.ceil est)
+  let est = Float.ceil est in
+  (* [int_of_float] is unspecified once the float exceeds the int range;
+     [float_of_int max_int] rounds up to 2^62, so [>=] also catches the
+     value exactly at the boundary. *)
+  if est >= float_of_int max_int then max_int else int_of_float est
 
 let survival_fraction ~urns ~balls =
   if urns <= 0. then 0. else expected_distinct ~urns ~balls /. urns

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "elsdb"
     [
       ("rel", Test_rel.suite);
+      ("value-cmp", Test_value_cmp.suite);
       ("csv", Test_csv.suite);
       ("stats", Test_stats.suite);
       ("mcv", Test_mcv.suite);
@@ -29,4 +30,5 @@ let () =
       ("accuracy", Test_accuracy.suite);
       ("fault", Test_fault.suite);
       ("budget", Test_budget.suite);
+      ("obs", Test_obs.suite);
     ]

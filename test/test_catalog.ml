@@ -121,6 +121,39 @@ let test_analyze_register () =
   Alcotest.(check string) "schema requalified" "t"
     (Rel.Schema.get (Rel.Relation.schema rel) 0).Rel.Schema.table
 
+(* --- Validate: histogram bucket budget --- *)
+
+let test_validate_histogram_budget () =
+  (* Analyzed histograms respect their bucket budget, and the validator's
+     Excess_buckets audit agrees: check_table finds nothing to report on
+     awkward value-count / bucket-count ratios. *)
+  List.iter
+    (fun buckets ->
+      let entry =
+        Catalog.Analyze.table ~histogram:Stats.Histogram.Equi_depth
+          ~histogram_buckets:buckets ~name:"t" (stored_table ())
+      in
+      let stats = Catalog.Table.col_stats_exn entry "a" in
+      (match stats.Stats.Col_stats.histogram with
+      | Some h ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%d-bucket budget honoured" buckets)
+          true
+          (List.length (Stats.Histogram.buckets h) <= buckets)
+      | None -> Alcotest.fail "histogram missing");
+      Alcotest.(check (list string)) "validator finds no issues" []
+        (List.map Catalog.Validate.issue_to_string
+           (Catalog.Validate.check_table entry)))
+    [ 1; 2; 3; 5 ];
+  (* A raw of_buckets histogram carries no budget — the audit must not
+     invent one. *)
+  let raw =
+    Stats.Histogram.of_buckets Stats.Histogram.Equi_depth
+      [ { Stats.Histogram.lo = 1.; hi = 2.; count = 3.; distinct = 2. } ]
+  in
+  Alcotest.(check (option int)) "raw histogram has no budget" None
+    (Stats.Histogram.requested_buckets raw)
+
 let suite =
   [
     Alcotest.test_case "table: accessors" `Quick test_table_accessors;
@@ -133,4 +166,6 @@ let suite =
       test_analyze_exact_stats;
     Alcotest.test_case "analyze: histograms" `Quick test_analyze_histograms;
     Alcotest.test_case "analyze: register" `Quick test_analyze_register;
+    Alcotest.test_case "validate: histogram bucket budget" `Quick
+      test_validate_histogram_budget;
   ]

@@ -58,6 +58,20 @@ let test_edge_cases () =
   check_float ~eps:1e-9 "null-free fraction" 1.
     (Stats.Mcv.covered_fraction mcv)
 
+let test_stale_distinct_remainder () =
+  (* covered 0.9, 2 tracked values. A stale catalog reporting distinct at
+     or below the tracked count used to make the untracked population
+     empty and the estimate 0; the residual mass (0.1 over one stand-in
+     value) is the fix's answer. *)
+  let mcv = Option.get (Stats.Mcv.build ~k:2 (skewed_values ())) in
+  check_float ~eps:1e-9 "distinct = tracked" 0.1
+    (Stats.Mcv.remainder_eq_selectivity mcv ~distinct:2);
+  check_float ~eps:1e-9 "distinct below tracked" 0.1
+    (Stats.Mcv.remainder_eq_selectivity mcv ~distinct:0);
+  (* One value above the tracked count: all residual mass on it. *)
+  check_float ~eps:1e-9 "one untracked value" 0.1
+    (Stats.Mcv.remainder_eq_selectivity mcv ~distinct:3)
+
 let test_selectivity_integration () =
   let stats = Stats.Col_stats.of_values ~mcv:2 (skewed_values ()) in
   Alcotest.(check bool) "sketch recorded" true (stats.Stats.Col_stats.mcv <> None);
@@ -106,6 +120,8 @@ let suite =
     Alcotest.test_case "lookup and remainder" `Quick test_lookup_and_remainder;
     Alcotest.test_case "full coverage" `Quick test_full_coverage;
     Alcotest.test_case "edge cases" `Quick test_edge_cases;
+    Alcotest.test_case "stale distinct remainder" `Quick
+      test_stale_distinct_remainder;
     Alcotest.test_case "selectivity integration" `Quick
       test_selectivity_integration;
     Alcotest.test_case "mcv vs histogram precedence" `Quick

@@ -1,0 +1,347 @@
+(* Observability layer: trace spans, the metrics registry, JSON, and the
+   estimate-derivation recorder. The properties at the bottom pin the
+   layer's central contract — recording is observation-only (bit-identical
+   estimates with obs on or off) and a recorded derivation replays to the
+   exact step sizes the pipeline produced. *)
+
+(* --- trace spans --- *)
+
+let test_trace_fake_clock () =
+  let now = ref 0. in
+  let tracer = Obs.Trace.create ~clock:(fun () -> !now) () in
+  let t = Some tracer in
+  Obs.Trace.with_span t "outer" (fun () ->
+      now := !now +. 1.;
+      Obs.Trace.with_span t "inner" (fun () ->
+          now := !now +. 2.;
+          Obs.Trace.attr_int t "k" 7);
+      now := !now +. 0.5);
+  match Obs.Trace.roots tracer with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" outer.Obs.Trace.name;
+    Helpers.check_float "root start" 0. outer.Obs.Trace.start_s;
+    Helpers.check_float "root duration" 3.5 outer.Obs.Trace.duration_s;
+    (match outer.Obs.Trace.children with
+    | [ inner ] ->
+      Alcotest.(check string) "child name" "inner" inner.Obs.Trace.name;
+      Helpers.check_float "child start" 1. inner.Obs.Trace.start_s;
+      Helpers.check_float "child duration" 2. inner.Obs.Trace.duration_s;
+      Alcotest.(check bool) "child attr" true
+        (inner.Obs.Trace.attrs = [ ("k", Obs.Json.Int 7) ])
+    | children ->
+      Alcotest.failf "expected 1 child, got %d" (List.length children))
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let test_trace_exception_closes_span () =
+  let tracer = Obs.Trace.create ~clock:(fun () -> 0.) () in
+  let t = Some tracer in
+  (try Obs.Trace.with_span t "boom" (fun () -> raise Exit) with Exit -> ());
+  (match Obs.Trace.roots tracer with
+  | [ s ] -> Alcotest.(check string) "span closed on raise" "boom" s.Obs.Trace.name
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+  (* without a tracer, with_span is the identity on the thunk *)
+  Alcotest.(check int) "None tracer is transparent" 42
+    (Obs.Trace.with_span None "x" (fun () -> 42))
+
+(* --- json --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Obs.Json.(
+      Obj
+        [
+          ("name", String "els\"db\n");
+          ("n", Int 42);
+          ("pi", Float 3.5);
+          ("ok", Bool true);
+          ("none", Null);
+          ("xs", List [ Int 1; Int 2; Obj [] ]);
+        ])
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string doc) with
+  | Ok back -> Alcotest.(check bool) "roundtrip" true (back = doc)
+  | Error e -> Alcotest.failf "parse error: %s" e);
+  (match Obs.Json.of_string "{\"a\": [1, 2.5, null]}" with
+  | Ok v ->
+    Alcotest.(check bool) "int/float split" true
+      (Obs.Json.member "a" v = Some (Obs.Json.List Obs.Json.[ Int 1; Float 2.5; Null ]))
+  | Error e -> Alcotest.failf "parse error: %s" e);
+  match Obs.Json.of_string "{broken" with
+  | Ok _ -> Alcotest.fail "accepted malformed input"
+  | Error _ -> ()
+
+(* --- metrics registry --- *)
+
+let test_metrics_instruments () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check bool) "fresh registry is empty" true
+    (Obs.Metrics.is_empty (Obs.Metrics.snapshot m));
+  let c = Obs.Metrics.counter m "a.hits" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  let g = Obs.Metrics.gauge m "a.level" in
+  Obs.Metrics.set g 1.5;
+  Obs.Metrics.set g 2.5;
+  let h = Obs.Metrics.histogram m "a.lat" in
+  Obs.Metrics.observe h 1.;
+  Obs.Metrics.observe h 3.;
+  let snap = Obs.Metrics.snapshot m in
+  Alcotest.(check bool) "counter" true
+    (Obs.Metrics.find snap "a.hits" = Some (Obs.Metrics.Counter 5));
+  Alcotest.(check bool) "gauge last-write-wins" true
+    (Obs.Metrics.find snap "a.level" = Some (Obs.Metrics.Gauge 2.5));
+  (match Obs.Metrics.find snap "a.lat" with
+  | Some (Obs.Metrics.Histogram s) ->
+    Alcotest.(check int) "hist count" 2 s.Obs.Metrics.count;
+    Helpers.check_float "hist sum" 4. s.Obs.Metrics.sum;
+    Helpers.check_float "hist min" 1. s.Obs.Metrics.min;
+    Helpers.check_float "hist max" 3. s.Obs.Metrics.max
+  | _ -> Alcotest.fail "histogram missing");
+  Alcotest.(check (list string)) "sorted names"
+    [ "a.hits"; "a.lat"; "a.level" ]
+    (Obs.Metrics.names snap);
+  (* kind clash *)
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Obs.Metrics.gauge m "a.hits");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_set_counter_monotone () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "total" in
+  Obs.Metrics.set_counter c 10;
+  Obs.Metrics.set_counter c 5;
+  Alcotest.(check bool) "absorb never regresses" true
+    (Obs.Metrics.find (Obs.Metrics.snapshot m) "total"
+    = Some (Obs.Metrics.Counter 10));
+  Obs.Metrics.set_counter c 12;
+  Alcotest.(check bool) "absorb advances" true
+    (Obs.Metrics.find (Obs.Metrics.snapshot m) "total"
+    = Some (Obs.Metrics.Counter 12))
+
+let test_metrics_diff () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "c" in
+  let h = Obs.Metrics.histogram m "h" in
+  Obs.Metrics.incr ~by:3 c;
+  Obs.Metrics.observe h 10.;
+  let before = Obs.Metrics.snapshot m in
+  Obs.Metrics.incr ~by:2 c;
+  Obs.Metrics.observe h 4.;
+  ignore (Obs.Metrics.counter m "fresh");
+  Obs.Metrics.incr (Obs.Metrics.counter m "fresh");
+  let after = Obs.Metrics.snapshot m in
+  let d = Obs.Metrics.diff ~before ~after in
+  Alcotest.(check bool) "counter subtracts" true
+    (Obs.Metrics.find d "c" = Some (Obs.Metrics.Counter 2));
+  Alcotest.(check bool) "new instrument counts from zero" true
+    (Obs.Metrics.find d "fresh" = Some (Obs.Metrics.Counter 1));
+  match Obs.Metrics.find d "h" with
+  | Some (Obs.Metrics.Histogram s) ->
+    Alcotest.(check int) "hist count diff" 1 s.Obs.Metrics.count;
+    Helpers.check_float "hist sum diff" 4. s.Obs.Metrics.sum
+  | _ -> Alcotest.fail "histogram missing from diff"
+
+let test_metrics_json_shape () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter m "c");
+  Obs.Metrics.set (Obs.Metrics.gauge m "g") 1.5;
+  Obs.Metrics.observe (Obs.Metrics.histogram m "h") 2.;
+  let json = Obs.Metrics.to_json (Obs.Metrics.snapshot m) in
+  let section name =
+    match Obs.Json.member name json with
+    | Some (Obs.Json.Obj fields) -> fields
+    | _ -> Alcotest.failf "section %s missing" name
+  in
+  Alcotest.(check bool) "counters section" true
+    (section "counters" = [ ("c", Obs.Json.Int 1) ]);
+  Alcotest.(check bool) "gauges section" true
+    (section "gauges" = [ ("g", Obs.Json.Float 1.5) ]);
+  (match section "histograms" with
+  | [ ("h", Obs.Json.Obj fields) ] ->
+    Alcotest.(check bool) "histogram fields" true
+      (List.mem_assoc "count" fields && List.mem_assoc "sum" fields)
+  | _ -> Alcotest.fail "histogram entry malformed");
+  (* empty registry still has all three sections *)
+  let empty = Obs.Metrics.to_json (Obs.Metrics.snapshot (Obs.Metrics.create ())) in
+  Alcotest.(check bool) "empty sections present" true
+    (Obs.Json.member "counters" empty = Some (Obs.Json.Obj [])
+    && Obs.Json.member "gauges" empty = Some (Obs.Json.Obj [])
+    && Obs.Json.member "histograms" empty = Some (Obs.Json.Obj []))
+
+(* --- derivation recorder --- *)
+
+let estimator_combine ~rule ss =
+  (Els.Estimator.of_string_exn rule).Els.Estimator.combine ss
+
+let test_derivation_records_example1 () =
+  let db = Helpers.example1_db () and query = Helpers.example1_query () in
+  let profile = Els.prepare Els.Config.els db query in
+  let deriv = Obs.Derivation.create () in
+  Els.Profile.set_derivation profile (Some deriv);
+  let st = Els.Incremental.estimate_order profile [ "r1"; "r2"; "r3" ] in
+  Els.Profile.set_derivation profile None;
+  let history = Els.Incremental.history st in
+  (match Obs.Derivation.base deriv with
+  | [ (name, rows) ] ->
+    Alcotest.(check string) "base table" "r1" name;
+    Helpers.check_float "base rows" 100. rows
+  | base -> Alcotest.failf "expected 1 base entry, got %d" (List.length base));
+  let steps = Obs.Derivation.steps deriv in
+  Alcotest.(check int) "one step per join" (List.length history)
+    (List.length steps);
+  List.iter2
+    (fun step size ->
+      Helpers.check_float "recorded output = history" size
+        step.Obs.Derivation.output;
+      Alcotest.(check bool) "classes recorded" true
+        (step.Obs.Derivation.classes <> []);
+      List.iter
+        (fun cls ->
+          Alcotest.(check bool) "inputs recorded" true
+            (cls.Obs.Derivation.inputs <> []);
+          Alcotest.(check bool) "d' provenance recorded" true
+            (List.for_all
+               (fun col -> col.Obs.Derivation.source <> "")
+               cls.Obs.Derivation.columns))
+        step.Obs.Derivation.classes)
+    steps history;
+  (* the card and the JSON render without blowing up and carry the rule *)
+  let card = Format.asprintf "%a" Obs.Derivation.pp_card deriv in
+  Alcotest.(check bool) "card mentions tables" true
+    (Helpers.contains card "r2" && Helpers.contains card "r3");
+  match Obs.Derivation.to_json deriv with
+  | Obs.Json.Obj fields ->
+    Alcotest.(check bool) "json has base and steps" true
+      (List.mem_assoc "base" fields && List.mem_assoc "steps" fields)
+  | _ -> Alcotest.fail "derivation json is not an object"
+
+let test_derivation_detached_records_nothing () =
+  let db = Helpers.example1_db () and query = Helpers.example1_query () in
+  let profile = Els.prepare Els.Config.els db query in
+  ignore (Els.Incremental.estimate_order profile [ "r1"; "r2"; "r3" ]);
+  Alcotest.(check bool) "no sink, no derivation" true
+    (Els.Profile.derivation profile = None)
+
+let test_choose_trace_transparent () =
+  let db = Helpers.example1_db () and query = Helpers.example1_query () in
+  let plain = Optimizer.choose Els.Config.els db query in
+  let tracer = Obs.Trace.create ~clock:(fun () -> 0.) () in
+  let traced = Optimizer.choose ~trace:tracer Els.Config.els db query in
+  Alcotest.(check (list string)) "same join order"
+    plain.Optimizer.join_order traced.Optimizer.join_order;
+  Alcotest.(check bool) "same cost" true
+    (Float.equal plain.Optimizer.estimated_cost traced.Optimizer.estimated_cost);
+  let root_names =
+    List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.roots tracer)
+  in
+  Alcotest.(check bool) "profile and optimize spans recorded" true
+    (List.mem "profile" root_names && List.mem "optimize" root_names)
+
+(* --- properties --- *)
+
+(* Observation transparency: attaching a tracer and a derivation sink
+   changes no estimated number, for any order and estimator. *)
+let prop_obs_bit_identity =
+  QCheck2.Test.make ~count:60 ~name:"estimates bit-identical with obs on/off"
+    ~print:Test_properties.print_chain_spec Test_properties.gen_chain_spec
+    (fun spec ->
+      let db, query, names = Test_properties.build_chain spec in
+      List.for_all
+        (fun config ->
+          let plain = Els.prepare config db query in
+          let observed =
+            Els.prepare ~trace:(Obs.Trace.create ~clock:(fun () -> 0.) ())
+              config db query
+          in
+          Els.Profile.set_derivation observed (Some (Obs.Derivation.create ()));
+          List.for_all
+            (fun order ->
+              let a = Els.Incremental.estimate_order plain order in
+              let b = Els.Incremental.estimate_order observed order in
+              List.for_all2 Float.equal (Els.Incremental.history a)
+                (Els.Incremental.history b))
+            (Test_properties.permutations names))
+        (Els.Config.panel ()))
+
+(* Replay: a recorded derivation recomputes to the exact step sizes. *)
+let prop_derivation_replay =
+  QCheck2.Test.make ~count:60 ~name:"derivation replays to recorded S_J"
+    ~print:Test_properties.print_chain_spec Test_properties.gen_chain_spec
+    (fun spec ->
+      let db, query, names = Test_properties.build_chain spec in
+      List.for_all
+        (fun config ->
+          let profile = Els.prepare config db query in
+          let deriv = Obs.Derivation.create () in
+          Els.Profile.set_derivation profile (Some deriv);
+          let st = Els.Incremental.estimate_order profile names in
+          Els.Profile.set_derivation profile None;
+          let history = Els.Incremental.history st in
+          let replayed =
+            Obs.Derivation.replay ~combine:estimator_combine deriv
+          in
+          List.length replayed = List.length history
+          && List.for_all2 Float.equal replayed history)
+        (Els.Config.panel ()))
+
+(* Snapshot diffs of counter activity are non-negative and account for
+   exactly the increments between the snapshots. *)
+let gen_counter_ops =
+  QCheck2.Gen.(
+    list_size (int_range 0 30) (pair (int_range 0 4) (int_range 0 5)))
+
+let prop_metric_diff_monotone =
+  QCheck2.Test.make ~count:200 ~name:"metric snapshot diff is monotone"
+    ~print:(fun (a, b) ->
+      Printf.sprintf "before=%d ops, after=%d ops" (List.length a)
+        (List.length b))
+    QCheck2.Gen.(pair gen_counter_ops gen_counter_ops)
+    (fun (ops1, ops2) ->
+      let m = Obs.Metrics.create () in
+      let apply =
+        List.iter (fun (i, by) ->
+            Obs.Metrics.incr ~by
+              (Obs.Metrics.counter m (Printf.sprintf "c%d" i)))
+      in
+      apply ops1;
+      let before = Obs.Metrics.snapshot m in
+      apply ops2;
+      let after = Obs.Metrics.snapshot m in
+      let d = Obs.Metrics.diff ~before ~after in
+      let counters =
+        List.filter_map
+          (function
+            | _, Obs.Metrics.Counter n -> Some n
+            | _, (Obs.Metrics.Gauge _ | Obs.Metrics.Histogram _) -> None)
+          (Obs.Metrics.bindings d)
+      in
+      List.for_all (fun n -> n >= 0) counters
+      && List.fold_left ( + ) 0 counters
+         = List.fold_left (fun acc (_, by) -> acc + by) 0 ops2)
+
+let suite =
+  [
+    Alcotest.test_case "trace: fake clock nesting" `Quick test_trace_fake_clock;
+    Alcotest.test_case "trace: exception closes span" `Quick
+      test_trace_exception_closes_span;
+    Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "metrics: instruments" `Quick test_metrics_instruments;
+    Alcotest.test_case "metrics: set_counter monotone" `Quick
+      test_metrics_set_counter_monotone;
+    Alcotest.test_case "metrics: diff" `Quick test_metrics_diff;
+    Alcotest.test_case "metrics: json shape" `Quick test_metrics_json_shape;
+    Alcotest.test_case "derivation: records example 1" `Quick
+      test_derivation_records_example1;
+    Alcotest.test_case "derivation: detached sink" `Quick
+      test_derivation_detached_records_nothing;
+    Alcotest.test_case "optimizer: trace-transparent" `Quick
+      test_choose_trace_transparent;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_obs_bit_identity;
+        prop_derivation_replay;
+        prop_metric_diff_monotone;
+      ]

@@ -203,6 +203,48 @@ let test_sel_range_pair () =
        ~lower:(Some (Rel.Cmp.Ge, Rel.Value.Int 900))
        ~upper:(Some (Rel.Cmp.Le, Rel.Value.Int 100)))
 
+let test_urn_int_boundary () =
+  (* The ceiling variant must stay inside native int range even at the
+     extreme corner — ⌈n·(1 − (1 − 1/n)^k)⌉ can round to n + 1 in float,
+     which overflows when n = max_int. *)
+  let e = Stats.Urn.expected_distinct_int ~urns:max_int ~balls:max_int in
+  Alcotest.(check bool) "max_int corner stays in range" true
+    (e >= 0 && e <= max_int);
+  Alcotest.(check int) "one ball" 1
+    (Stats.Urn.expected_distinct_int ~urns:max_int ~balls:1);
+  Alcotest.(check int) "one urn" 1
+    (Stats.Urn.expected_distinct_int ~urns:1 ~balls:max_int);
+  Alcotest.(check int) "no urns" 0
+    (Stats.Urn.expected_distinct_int ~urns:0 ~balls:5);
+  Alcotest.(check int) "no balls" 0
+    (Stats.Urn.expected_distinct_int ~urns:5 ~balls:0);
+  (* ⌈·⌉ of the float model, spot-checked: n=2, k=2 → ⌈1.5⌉ = 2. *)
+  Alcotest.(check int) "ceiling of 1.5" 2
+    (Stats.Urn.expected_distinct_int ~urns:2 ~balls:2)
+
+let test_equi_depth_bucket_cap () =
+  (* build's contract: never more buckets than requested, whatever the
+     value-count / bucket-count ratio (the pre-fix ceiling targets could
+     overshoot by one on awkward ratios). *)
+  List.iter
+    (fun (n_values, requested) ->
+      let values = Array.init n_values (fun i -> float_of_int (i * i mod 37)) in
+      let h =
+        Option.get
+          (Stats.Histogram.build Stats.Histogram.Equi_depth ~buckets:requested
+             values)
+      in
+      let got = List.length (Stats.Histogram.buckets h) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d values / %d buckets: got %d" n_values requested got)
+        true
+        (got >= 1 && got <= requested);
+      Alcotest.(check (option int)) "budget recorded" (Some requested)
+        (Stats.Histogram.requested_buckets h);
+      check_float "count preserved" (float_of_int n_values)
+        (Stats.Histogram.total_count h))
+    [ (10, 3); (7, 3); (11, 4); (5, 2); (100, 7); (3, 5); (1, 4); (64, 64) ]
+
 let test_sel_histogram_priority () =
   (* With a histogram present, estimates come from it, not min/max. *)
   let values = Array.init 1000 (fun i -> Rel.Value.Int (i + 1)) in
@@ -219,6 +261,9 @@ let suite =
     Alcotest.test_case "urn: monotone in balls" `Quick test_urn_monotone;
     Alcotest.test_case "urn: no under/overflow" `Quick test_urn_no_underflow;
     Alcotest.test_case "urn: survival fraction" `Quick test_urn_survival;
+    Alcotest.test_case "urn: int ceiling boundary" `Quick test_urn_int_boundary;
+    Alcotest.test_case "histogram: equi-depth bucket cap" `Quick
+      test_equi_depth_bucket_cap;
     Alcotest.test_case "histogram: build invariants" `Quick test_histogram_build;
     Alcotest.test_case "histogram: empty and errors" `Quick
       test_histogram_empty_and_errors;

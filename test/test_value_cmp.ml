@@ -1,0 +1,152 @@
+(* Regression suite for cross-type numeric comparisons: predicate
+   evaluation, local-predicate interval logic and bounds checks compare
+   Int/Float by numeric value (Value.compare_sem), while sort keys and
+   index structures keep the total type-rank order (Value.compare). *)
+
+let int_ n = Rel.Value.Int n
+let float_ x = Rel.Value.Float x
+let c t col = Query.Cref.v t col
+
+let test_compare_sem () =
+  Alcotest.(check bool) "Int 5 > Float 3.0" true
+    (Rel.Value.compare_sem (int_ 5) (float_ 3.0) > 0);
+  Alcotest.(check bool) "Int 2 < Float 3.0" true
+    (Rel.Value.compare_sem (int_ 2) (float_ 3.0) < 0);
+  Alcotest.(check bool) "Float 3.0 = Int 3" true
+    (Rel.Value.compare_sem (float_ 3.0) (int_ 3) = 0);
+  Alcotest.(check bool) "equal_sem Int/Float" true
+    (Rel.Value.equal_sem (int_ 3) (float_ 3.0));
+  Alcotest.(check bool) "Float 2.5 between ints" true
+    (Rel.Value.compare_sem (float_ 2.5) (int_ 2) > 0
+    && Rel.Value.compare_sem (float_ 2.5) (int_ 3) < 0);
+  (* Non-numeric pairs keep the total order. *)
+  Alcotest.(check bool) "string vs int unchanged" true
+    (Rel.Value.compare_sem (Rel.Value.String "a") (int_ 1)
+    = Rel.Value.compare (Rel.Value.String "a") (int_ 1))
+
+let test_rank_order_for_sort_keys () =
+  (* The total order used by sort keys, indexes and Value.Map must stay
+     rank-based: every Int sorts before every Float, whatever the
+     magnitudes. compare_sem deliberately disagrees here. *)
+  Alcotest.(check bool) "rank: Int 5 before Float 3.0" true
+    (Rel.Value.compare (int_ 5) (float_ 3.0) < 0);
+  Alcotest.(check bool) "sem disagrees by design" true
+    (Rel.Value.compare_sem (int_ 5) (float_ 3.0) > 0)
+
+let test_cmp_eval_truth () =
+  Alcotest.(check bool) "Int 5 < Float 3.0 is false" false
+    (Rel.Cmp.eval Rel.Cmp.Lt (int_ 5) (float_ 3.0));
+  Alcotest.(check bool) "Int 2 < Float 3.0 is true" true
+    (Rel.Cmp.eval Rel.Cmp.Lt (int_ 2) (float_ 3.0));
+  Alcotest.(check bool) "Int 3 = Float 3.0 is true" true
+    (Rel.Cmp.eval Rel.Cmp.Eq (int_ 3) (float_ 3.0));
+  Alcotest.(check bool) "Float 4.5 >= Int 5 is false" false
+    (Rel.Cmp.eval Rel.Cmp.Ge (float_ 4.5) (int_ 5));
+  Alcotest.(check bool) "null still false" false
+    (Rel.Cmp.eval Rel.Cmp.Lt Rel.Value.Null (float_ 3.0))
+
+(* Executor truth: an int column filtered by a float literal. *)
+let test_executor_float_literal () =
+  let schema =
+    Rel.Schema.make [ Rel.Schema.column ~table:"r" ~name:"x" Rel.Value.Ty_int ]
+  in
+  let rel =
+    Rel.Relation.of_tuples schema
+      (List.map (fun v -> Rel.Tuple.of_list [ int_ v ]) [ 1; 2; 3; 4; 5 ])
+  in
+  let count op constant =
+    let counters = Exec.Counters.create () in
+    let op =
+      Exec.Scan.relation counters
+        ~filters:[ Query.Predicate.cmp (c "r" "x") op constant ]
+        rel
+    in
+    Rel.Relation.cardinality (Exec.Operator.to_relation op)
+  in
+  (* Rank order called every Int smaller than any Float, turning x < 3.0
+     into all-rows-match and x > 3.0 into none. *)
+  Alcotest.(check int) "x < 3.0 keeps 1,2" 2 (count Rel.Cmp.Lt (float_ 3.0));
+  Alcotest.(check int) "x > 3.0 keeps 4,5" 2 (count Rel.Cmp.Gt (float_ 3.0));
+  Alcotest.(check int) "x = 3.0 keeps 3" 1 (count Rel.Cmp.Eq (float_ 3.0));
+  Alcotest.(check int) "x <= 2.5 keeps 1,2" 2 (count Rel.Cmp.Le (float_ 2.5))
+
+let stats_1_to_5 () =
+  Stats.Col_stats.of_values (Array.init 5 (fun i -> int_ (i + 1)))
+
+(* Local-predicate interval logic across types. *)
+let test_local_pred_mixed_types () =
+  let stats = stats_1_to_5 () in
+  (* x > 4.5 AND x < 2 is a contradiction by value; rank order saw
+     Float 4.5 above every Int and kept the interval nonempty. *)
+  let combined =
+    Els.Local_pred.combine stats
+      [ (Rel.Cmp.Gt, float_ 4.5); (Rel.Cmp.Lt, int_ 2) ]
+  in
+  Alcotest.(check bool) "mixed-type contradiction" true
+    (combined.Els.Local_pred.restriction = Els.Local_pred.Contradiction);
+  (* x = 3 AND x = 3.0 pin the same value, not a contradiction. *)
+  let pinned =
+    Els.Local_pred.combine stats
+      [ (Rel.Cmp.Eq, int_ 3); (Rel.Cmp.Eq, float_ 3.0) ]
+  in
+  Alcotest.(check bool) "equality pin across types" true
+    (match pinned.Els.Local_pred.restriction with
+    | Els.Local_pred.Equality _ -> true
+    | Els.Local_pred.Unrestricted | Els.Local_pred.Range _
+    | Els.Local_pred.Contradiction ->
+      false);
+  Alcotest.(check bool) "pinned selectivity positive" true
+    (pinned.Els.Local_pred.selectivity > 0.)
+
+(* Bounds checks in equality selectivity. *)
+let test_bounds_check_mixed_types () =
+  let stats = stats_1_to_5 () in
+  (* A float probe inside the recorded Int bounds is in range: 1/d, not
+     the 0 the rank-order bounds check produced. *)
+  Helpers.check_float ~eps:1e-9 "float probe in int bounds" 0.2
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Eq (float_ 3.0));
+  Helpers.check_float ~eps:1e-9 "float probe out of bounds" 0.
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Eq (float_ 9.5));
+  Helpers.check_float ~eps:1e-9 "float probe below bounds" 0.
+    (Stats.Selectivity_est.comparison stats Rel.Cmp.Eq (float_ 0.5))
+
+(* End to end: the same float-literal query estimated and executed; the
+   estimate must see a restriction and the executor must agree on truth. *)
+let test_end_to_end_agreement () =
+  let db = Catalog.Db.create () in
+  let schema =
+    Rel.Schema.make [ Rel.Schema.column ~table:"r" ~name:"x" Rel.Value.Ty_int ]
+  in
+  let rel =
+    Rel.Relation.of_tuples schema
+      (List.map (fun v -> Rel.Tuple.of_list [ int_ v ]) [ 1; 2; 3; 4; 5 ])
+  in
+  ignore (Catalog.Analyze.register db ~name:"r" rel);
+  let query =
+    Query.make ~tables:[ "r" ]
+      [ Query.Predicate.cmp (c "r" "x") Rel.Cmp.Lt (float_ 3.0) ]
+  in
+  let profile = Els.prepare Els.Config.els db query in
+  let truth =
+    float_of_int (Exec.Executor.run_query db query).Exec.Executor.row_count
+  in
+  Alcotest.(check (float 0.)) "executor truth" 2. truth;
+  let estimated = (Els.Profile.table profile "r").Els.Profile.rows in
+  Alcotest.(check bool) "estimate sees the restriction" true
+    (estimated < 5. && estimated > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "compare_sem semantics" `Quick test_compare_sem;
+    Alcotest.test_case "rank order kept for sort keys" `Quick
+      test_rank_order_for_sort_keys;
+    Alcotest.test_case "Cmp.eval truth" `Quick test_cmp_eval_truth;
+    Alcotest.test_case "executor: float literal on int column" `Quick
+      test_executor_float_literal;
+    Alcotest.test_case "local predicates: mixed types" `Quick
+      test_local_pred_mixed_types;
+    Alcotest.test_case "bounds checks: mixed types" `Quick
+      test_bounds_check_mixed_types;
+    Alcotest.test_case "estimate/execute agreement" `Quick
+      test_end_to_end_agreement;
+  ]
