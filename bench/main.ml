@@ -19,6 +19,9 @@
      F11 — deadline/budget soak: anytime ladder under a 1 ms deadline on
            n=14 DP, node-budget cost sweep, randomized soak smoke
            (supplementary)
+     F12 — compiled estimation kernel vs interpreted indexed path on DP
+           enumeration, with a Gc.minor_words allocation audit
+           (supplementary)
 
    Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs).
    Passing experiment ids (e.g. `bench/main.exe f8 micro`) runs only
@@ -29,7 +32,7 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let experiment_ids =
   [
     "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
-    "f7"; "f8"; "f10"; "f11"; "micro";
+    "f7"; "f8"; "f10"; "f11"; "f12"; "micro";
   ]
 
 let selected =
@@ -142,9 +145,6 @@ let run_f6 () =
 let run_f8 () =
   section "F8: DP-enumeration hot path — indexed bitset vs list-scan baseline";
   let sizes = if quick then [ 12 ] else [ 12; 14; 16 ] in
-  let rec popcount m =
-    if m = 0 then 0 else (m land 1) + popcount (m lsr 1)
-  in
   Printf.printf "%-4s %10s %12s %8s  %16s %14s\n" "n" "scan (s)" "indexed (s)"
     "speedup" "cache hit/miss" "scans avoided";
   List.iter
@@ -153,15 +153,18 @@ let run_f8 () =
         Datagen.Workload.chain ~rows_range:(100, 300) ~distinct_range:(20, 100)
           ~seed:1 ~n_tables:n ()
       in
+      (* [~kernel:false]: this experiment measures the {e interpreted}
+         indexed path against the scan baseline; the compiled tier has its
+         own experiment (F12). *)
       let profile =
-        Els.prepare Els.Config.els chain.Datagen.Workload.db
+        Els.prepare ~kernel:false Els.Config.els chain.Datagen.Workload.db
           chain.Datagen.Workload.query
       in
       let names = Array.of_list chain.Datagen.Workload.query.Query.tables in
       let full = (1 lsl n) - 1 in
       let by_size = Array.make (n + 1) [] in
       for mask = full downto 1 do
-        let c = popcount mask in
+        let c = Rel.Bits.popcount mask in
         by_size.(c) <- mask :: by_size.(c)
       done;
       (* Baseline: joined-table string lists + per-step conjunction scans. *)
@@ -232,6 +235,140 @@ let run_f8 () =
            (stats.Els.Profile.sel_misses + stats.Els.Profile.group_misses))
         stats.Els.Profile.scans_avoided)
     sizes
+
+(* F12: the compiled-kernel tier — the same DP-style enumeration over all
+   2ⁿ left-deep prefixes as F8, comparing the interpreted indexed path
+   (Incremental.extend on a [~kernel:false] profile: state records,
+   eligible-id lists, assoc grouping, memo-cache probes) against the
+   compiled kernel (Kernel.extend_into over a flat float array of sizes:
+   int masks in, floats out, zero minor-heap allocation per step). Both
+   walk the same states in the same order and must agree on the full-join
+   size bit-for-bit; the allocation claim is measured via Gc.minor_words
+   and the run fails if the kernel path allocates. *)
+let run_f12 () =
+  section "F12: DP-enumeration hot path — compiled kernel vs indexed path";
+  let sizes = if quick then [ 12 ] else [ 12; 14; 16 ] in
+  let registry = Obs.Metrics.create () in
+  Printf.printf "%-4s %12s %11s %8s %12s %16s\n" "n" "indexed (s)"
+    "kernel (s)" "speedup" "steps" "words/step";
+  let failures = ref 0 in
+  List.iter
+    (fun n ->
+      let chain =
+        Datagen.Workload.chain ~rows_range:(100, 300) ~distinct_range:(20, 100)
+          ~seed:1 ~n_tables:n ()
+      in
+      let db = chain.Datagen.Workload.db in
+      let query = chain.Datagen.Workload.query in
+      let indexed_profile = Els.prepare ~kernel:false Els.Config.els db query in
+      let kernel_profile = Els.prepare Els.Config.els db query in
+      let kernel =
+        match Els.Profile.kernel kernel_profile with
+        | Some k -> k
+        | None -> failwith "F12: ELS profile has no compiled kernel"
+      in
+      let names = Array.of_list query.Query.tables in
+      let full = (1 lsl n) - 1 in
+      let by_size = Array.make (n + 1) [] in
+      for mask = full downto 1 do
+        let c = Rel.Bits.popcount mask in
+        by_size.(c) <- mask :: by_size.(c)
+      done;
+      (* Indexed interpreter: state records, first write per mask wins. *)
+      let t0 = Unix.gettimeofday () in
+      let istates = Array.make (full + 1) None in
+      for i = 0 to n - 1 do
+        istates.(1 lsl i) <-
+          Some (Els.Incremental.start indexed_profile names.(i))
+      done;
+      for size = 1 to n - 1 do
+        List.iter
+          (fun mask ->
+            match istates.(mask) with
+            | None -> ()
+            | Some st ->
+              for i = 0 to n - 1 do
+                if mask land (1 lsl i) = 0 then begin
+                  let mask' = mask lor (1 lsl i) in
+                  let st' =
+                    Els.Incremental.extend indexed_profile st names.(i)
+                  in
+                  if istates.(mask') = None then istates.(mask') <- Some st'
+                end
+              done)
+          by_size.(size)
+      done;
+      let idx_s = Unix.gettimeofday () -. t0 in
+      (* Compiled kernel: one flat float array indexed by mask, NaN =
+         not reached yet; the same traversal, so the same first write
+         lands in each slot. Plain nested loops over mask arrays — the
+         enumeration itself must not allocate either, or the audit below
+         would blame the kernel for the harness's closures. *)
+      let by_size_arr = Array.map Array.of_list by_size in
+      let enumerate sizes_arr =
+        Array.fill sizes_arr 0 (full + 1) Float.nan;
+        for i = 0 to n - 1 do
+          Els.Kernel.start_into kernel ~sizes:sizes_arr ~bit:i
+        done;
+        for size = 1 to n - 1 do
+          let masks = by_size_arr.(size) in
+          for j = 0 to Array.length masks - 1 do
+            let mask = masks.(j) in
+            if not (Float.is_nan sizes_arr.(mask)) then
+              for i = 0 to n - 1 do
+                if
+                  mask land (1 lsl i) = 0
+                  && Float.is_nan sizes_arr.(mask lor (1 lsl i))
+                then
+                  Els.Kernel.extend_into kernel ~sizes:sizes_arr ~mask ~bit:i
+              done
+          done
+        done
+      in
+      let ksizes = Array.make (full + 1) Float.nan in
+      enumerate ksizes (* warmup: fault in code paths before timing *);
+      let steps0 = Els.Kernel.steps kernel in
+      let t1 = Unix.gettimeofday () in
+      enumerate ksizes;
+      let ker_s = Unix.gettimeofday () -. t1 in
+      let steps = Els.Kernel.steps kernel - steps0 in
+      (* Allocation audit: an empty Gc.minor_words window measures the
+         sampling overhead (the boxed float the call itself returns); a
+         third enumeration must add exactly nothing on top of it. *)
+      let w0 = Gc.minor_words () in
+      let w1 = Gc.minor_words () in
+      let overhead = w1 -. w0 in
+      let w2 = Gc.minor_words () in
+      enumerate ksizes;
+      let w3 = Gc.minor_words () in
+      let alloc_words = w3 -. w2 -. overhead in
+      let words_per_step = alloc_words /. float_of_int steps in
+      (match (istates.(full), ksizes.(full)) with
+      | Some st, k when Float.equal st.Els.Incremental.size k -> ()
+      | _ ->
+        failwith "F12: kernel and indexed paths disagree on the full join");
+      let label suffix = Printf.sprintf "f12.n%d.%s" n suffix in
+      Obs.Metrics.set (Obs.Metrics.gauge registry (label "speedup"))
+        (idx_s /. ker_s);
+      Obs.Metrics.set_counter
+        (Obs.Metrics.counter registry (label "kernel_steps"))
+        steps;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge registry (label "alloc_words_per_step"))
+        words_per_step;
+      Printf.printf "%-4d %12.3f %11.3f %7.1fx %12d %16.6f\n" n idx_s ker_s
+        (idx_s /. ker_s) steps words_per_step;
+      (* Bytecode boxes every float, so the zero-allocation claim is only
+         a native-code property — exactly like the unit test asserts. *)
+      if Sys.backend_type = Sys.Native && alloc_words <> 0. then begin
+        Printf.printf
+          "FAIL: kernel enumeration allocated %.0f minor words (want 0)\n"
+          alloc_words;
+        incr failures
+      end)
+    sizes;
+  Format.printf "%a" Obs.Metrics.pp (Obs.Metrics.snapshot registry);
+  if !failures > 0 then exit 1
 
 (* F10: the estimator seam made visible — one row per registered
    estimator over the Section 8 workload, straight from
@@ -394,7 +531,7 @@ let () =
       ("s5", run_s5); ("s6", run_s6); ("f1", run_f1); ("f2", run_f2);
       ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
       ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("f11", run_f11);
-      ("micro", run_micro);
+      ("f12", run_f12); ("micro", run_micro);
     ]
   in
   List.iter (fun (id, run) -> if wants id then run ()) experiments;

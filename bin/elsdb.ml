@@ -369,13 +369,26 @@ let explain_cmd =
     let deriv = Obs.Derivation.create () in
     let profile = choice.Optimizer.profile in
     Els.Profile.set_derivation profile (Some deriv);
-    (match choice.Optimizer.join_order with
-    | [] -> ()
-    | order ->
-      ignore
-        (Obs.Trace.with_span tracer "derive" @@ fun () ->
-         Els.Incremental.estimate_order profile order));
-    Els.Profile.set_derivation profile None;
+    (* The replay can raise (a guard trip under Trap strictness replays
+       differently than the optimizer's guarded pass, a budget-degraded
+       plan can carry a partial order): always detach the sink — a profile
+       left wearing it would record every later estimation step — and
+       still print whatever partial card was captured before the trip. *)
+    (match
+       Fun.protect
+         ~finally:(fun () -> Els.Profile.set_derivation profile None)
+         (fun () ->
+           match choice.Optimizer.join_order with
+           | [] -> ()
+           | order ->
+             ignore
+               (Obs.Trace.with_span tracer "derive" @@ fun () ->
+                Els.Incremental.estimate_order profile order))
+     with
+    | () -> ()
+    | exception Els.Els_error.Error e ->
+      Format.printf "derivation replay stopped: %s@."
+        (Els.Els_error.to_string e));
     Format.printf "%a" Obs.Derivation.pp_card deriv;
     Option.iter
       (fun m ->

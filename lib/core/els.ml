@@ -8,9 +8,14 @@ module Selectivity = Selectivity
 module Incremental = Incremental
 module Els_error = Els_error
 module Guard = Guard
+module Kernel = Kernel
 
-let prepare ?memoize ?trace config db query =
-  Profile.build ?memoize ?trace config db query
+let prepare ?memoize ?kernel ?trace config db query =
+  let profile = Profile.build ?memoize ?kernel ?trace config db query in
+  (* Pay kernel compilation here, once per prepared query, rather than on
+     the first estimation step. *)
+  ignore (Profile.kernel profile : Kernel.t option);
+  profile
 
 let estimate config db query order =
   Incremental.final_size (prepare config db query) order
@@ -19,8 +24,16 @@ let intermediate_sizes config db query order =
   Incremental.history
     (Incremental.estimate_order (prepare config db query) order)
 
-let prepare_result ?memoize ?trace config db query =
-  Profile.build_result ?memoize ?trace config db query
+let prepare_result ?memoize ?kernel ?trace config db query =
+  match Profile.build_result ?memoize ?kernel ?trace config db query with
+  | Ok profile -> begin
+    (* Compilation evaluates every join selectivity, so under [Strict] a
+       guard breach can surface here — reify it like [build_result] does. *)
+    match Profile.kernel profile with
+    | _ -> Ok profile
+    | exception Els_error.Error e -> Error e
+  end
+  | Error _ as e -> e
 
 (* Reify everything the pipeline can throw at the API boundary; the inner
    code still uses exceptions freely. *)

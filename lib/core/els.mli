@@ -24,15 +24,24 @@ module Selectivity = Selectivity
 module Incremental = Incremental
 module Els_error = Els_error
 module Guard = Guard
+module Kernel = Kernel
 
 val prepare :
-  ?memoize:bool -> ?trace:Obs.Trace.t -> Config.t -> Catalog.Db.t -> Query.t ->
+  ?memoize:bool ->
+  ?kernel:bool ->
+  ?trace:Obs.Trace.t ->
+  Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
   Profile.t
 (** The preliminary phase (steps 1–5): dedup, closure, equivalence classes,
     local-predicate effects, single-table handling, the hot-path predicate
-    indexes and everything join selectivities need. Alias of
-    {!Profile.build}; [memoize] (default [true]) controls the profile's
-    selectivity caches, [trace] records "profile"/"validate" spans. *)
+    indexes and everything join selectivities need. {!Profile.build}, plus
+    eager compilation of the profile's estimation {!Kernel} so enumeration
+    never pays it mid-plan; [kernel:false] pins the profile to the
+    interpreted path (the differential baseline). [memoize] (default
+    [true]) controls the profile's selectivity caches, [trace] records
+    "profile"/"validate" spans. *)
 
 val estimate : Config.t -> Catalog.Db.t -> Query.t -> string list -> float
 (** One-shot: prepare and estimate the final join result size along the
@@ -54,12 +63,14 @@ val intermediate_sizes :
 
 val prepare_result :
   ?memoize:bool ->
+  ?kernel:bool ->
   ?trace:Obs.Trace.t ->
   Config.t ->
   Catalog.Db.t ->
   Query.t ->
   (Profile.t, Els_error.t) result
-(** Alias of {!Profile.build_result}. *)
+(** {!Profile.build_result} plus eager kernel compilation; a [Strict]-mode
+    guard breach during compilation is reified like any build failure. *)
 
 val estimate_result :
   Config.t ->

@@ -69,12 +69,21 @@ let class_groups profile ids =
         rest
     then [ ids ]
     else begin
+      (* Keyed by [Cref.equal] (with the [==] fast path), never by the
+         polymorphic [List.assoc_opt]: if [Cref.t] ever grows a field
+         where structural (=) diverges from [Cref.equal], a polymorphic
+         lookup would silently split one equivalence class in two and
+         apply its selectivity twice. *)
       let groups = ref [] in
       List.iter
         (fun id ->
           let r = (Profile.pred profile id).Profile.root in
-          match List.assoc_opt r !groups with
-          | Some members -> members := id :: !members
+          match
+            List.find_opt
+              (fun (r', _) -> r' == r || Query.Cref.equal r' r)
+              !groups
+          with
+          | Some (_, members) -> members := id :: !members
           | None -> groups := (r, ref [ id ]) :: !groups)
         ids;
       List.rev_map (fun (_, members) -> List.rev !members) !groups
@@ -87,7 +96,9 @@ let selectivity_of_ids profile ids =
 
 let step_selectivity profile state name =
   let bit = Profile.table_bit profile name in
-  selectivity_of_ids profile (eligible_ids profile state.mask bit)
+  match Profile.kernel profile with
+  | Some k -> Kernel.step_selectivity k ~mask:state.mask ~bit
+  | None -> selectivity_of_ids profile (eligible_ids profile state.mask bit)
 
 (* Join predicate ids bridging the two (disjoint) masks: one pass over the
    join predicates with O(1) endpoint tests. *)
@@ -204,26 +215,42 @@ let join_states profile s1 s2 =
       (Printf.sprintf "Incremental.join_states: %s on both sides"
          (Profile.table_name profile (first_bit 0)))
   end;
-  let ids = eligible_ids_between profile s1.mask s2.mask in
-  let s = selectivity_of_ids profile ids in
-  let size =
-    Guard.cardinality profile.Profile.guard ~site:"Incremental.join_states"
-      ~upper:(s1.size *. s2.size)
-      (capped_size profile ~bridged:(ids <> []) ~left_rows:s1.size
-         ~right_rows:s2.size
-         (s1.size *. s2.size *. s))
-  in
-  (match Profile.derivation profile with
-  | Some sink ->
-    record_step profile
-      ~index:(List.length s1.rev_history + List.length s2.rev_history)
-      ~table:"⋈" ~left_rows:s1.size ~right_rows:s2.size ~ids ~output:size sink
-  | None -> ());
-  {
-    mask = s1.mask lor s2.mask;
-    size;
-    rev_history = size :: List.append s2.rev_history s1.rev_history;
-  }
+  (* The kernel path can serve any step no sink wants to observe; with a
+     sink attached the interpreted path runs (recording per-step
+     provenance) and produces bit-identical numbers. *)
+  match (Profile.derivation profile, Profile.kernel profile) with
+  | None, Some k ->
+    let size =
+      Kernel.join_size k ~mask1:s1.mask ~mask2:s2.mask ~size1:s1.size
+        ~size2:s2.size
+    in
+    {
+      mask = s1.mask lor s2.mask;
+      size;
+      rev_history = size :: List.append s2.rev_history s1.rev_history;
+    }
+  | (Some _ | None), _ ->
+    let ids = eligible_ids_between profile s1.mask s2.mask in
+    let s = selectivity_of_ids profile ids in
+    let size =
+      Guard.cardinality profile.Profile.guard ~site:"Incremental.join_states"
+        ~upper:(s1.size *. s2.size)
+        (capped_size profile ~bridged:(ids <> []) ~left_rows:s1.size
+           ~right_rows:s2.size
+           (s1.size *. s2.size *. s))
+    in
+    (match Profile.derivation profile with
+    | Some sink ->
+      record_step profile
+        ~index:(List.length s1.rev_history + List.length s2.rev_history)
+        ~table:"⋈" ~left_rows:s1.size ~right_rows:s2.size ~ids ~output:size
+        sink
+    | None -> ());
+    {
+      mask = s1.mask lor s2.mask;
+      size;
+      rev_history = size :: List.append s2.rev_history s1.rev_history;
+    }
 
 let extend profile state name =
   let bit = Profile.table_bit profile name in
@@ -231,30 +258,39 @@ let extend profile state name =
     invalid_arg
       (Printf.sprintf "Incremental.extend: %s already joined"
          (Profile.normalize name));
-  let table = Profile.table_at profile bit in
-  let ids = eligible_ids profile state.mask bit in
-  let s = selectivity_of_ids profile ids in
-  let size =
-    (* S ≤ 1, so a step can never exceed the cartesian bound of the two
-       inputs. *)
-    Guard.cardinality profile.Profile.guard ~site:"Incremental.extend"
-      ~upper:(state.size *. table.Profile.rows)
-      (capped_size profile ~bridged:(ids <> []) ~left_rows:state.size
-         ~right_rows:table.Profile.rows
-         (state.size *. table.Profile.rows *. s))
-  in
-  (match Profile.derivation profile with
-  | Some sink ->
-    record_step profile
-      ~index:(List.length state.rev_history)
-      ~table:table.Profile.name ~left_rows:state.size
-      ~right_rows:table.Profile.rows ~ids ~output:size sink
-  | None -> ());
-  {
-    mask = state.mask lor (1 lsl bit);
-    size;
-    rev_history = size :: state.rev_history;
-  }
+  match (Profile.derivation profile, Profile.kernel profile) with
+  | None, Some k ->
+    let size = Kernel.extend_size k ~mask:state.mask ~bit ~size:state.size in
+    {
+      mask = state.mask lor (1 lsl bit);
+      size;
+      rev_history = size :: state.rev_history;
+    }
+  | (Some _ | None), _ ->
+    let table = Profile.table_at profile bit in
+    let ids = eligible_ids profile state.mask bit in
+    let s = selectivity_of_ids profile ids in
+    let size =
+      (* S ≤ 1, so a step can never exceed the cartesian bound of the two
+         inputs. *)
+      Guard.cardinality profile.Profile.guard ~site:"Incremental.extend"
+        ~upper:(state.size *. table.Profile.rows)
+        (capped_size profile ~bridged:(ids <> []) ~left_rows:state.size
+           ~right_rows:table.Profile.rows
+           (state.size *. table.Profile.rows *. s))
+    in
+    (match Profile.derivation profile with
+    | Some sink ->
+      record_step profile
+        ~index:(List.length state.rev_history)
+        ~table:table.Profile.name ~left_rows:state.size
+        ~right_rows:table.Profile.rows ~ids ~output:size sink
+    | None -> ());
+    {
+      mask = state.mask lor (1 lsl bit);
+      size;
+      rev_history = size :: state.rev_history;
+    }
 
 let estimate_order profile order =
   match order with

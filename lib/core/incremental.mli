@@ -21,9 +21,17 @@
     state carries the joined set as an int bitset over the profile's
     canonical table → bit mapping, eligibility is an O(degree) probe of the
     profile's per-table predicate index, and per-class selectivities come
-    from the profile's memo caches. The pre-index list-scan implementation
-    is kept as {!eligible_scan}/{!step_selectivity_scan} for differential
-    tests and benchmarking. *)
+    from the profile's memo caches.
+
+    Three implementation tiers produce bit-identical numbers and serve as
+    each other's differential baselines: when the profile carries a
+    compiled {!Kernel} (the default; see {!Profile.kernel}),
+    {!step_selectivity}/{!extend}/{!join_states} dispatch to its
+    allocation-free step engine whenever no derivation sink is attached;
+    otherwise they run the indexed interpreter below; and the pre-index
+    list-scan implementation is kept as
+    {!eligible_scan}/{!step_selectivity_scan} for differential tests and
+    benchmarking. *)
 
 type state = {
   mask : int;

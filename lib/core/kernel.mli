@@ -1,0 +1,118 @@
+(** Compiled, allocation-free estimation kernels.
+
+    A prepared query's step-6 inner loop (see {!Incremental}) interprets
+    predicate and class structures on every DP expansion: eligible-id
+    lists, per-class assoc grouping, polymorphic estimator dispatch and
+    memo-cache probes. Following the compile-don't-interpret idiom (a
+    policy compiler flattening structure into flow tables), a kernel
+    lowers everything the step loop needs into flat int/float arrays once,
+    at {!Els.prepare} time:
+
+    - class roots interned as dense int ids — no [Cref.t] keys anywhere in
+      the step loop;
+    - per-table join-predicate adjacency in CSR layout, each slot carrying
+      the precomputed bitmask of the predicate's {e other} endpoint;
+    - per-predicate join selectivities in one float array (guard-clamped
+      at compile, exactly as the memoized path produces them);
+    - the estimator's [combine]/[cap] resolved to monomorphic cases over
+      those arrays ({!combine}, {!cap}).
+
+    Steps then run with {e zero minor-heap allocation}: class accumulation
+    uses stamped scratch arrays owned by the kernel, guard checks are
+    inlined on the in-range path, and the [*_into] entry points keep every
+    float inside one frame (no boxed returns). Only invariant {e breaches}
+    leave the fast path, calling the shared {!Guard} so error messages,
+    strictness semantics and violation counters stay identical to the
+    interpreted path.
+
+    Every number a kernel produces is bit-identical to the indexed
+    interpreter in {!Incremental} (same fold shapes, same guard sites,
+    same IEEE evaluation order) — enforced by the golden hex-float
+    captures and the kernel=indexed=scan QCheck differentials.
+
+    Kernels are compiled by {!Profile.kernel}; this module only owns the
+    data layout and the step engine, so it stays independent of profile
+    construction. A kernel is single-threaded scratch state: share the
+    profile across domains, not the kernel. *)
+
+(** How one equivalence class combines its eligible selectivities —
+    {!Estimator.t.combine} resolved to a monomorphic case. *)
+type combine =
+  | Product  (** Rule M: multiply every selectivity *)
+  | Smallest  (** Rule SS: NaN-propagating minimum *)
+  | Largest  (** Rule LS: NaN-propagating maximum *)
+  | Unit  (** classes contribute 1 (PESS: the bound lives in the cap) *)
+
+(** Per-step cardinality cap — {!Estimator.t.cap} resolved. *)
+type cap =
+  | No_cap
+  | Min_rows  (** pessimistic degree-1 bound: min(‖R1‖′, ‖R2‖′) *)
+
+type t
+
+val make :
+  rows:float array ->
+  adj_off:int array ->
+  adj_pred:int array ->
+  adj_other_mask:int array ->
+  pred_sel:float array ->
+  pred_class:int array ->
+  pred_mask_a:int array ->
+  pred_mask_b:int array ->
+  n_classes:int ->
+  combine:combine ->
+  cap:cap ->
+  guard:Guard.t ->
+  t
+(** Assemble a kernel from compiled arrays (normally via
+    {!Profile.kernel}, not directly):
+    [rows.(bit)] is table [bit]'s effective cardinality ‖R‖′;
+    [adj_off]/[adj_pred]/[adj_other_mask] is the CSR adjacency — table
+    [bit]'s join predicates are slots [adj_off.(bit) .. adj_off.(bit+1)-1]
+    in working-conjunction order, [adj_pred] the dense predicate index,
+    [adj_other_mask] the bitmask of the predicate's other endpoint;
+    [pred_sel]/[pred_class]/[pred_mask_a]/[pred_mask_b] are per-predicate
+    (dense index, ascending conjunction order).
+    @raise Invalid_argument on inconsistent array lengths. *)
+
+val table_count : t -> int
+val table_rows : t -> int -> float
+(** ‖R‖′ of the table at the given bit. *)
+
+val steps : t -> int
+(** Estimation steps executed through this kernel so far (extends, joins
+    and step-selectivity probes) — the denominator of the
+    allocations-per-step metric F12 and {!Harness.Obs_report} publish. *)
+
+val connected : t -> mask:int -> bit:int -> bool
+(** Does any join predicate link table [bit] to the tables of [mask]?
+    O(degree), allocation-free. *)
+
+val step_selectivity : t -> mask:int -> bit:int -> float
+(** Combined selectivity of joining table [bit] into the intermediate
+    result [mask]: per-class accumulation in first-occurrence order,
+    classes multiplied together — bit-identical to
+    {!Incremental.step_selectivity}. *)
+
+val extend_size : t -> mask:int -> bit:int -> size:float -> float
+(** Output cardinality of joining table [bit] into an intermediate result
+    of [size] rows over [mask]: [size × ‖R‖′ × ∏ S_class], capped on
+    predicate-connected steps, guarded against the cartesian upper bound
+    (same sites and semantics as {!Incremental.extend}). *)
+
+val join_size :
+  t -> mask1:int -> mask2:int -> size1:float -> size2:float -> float
+(** {!extend_size} generalized to two intermediate results (bushy joins):
+    one combined selectivity per class among the predicates bridging the
+    two (disjoint) masks. Bit-identical to {!Incremental.join_states}. *)
+
+val start_into : t -> sizes:float array -> bit:int -> unit
+(** [sizes.(1 lsl bit) <- ‖R‖′] — seed one single-table state of a DP
+    size table indexed by mask. Allocation-free. *)
+
+val extend_into : t -> sizes:float array -> mask:int -> bit:int -> unit
+(** [sizes.(mask lor (1 lsl bit)) <- extend_size ~mask ~bit
+    ~size:sizes.(mask)], with every float kept inside the call frame — the
+    zero-allocation DP entry point (measured, not assumed: the F12
+    experiment and the kernel test suite assert a 0 [Gc.minor_words]
+    delta per step after warmup). *)

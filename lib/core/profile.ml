@@ -44,6 +44,12 @@ type index = {
   local_preds_by_table : Predicate.t list array;
 }
 
+type kernel_slot =
+  | Kernel_unbuilt
+  | Kernel_disabled
+  | Kernel_unsupported
+  | Kernel_ready of Kernel.t
+
 type t = {
   config : Config.t;
   predicates : Predicate.t list;
@@ -57,6 +63,7 @@ type t = {
   guard : Guard.t;
   validation : Catalog.Validate.issue list;
   mutable deriv : Obs.Derivation.t option;
+  mutable kernel : kernel_slot;
 }
 
 (* Hot-path friendly: names are almost always lowercase already, so avoid
@@ -409,7 +416,7 @@ let build_index classes tables working =
     local_preds_by_table = Array.map List.rev local_rev;
   }
 
-let build ?(memoize = true) ?trace config db query =
+let build ?(memoize = true) ?(kernel = true) ?trace config db query =
   Obs.Trace.with_span trace "profile" @@ fun () ->
   let deduped = Predicate.Set.elements (Predicate.Set.of_list query.Query.predicates) in
   let working =
@@ -456,10 +463,11 @@ let build ?(memoize = true) ?trace config db query =
     guard;
     validation = List.rev !issues;
     deriv = None;
+    kernel = (if kernel then Kernel_unbuilt else Kernel_disabled);
   }
 
-let build_result ?memoize ?trace config db query =
-  match build ?memoize ?trace config db query with
+let build_result ?memoize ?kernel ?trace config db query =
+  match build ?memoize ?kernel ?trace config db query with
   | profile -> Ok profile
   | exception Els_error.Error e -> Error e
   | exception Invalid_argument msg ->
@@ -535,7 +543,19 @@ let join_selectivity t id =
 
 let group_cache_limit = 4096
 let estimator t = t.config.Config.estimator
-let with_estimator e t = { t with config = Config.with_estimator e t.config }
+
+let with_estimator e t =
+  {
+    t with
+    config = Config.with_estimator e t.config;
+    (* The compiled kernel bakes in the estimator's combine/cap, so the
+       swapped copy must recompile lazily — but an explicit opt-out
+       ([build ~kernel:false]) survives the swap. *)
+    kernel =
+      (match t.kernel with
+      | Kernel_disabled -> Kernel_disabled
+      | Kernel_unbuilt | Kernel_unsupported | Kernel_ready _ -> Kernel_unbuilt);
+  }
 
 let class_selectivity t ids =
   let est = estimator t in
@@ -564,3 +584,109 @@ let class_selectivity t ids =
         Hashtbl.add t.group_cache key s;
       s
   end
+
+(* --- kernel compilation -------------------------------------------------
+
+   Lowering a profile to a [Kernel.t]: the estimator's combine/cap resolved
+   to monomorphic cases, class roots interned as dense ids, the per-table
+   adjacency re-laid out as CSR int arrays with precomputed other-endpoint
+   bitmasks, and every join selectivity evaluated once into a float array.
+   Selectivities go through the same memoized [join_selectivity], so guard
+   semantics and violation accounting match a first interpreted pass. *)
+
+(* Only the four built-in rules have a monomorphic lowering; a custom
+   estimator's [combine] closure is arbitrary OCaml, so profiles carrying
+   one fall back to the interpreted path. Physical equality is the right
+   test: registry entries are shared records, and any re-made record could
+   carry a different closure under the same id. *)
+let kernel_kind est =
+  if est == Estimator.m then Some (Kernel.Product, Kernel.No_cap)
+  else if est == Estimator.ss then Some (Kernel.Smallest, Kernel.No_cap)
+  else if est == Estimator.ls then Some (Kernel.Largest, Kernel.No_cap)
+  else if est == Estimator.pess then Some (Kernel.Unit, Kernel.Min_rows)
+  else None
+
+let compile_kernel t =
+  match kernel_kind (estimator t) with
+  | None -> None
+  | Some (combine, cap) ->
+    let index = t.index in
+    let n = Array.length index.table_names in
+    let jids = index.join_pred_ids in
+    let n_preds = Array.length jids in
+    (* Predicate id -> dense position in [jids] (ascending conjunction
+       order, the kernel's canonical predicate order). *)
+    let jpos = Array.make (Array.length index.pred_infos) (-1) in
+    Array.iteri (fun j id -> jpos.(id) <- j) jids;
+    let rows = Array.init n (fun bit -> index.profiles.(bit).rows) in
+    let pred_sel = Array.map (fun id -> join_selectivity t id) jids in
+    (* Intern class roots in first-occurrence order of the ascending
+       predicate scan — the order [Incremental.class_groups] discovers
+       them in. Lookup is [Cref.equal]-keyed, never polymorphic. *)
+    let roots = ref [] in
+    let n_classes = ref 0 in
+    let class_of root =
+      match List.find_opt (fun (r, _) -> Cref.equal r root) !roots with
+      | Some (_, c) -> c
+      | None ->
+        let c = !n_classes in
+        roots := (root, c) :: !roots;
+        incr n_classes;
+        c
+    in
+    let pred_class =
+      Array.map (fun id -> class_of index.pred_infos.(id).root) jids
+    in
+    let pred_mask_a = Array.make n_preds 0 in
+    let pred_mask_b = Array.make n_preds 0 in
+    Array.iteri
+      (fun j id ->
+        match index.pred_infos.(id).endpoints with
+        | Some (a, b) ->
+          pred_mask_a.(j) <- 1 lsl a;
+          pred_mask_b.(j) <- 1 lsl b
+        | None -> assert false (* [join_pred_ids] only holds joins *))
+      jids;
+    (* CSR re-layout of [join_preds_by_table], same per-table order. *)
+    let adj_off = Array.make (n + 1) 0 in
+    for bit = 0 to n - 1 do
+      adj_off.(bit + 1) <-
+        adj_off.(bit) + Array.length index.join_preds_by_table.(bit)
+    done;
+    let adj_pred = Array.make adj_off.(n) 0 in
+    let adj_other_mask = Array.make adj_off.(n) 0 in
+    for bit = 0 to n - 1 do
+      Array.iteri
+        (fun i id ->
+          let slot = adj_off.(bit) + i in
+          adj_pred.(slot) <- jpos.(id);
+          match index.pred_infos.(id).endpoints with
+          | Some (a, b) ->
+            let other = if a = bit then b else a in
+            adj_other_mask.(slot) <- 1 lsl other
+          | None -> assert false)
+        index.join_preds_by_table.(bit)
+    done;
+    Some
+      (Kernel.make ~rows ~adj_off ~adj_pred ~adj_other_mask ~pred_sel
+         ~pred_class ~pred_mask_a ~pred_mask_b ~n_classes:!n_classes ~combine
+         ~cap ~guard:t.guard)
+
+let kernel t =
+  match t.kernel with
+  | Kernel_ready k -> Some k
+  | Kernel_disabled | Kernel_unsupported -> None
+  | Kernel_unbuilt -> begin
+    match compile_kernel t with
+    | Some k ->
+      t.kernel <- Kernel_ready k;
+      Some k
+    | None ->
+      (* Remembered, so a custom estimator costs one registry probe, not a
+         recompile attempt per step. *)
+      t.kernel <- Kernel_unsupported;
+      None
+  end
+
+let kernel_steps t =
+  match t.kernel with Kernel_ready k -> Kernel.steps k | _ -> 0

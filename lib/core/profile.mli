@@ -85,6 +85,17 @@ type index = {
       (** bit → single-table local predicates, in conjunction order *)
 }
 
+(** Lifecycle of a profile's compiled estimation kernel (see {!Kernel}):
+    compiled lazily on first use, opted out at {!build}, or unavailable
+    because the estimator has no monomorphic lowering. *)
+type kernel_slot =
+  | Kernel_unbuilt  (** not compiled yet; {!kernel} will try *)
+  | Kernel_disabled  (** [build ~kernel:false] — interpreted path only *)
+  | Kernel_unsupported
+      (** the configured estimator is not one of the four built-in rules,
+          so its [combine] closure cannot be lowered *)
+  | Kernel_ready of Kernel.t
+
 type t = {
   config : Config.t;
   predicates : Query.Predicate.t list;
@@ -111,6 +122,9 @@ type t = {
   mutable deriv : Obs.Derivation.t option;
       (** derivation sink; when set, {!Incremental} records each
           estimation step into it (see {!set_derivation}) *)
+  mutable kernel : kernel_slot;
+      (** compiled estimation kernel; access through {!kernel}, never the
+          field (the accessor owns lazy compilation) *)
 }
 
 val normalize : string -> string
@@ -119,9 +133,18 @@ val normalize : string -> string
     mixed-case callers cannot silently miss filters or predicates. *)
 
 val build :
-  ?memoize:bool -> ?trace:Obs.Trace.t -> Config.t -> Catalog.Db.t -> Query.t -> t
+  ?memoize:bool ->
+  ?kernel:bool ->
+  ?trace:Obs.Trace.t ->
+  Config.t ->
+  Catalog.Db.t ->
+  Query.t ->
+  t
 (** [memoize] defaults to [true]; pass [false] to recompute every
     selectivity (the caches are bit-transparent — see the property tests).
+    [kernel] defaults to [true]; pass [false] to pin the profile to the
+    interpreted estimation path (the kernel is bit-transparent too — the
+    differential baselines and F12 compare the two).
     Catalog statistics of every referenced table are audited under
     [config.strictness] before use (see {!Catalog.Validate}).
     [trace] records a ["profile"] span with a ["validate"] child covering
@@ -133,6 +156,7 @@ val build :
 
 val build_result :
   ?memoize:bool ->
+  ?kernel:bool ->
   ?trace:Obs.Trace.t ->
   Config.t ->
   Catalog.Db.t ->
@@ -202,6 +226,19 @@ val guard_stats : t -> Guard.stats
 
 val validation_issues : t -> Catalog.Validate.issue list
 (** Catalog issues found while building, in table order. *)
+
+val kernel : t -> Kernel.t option
+(** The profile's compiled estimation kernel, compiling it on first call:
+    [None] when compilation is disabled ([build ~kernel:false]) or the
+    estimator has no monomorphic lowering (custom registry entries).
+    {!Incremental} dispatches to it whenever no derivation sink is
+    attached; every number it produces is bit-identical to the
+    interpreted path. *)
+
+val kernel_steps : t -> int
+(** Estimation steps executed through the compiled kernel so far (0 when
+    none is compiled) — published by {!Harness.Obs_report} next to the
+    cache counters, which the kernel path does not touch. *)
 
 val set_derivation : t -> Obs.Derivation.t option -> unit
 (** Attach (or detach, with [None]) a derivation sink. While attached,

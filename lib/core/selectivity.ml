@@ -17,12 +17,21 @@ let group_by_class profile predicates =
     | col :: _ -> Eqclass.find classes col
     | [] -> assert false
   in
+  (* [Cref.equal]-keyed (with the [==] fast path for the physically shared
+     roots [Eqclass.find] returns), matching membership tests everywhere
+     else — a polymorphic [List.assoc_opt] would silently split a class in
+     two (squaring its selectivity) if [Cref.t] ever grows a field where
+     structural (=) diverges from [Cref.equal]. *)
   let groups = ref [] in
   List.iter
     (fun p ->
       let r = root p in
-      match List.assoc_opt r !groups with
-      | Some members -> members := p :: !members
+      match
+        List.find_opt
+          (fun (r', _) -> r' == r || Query.Cref.equal r' r)
+          !groups
+      with
+      | Some (_, members) -> members := p :: !members
       | None -> groups := (r, ref [ p ]) :: !groups)
     predicates;
   List.rev_map (fun (_, members) -> List.rev !members) !groups

@@ -24,6 +24,12 @@ let absorb_profile m profile =
   c m "profile.cache.group_misses" s.Els.Profile.group_misses;
   c m "profile.cache.eligible_probes" s.Els.Profile.eligible_probes;
   c m "profile.cache.scans_avoided" s.Els.Profile.scans_avoided;
+  (* Steps served by the compiled kernel never touch the caches above:
+     published separately so "cache probes went to zero" reads as "the
+     kernel took over", not "estimation stopped". *)
+  Metrics.set_counter
+    (Metrics.counter m "profile.kernel.steps")
+    (Els.Profile.kernel_steps profile);
   absorb_guard_stats m (Els.Profile.guard_stats profile);
   absorb_validation m (Els.Profile.validation_issues profile)
 

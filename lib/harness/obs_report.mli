@@ -7,6 +7,8 @@
 
     - ["profile.cache.*"] — {!Els.Profile.cache_stats} hit/miss/probe
       counters;
+    - ["profile.kernel.steps"] — estimation steps served by the profile's
+      compiled {!Els.Kernel} (which bypasses the caches above);
     - ["guard.*"] — {!Els.Guard.stats} violations / repairs / fallbacks;
     - ["catalog.issues"], ["catalog.issue.<kind>"] —
       {!Catalog.Validate} findings per issue kind;
@@ -24,7 +26,8 @@
     is. *)
 
 val absorb_profile : Obs.Metrics.t -> Els.Profile.t -> unit
-(** Cache stats, guard stats and validation issues of one built profile. *)
+(** Cache stats, kernel step count, guard stats and validation issues of
+    one built profile. *)
 
 val absorb_guard_stats : Obs.Metrics.t -> Els.Guard.stats -> unit
 val absorb_validation : Obs.Metrics.t -> Catalog.Validate.issue list -> unit

@@ -58,10 +58,6 @@ let extend profile node table method_ eligible =
     cost;
   }
 
-let popcount mask =
-  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
-  go mask 0
-
 (* A step with no eligible equi-key and no nested loop in [methods] has no
    physical operator at all: structured refusal, never [assert false]. *)
 let no_method_error methods tables =
@@ -179,12 +175,24 @@ let optimize_traced
     | Some incumbent when incumbent.cost <= candidate.cost -> ()
     | Some _ | None -> Hashtbl.replace best mask candidate
   in
+  (* O(degree) connectivity probe for the expansion loop: the compiled
+     kernel answers without building the eligible-predicate list; without
+     one (custom estimator, [~kernel:false]) fall back to the indexed
+     probe. Both test exactly "does any join predicate bridge [bit] to
+     [mask]". *)
+  let kernel = Els.Profile.kernel profile in
+  let connects state bit =
+    match kernel with
+    | Some k ->
+      Els.Kernel.connected k ~mask:state.Els.Incremental.mask ~bit
+    | None -> Els.Incremental.eligible profile state tables.(bit) <> []
+  in
   let full = (1 lsl n) - 1 in
   (* One popcount per mask, up front: masks grouped by subset size so the
      enumeration loop never recounts bits. *)
   let by_size = Array.make (n + 1) [] in
   for mask = full downto 1 do
-    let size = popcount mask in
+    let size = Rel.Bits.popcount mask in
     by_size.(size) <- mask :: by_size.(size)
   done;
   (* Highest subset size whose [best] entries are final. Entries of size
@@ -208,25 +216,27 @@ let optimize_traced
           match Hashtbl.find_opt best mask with
           | None -> ()
           | Some node ->
-            (* Which absent tables connect to the subset via join preds? *)
-            let extensions =
-              List.filter_map
-                (fun i ->
-                  if mask land (1 lsl i) <> 0 then None
-                  else
-                    let table = tables.(i) in
-                    let eligible =
-                      Els.Incremental.eligible profile node.state table
-                    in
-                    Some (i, table, eligible))
-                (List.init n Fun.id)
-            in
-            let connected =
-              List.filter (fun (_, _, e) -> e <> []) extensions
-            in
-            let usable = if connected <> [] then connected else extensions in
-            List.iter
-              (fun (i, table, eligible) ->
+            (* Prefer predicate-connected extensions: cartesian steps are
+               considered only when no absent table connects at all. Two
+               plain passes over the bits — no [List.init n Fun.id], no
+               per-node extension list. *)
+            let any_connected = ref false in
+            for i = 0 to n - 1 do
+              if
+                (not !any_connected)
+                && mask land (1 lsl i) = 0
+                && connects node.state i
+              then any_connected := true
+            done;
+            for i = 0 to n - 1 do
+              if
+                mask land (1 lsl i) = 0
+                && ((not !any_connected) || connects node.state i)
+              then begin
+                let table = tables.(i) in
+                let eligible =
+                  Els.Incremental.eligible profile node.state table
+                in
                 List.iter
                   (fun method_ ->
                     (* Sort-merge and hash need at least one equi-key. *)
@@ -236,8 +246,9 @@ let optimize_traced
                         (mask lor (1 lsl i))
                         (extend profile node table method_ eligible)
                     end)
-                  methods)
-              usable)
+                  methods
+              end
+            done)
         by_size.(size);
       completed_size := size + 1
     done

@@ -1,0 +1,11 @@
+(** Bit-twiddling helpers for the int bitsets the optimizer and the
+    estimation kernels use as table sets.
+
+    One shared implementation replaces the hand-rolled per-bit popcount
+    loops that used to live in [Dp], the benchmark harness and the
+    DP-enumeration experiments. *)
+
+val popcount : int -> int
+(** Number of set bits of a {e non-negative} int (Kernighan's loop:
+    O(set bits), not O(word size)). All bitset masks in this codebase are
+    non-negative — behaviour on negative arguments is unspecified. *)

@@ -30,5 +30,6 @@ let () =
       ("accuracy", Test_accuracy.suite);
       ("fault", Test_fault.suite);
       ("budget", Test_budget.suite);
+      ("kernel", Test_kernel.suite);
       ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,331 @@
+(* Compiled estimation kernels (Els.Kernel / Els.Profile.kernel).
+
+   Four contracts, matching the three-tier ladder documented in
+   Incremental (list-scan -> indexed -> kernel):
+
+   - every built-in estimator's prepared profile carries a kernel, and a
+     custom estimator falls back to the interpreted path (kernel = None)
+     with estimates unchanged;
+   - the kernel is bit-identical to the indexed interpreter: sizes and
+     histories agree [Float.equal] across every estimator, every join
+     order, left-deep and bushy, with and without an optimizer budget;
+   - one kernel extend step allocates exactly zero minor-heap words
+     (measured with Gc.minor_words, not assumed);
+   - equivalence-class grouping keys on [Cref.equal]: two eligible
+     predicates of one class yield one group and one combined
+     selectivity (regression for the polymorphic-assoc grouping). *)
+
+let count = 60
+let methods = [ Exec.Plan.Nested_loop; Exec.Plan.Sort_merge; Exec.Plan.Hash ]
+
+(* --- generators (mirroring test_properties.ml) --- *)
+
+type chain_spec = {
+  dims : (int * int) list; (* (distinct, multiplicity) per table *)
+  seed : int;
+}
+
+let gen_chain_spec =
+  QCheck2.Gen.(
+    let* n = int_range 2 4 in
+    let* dims = list_repeat n (pair (int_range 2 12) (int_range 1 5)) in
+    let* seed = int_range 0 10000 in
+    return { dims; seed })
+
+let print_chain_spec spec =
+  Printf.sprintf "seed=%d dims=[%s]" spec.seed
+    (String.concat "; "
+       (List.map (fun (d, m) -> Printf.sprintf "(%d,%d)" d m) spec.dims))
+
+let build_chain spec =
+  let rng = Datagen.Prng.create spec.seed in
+  let db = Catalog.Db.create () in
+  let names = List.mapi (fun i _ -> Printf.sprintf "t%d" (i + 1)) spec.dims in
+  List.iter2
+    (fun name (distinct, mult) ->
+      ignore
+        (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:name
+           ~rows:(distinct * mult)
+           [ Datagen.Tablegen.column "a" ~distinct ]))
+    names spec.dims;
+  let rec links = function
+    | a :: (b :: _ as rest) ->
+      Query.Predicate.col_eq (Query.Cref.v a "a") (Query.Cref.v b "a")
+      :: links rest
+    | [ _ ] | [] -> []
+  in
+  (db, Query.make ~tables:names (links names), names)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let has_kernel profile =
+  match Els.Profile.kernel profile with Some _ -> true | None -> false
+
+(* --- compilation coverage --- *)
+
+let test_panel_kernels_compile () =
+  let db, query, _ = build_chain { dims = [ (6, 2); (4, 3); (8, 1) ]; seed = 42 } in
+  List.iter
+    (fun config ->
+      let profile = Els.prepare config db query in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s compiles a kernel" (Els.Config.name config))
+        true (has_kernel profile);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s honors ~kernel:false" (Els.Config.name config))
+        false
+        (has_kernel (Els.prepare ~kernel:false config db query)))
+    (Els.Config.panel ())
+
+(* A custom estimator (unknown combine/cap closures) must not compile — the
+   profile estimates through the interpreted path, bit-identical to the
+   built-in it copies. *)
+let test_custom_estimator_falls_back () =
+  let db, query, names =
+    build_chain { dims = [ (9, 1); (5, 2); (7, 3) ]; seed = 11 }
+  in
+  let custom = { Els.Estimator.m with id = "custom-m"; label = "custom-M" } in
+  let profile = Els.prepare (Els.Config.of_estimator custom) db query in
+  Alcotest.(check bool) "custom estimator has no kernel" false
+    (has_kernel profile);
+  let reference =
+    Els.prepare ~kernel:false (Els.Config.of_estimator Els.Estimator.m) db query
+  in
+  List.iter
+    (fun order ->
+      Alcotest.(check bool) "interpreted fallback still estimates" true
+        (Float.equal
+           (Els.Incremental.final_size profile order)
+           (Els.Incremental.final_size reference order)))
+    (permutations names)
+
+(* --- allocation regression --- *)
+
+(* One DP-style sweep over all 2^n masks through the *_into entry points.
+   Ascending mask order propagates sizes without any submask bookkeeping,
+   and the loop itself is closure-free so the audit below charges only the
+   kernel. *)
+let sweep kernel sizes n =
+  Array.fill sizes 0 (Array.length sizes) Float.nan;
+  for bit = 0 to n - 1 do
+    Els.Kernel.start_into kernel ~sizes ~bit
+  done;
+  for mask = 1 to (1 lsl n) - 1 do
+    if not (Float.is_nan sizes.(mask)) then
+      for bit = 0 to n - 1 do
+        if
+          mask land (1 lsl bit) = 0
+          && Float.is_nan sizes.(mask lor (1 lsl bit))
+        then Els.Kernel.extend_into kernel ~sizes ~mask ~bit
+      done
+  done
+
+let test_zero_alloc_per_step () =
+  let n = 10 in
+  let chain =
+    Datagen.Workload.chain ~rows_range:(100, 300) ~distinct_range:(20, 100)
+      ~seed:7 ~n_tables:n ()
+  in
+  let profile =
+    Els.prepare Els.Config.els chain.Datagen.Workload.db
+      chain.Datagen.Workload.query
+  in
+  let kernel =
+    match Els.Profile.kernel profile with
+    | Some k -> k
+    | None -> Alcotest.fail "ELS profile did not compile a kernel"
+  in
+  let sizes = Array.make (1 lsl n) Float.nan in
+  sweep kernel sizes n (* warmup: fault in code paths before measuring *);
+  let steps0 = Els.Kernel.steps kernel in
+  (* An empty Gc.minor_words window measures the sampling overhead (the
+     boxed float the probe itself returns); the sweep must add exactly
+     nothing on top of it. *)
+  let w0 = Gc.minor_words () in
+  let w1 = Gc.minor_words () in
+  let overhead = w1 -. w0 in
+  let w2 = Gc.minor_words () in
+  sweep kernel sizes n;
+  let w3 = Gc.minor_words () in
+  let allocated = w3 -. w2 -. overhead in
+  let steps = Els.Kernel.steps kernel - steps0 in
+  (* Every mask with >= 2 tables is extended into exactly once. *)
+  Alcotest.(check int) "extend steps per sweep" ((1 lsl n) - 1 - n) steps;
+  Alcotest.(check bool) "full join reached" true
+    (not (Float.is_nan sizes.((1 lsl n) - 1)));
+  match Sys.backend_type with
+  | Sys.Native ->
+    if allocated <> 0. then
+      Alcotest.failf "kernel sweep allocated %.0f minor words over %d steps"
+        allocated steps
+  | Sys.Bytecode | Sys.Other _ -> () (* bytecode boxes every float *)
+
+(* --- differential properties --- *)
+
+let split k l =
+  (List.filteri (fun i _ -> i < k) l, List.filteri (fun i _ -> i >= k) l)
+
+(* Bushy probe: bridge the two halves of the order with join_states. *)
+let bushy_size profile order =
+  match order with
+  | _ :: _ :: _ ->
+    let left, right = split (List.length order / 2) order in
+    (Els.Incremental.join_states profile
+       (Els.Incremental.estimate_order profile left)
+       (Els.Incremental.estimate_order profile right))
+      .Els.Incremental.size
+  | _ -> 1.
+
+let prop_kernel_matches_indexed =
+  QCheck2.Test.make ~count
+    ~name:"kernel = indexed interpreter (all estimators, all orders)"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, names = build_chain spec in
+      List.for_all
+        (fun config ->
+          let kprofile = Els.prepare config db query in
+          let iprofile = Els.prepare ~kernel:false config db query in
+          has_kernel kprofile
+          && (not (has_kernel iprofile))
+          && List.for_all
+               (fun order ->
+                 let a = Els.Incremental.estimate_order kprofile order in
+                 let b = Els.Incremental.estimate_order iprofile order in
+                 Float.equal a.Els.Incremental.size b.Els.Incremental.size
+                 && List.for_all2 Float.equal (Els.Incremental.history a)
+                      (Els.Incremental.history b)
+                 && Float.equal
+                      (bushy_size kprofile order)
+                      (bushy_size iprofile order))
+               (permutations names))
+        (Els.Config.panel ()))
+
+(* The DP enumerator's kernel connectivity probe must not perturb budget
+   accounting: with the same node budget, kernel and indexed profiles
+   charge the same expansions in the same order and land on the same
+   ladder rung with the same plan — for tiny, mid-sized and effectively
+   unlimited budgets, and with no budget at all. *)
+let prop_kernel_budget_identity =
+  QCheck2.Test.make ~count:40
+    ~name:"budgeted DP identical on kernel and indexed profiles"
+    ~print:print_chain_spec gen_chain_spec (fun spec ->
+      let db, query, _ = build_chain spec in
+      let kprofile = Els.prepare Els.Config.els db query in
+      let iprofile = Els.prepare ~kernel:false Els.Config.els db query in
+      let agree (a : Optimizer.Dp.node) (b : Optimizer.Dp.node) =
+        Float.equal a.Optimizer.Dp.cost b.Optimizer.Dp.cost
+        && Exec.Plan.join_order a.Optimizer.Dp.plan
+           = Exec.Plan.join_order b.Optimizer.Dp.plan
+        && List.for_all2 Float.equal
+             (Els.Incremental.history a.Optimizer.Dp.state)
+             (Els.Incremental.history b.Optimizer.Dp.state)
+      in
+      agree
+        (Optimizer.Dp.optimize ~methods kprofile query)
+        (Optimizer.Dp.optimize ~methods iprofile query)
+      && List.for_all
+           (fun node_budget ->
+             let run profile =
+               let budget = Rel.Budget.create ~node_budget () in
+               Optimizer.Dp.optimize_traced ~methods ~budget profile query
+             in
+             let kn, kprov = run kprofile in
+             let inode, iprov = run iprofile in
+             agree kn inode
+             && kprov.Optimizer.Provenance.rung
+                = iprov.Optimizer.Provenance.rung
+             && kprov.Optimizer.Provenance.expansions
+                = iprov.Optimizer.Provenance.expansions)
+           [ 3; 25; 10_000_000 ])
+
+(* --- one-selectivity-per-class regression --- *)
+
+(* Triangle query: joining t3 into {t1, t2} has two eligible predicates in
+   ONE equivalence class. The grouping must key on Cref.equal and produce a
+   single group, so the estimator combines the two selectivities once
+   (min/max/product of both) instead of multiplying two singleton groups —
+   the failure mode of the old polymorphic-assoc grouping, observable for
+   every non-multiplicative rule. *)
+let build_triangle () =
+  let rng = Datagen.Prng.create 23 in
+  let db = Catalog.Db.create () in
+  List.iter
+    (fun (name, distinct, mult) ->
+      ignore
+        (Datagen.Tablegen.register (Datagen.Prng.split rng) db ~table:name
+           ~rows:(distinct * mult)
+           [ Datagen.Tablegen.column "a" ~distinct ]))
+    [ ("t1", 8, 2); ("t2", 5, 3); ("t3", 11, 1) ];
+  let link a b =
+    Query.Predicate.col_eq (Query.Cref.v a "a") (Query.Cref.v b "a")
+  in
+  ( db,
+    Query.make
+      ~tables:[ "t1"; "t2"; "t3" ]
+      [ link "t1" "t2"; link "t2" "t3"; link "t1" "t3" ] )
+
+let test_one_selectivity_per_class () =
+  let db, query = build_triangle () in
+  List.iter
+    (fun config ->
+      let name = Els.Config.name config in
+      let profile = Els.prepare ~kernel:false config db query in
+      let state =
+        Els.Incremental.extend profile
+          (Els.Incremental.start profile "t1")
+          "t2"
+      in
+      let eligible = Els.Incremental.eligible profile state "t3" in
+      Alcotest.(check int)
+        (name ^ ": two predicates reach t3")
+        2 (List.length eligible);
+      let groups = Els.Selectivity.group_by_class profile eligible in
+      Alcotest.(check (list int))
+        (name ^ ": one class, both members")
+        [ 2 ]
+        (List.map List.length groups);
+      (* The step selectivity is the estimator's single combination of the
+         class's two selectivities... *)
+      let expected =
+        config.Els.Config.estimator.Els.Estimator.combine
+          (List.map (Els.Selectivity.join profile) eligible)
+      in
+      Alcotest.(check bool)
+        (name ^ ": combined once per class")
+        true
+        (Float.equal expected
+           (Els.Incremental.step_selectivity profile state "t3"));
+      (* ...and the kernel agrees with the interpreter on it. *)
+      let kprofile = Els.prepare config db query in
+      let kstate =
+        Els.Incremental.extend kprofile
+          (Els.Incremental.start kprofile "t1")
+          "t2"
+      in
+      Alcotest.(check bool)
+        (name ^ ": kernel agrees")
+        true
+        (Float.equal expected
+           (Els.Incremental.step_selectivity kprofile kstate "t3")))
+    (Els.Config.panel ())
+
+let suite =
+  [
+    Alcotest.test_case "kernel: panel estimators compile" `Quick
+      test_panel_kernels_compile;
+    Alcotest.test_case "kernel: custom estimator falls back" `Quick
+      test_custom_estimator_falls_back;
+    Alcotest.test_case "kernel: zero minor words per extend step" `Quick
+      test_zero_alloc_per_step;
+    Alcotest.test_case "kernel: one selectivity per class" `Quick
+      test_one_selectivity_per_class;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_kernel_matches_indexed; prop_kernel_budget_identity ]
