@@ -22,6 +22,8 @@
      F12 — compiled estimation kernel vs interpreted indexed path on DP
            enumeration, with a Gc.minor_words allocation audit
            (supplementary)
+     F13 — catalog churn: versioned epochs, partitioned re-ANALYZE and
+           self-healing publishes under streamed deltas (supplementary)
 
    Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs).
    Passing experiment ids (e.g. `bench/main.exe f8 micro`) runs only
@@ -32,7 +34,7 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let experiment_ids =
   [
     "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
-    "f7"; "f8"; "f10"; "f11"; "f12"; "micro";
+    "f7"; "f8"; "f10"; "f11"; "f12"; "f13"; "micro";
   ]
 
 let selected =
@@ -422,6 +424,55 @@ let run_f11 () =
   let iters = if quick then 50 else 200 in
   Printf.printf "\n%s" (Harness.Soak.render (Harness.Soak.run ~iters ()))
 
+(* F13: the versioned catalog under churn. Two legs: (a) the churn soak
+   itself — epoch swaps, partitioned re-ANALYZEs, staged corruption,
+   quarantine ladder, torn-read probe for pinned readers; (b) bulk
+   ANALYZE vs merged partitioned ANALYZE over identical data — the
+   estimates the two catalogs produce for the F9 chain query must
+   agree. *)
+let run_f13 () =
+  section "F13: catalog churn — epoch snapshots and mergeable statistics";
+  let iters = if quick then 40 else 120 in
+  print_string (Harness.Churn.render (Harness.Churn.run ~iters ()));
+  let base = Harness.Fault.base_db () in
+  let query =
+    match Sqlfront.Binder.compile base Harness.Fault.default_sql with
+    | Ok q -> q
+    | Error msg -> failwith msg
+  in
+  let order = query.Query.tables in
+  let shards_of rel n =
+    let buckets = Array.make n [] in
+    List.iteri
+      (fun i t -> buckets.(i mod n) <- t :: buckets.(i mod n))
+      (Rel.Relation.to_list rel);
+    Array.to_list
+      (Array.map
+         (fun ts ->
+           Rel.Relation.of_tuples (Rel.Relation.schema rel) (List.rev ts))
+         buckets)
+  in
+  let bulk_db = Catalog.Db.create () in
+  let shard_db = Catalog.Db.create () in
+  List.iter
+    (fun (t : Catalog.Table.t) ->
+      let name = t.Catalog.Table.name in
+      let rel = Catalog.Db.relation_exn base name in
+      Catalog.Db.add bulk_db
+        (Catalog.Analyze.table ~histogram:Stats.Histogram.Equi_depth ~mcv:5
+           ~name rel);
+      Catalog.Db.add shard_db
+        (Catalog.Analyze.partitions ~histogram:Stats.Histogram.Equi_depth
+           ~mcv:5 ~name (shards_of rel 4)))
+    (Catalog.Db.tables base);
+  let est_bulk = Els.estimate Els.Config.els bulk_db query order in
+  let est_shard = Els.estimate Els.Config.els shard_db query order in
+  Printf.printf
+    "\nbulk vs 4-shard partitioned ANALYZE (F9 chain query): %.6g vs %.6g \
+     (ratio %.4f)\n"
+    est_bulk est_shard
+    (if est_bulk = 0. then Float.nan else est_shard /. est_bulk)
+
 (* --- bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 let micro_tests () =
@@ -531,7 +582,7 @@ let () =
       ("s5", run_s5); ("s6", run_s6); ("f1", run_f1); ("f2", run_f2);
       ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
       ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("f11", run_f11);
-      ("f12", run_f12); ("micro", run_micro);
+      ("f12", run_f12); ("f13", run_f13); ("micro", run_micro);
     ]
   in
   List.iter (fun (id, run) -> if wants id then run ()) experiments;

@@ -6,8 +6,10 @@
      explain    show the plan an algorithm's estimates lead to
      run        optimize, execute and report work counters
      closure    print the transitive closure of a query's predicates
+     analyze    print or audit (--check) the catalog statistics
      fault      run the fault-injection suite (experiment F9)
      soak       run the randomized soak/chaos harness (experiment F11)
+     churn      run the catalog-churn soak (experiment F13)
      check-metrics   validate a --metrics json snapshot from stdin
 
    estimate/explain/run accept --trace[=pretty|json] (hierarchical spans
@@ -465,6 +467,79 @@ let closure_cmd =
        ~doc:"Print the predicate transitive closure of a query.")
     Term.(const run $ db_arg $ sql_arg)
 
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Audit the catalog instead of printing it: list every finding \
+             and exit 2 when unrepaired findings remain (trap and strict \
+             modes); repair mode fixes what it finds and exits 0.")
+  in
+  let strictness_arg =
+    let parse s =
+      match Catalog.Validate.strictness_of_string s with
+      | Some m -> Ok m
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown mode %S (strict, repair, trap)" s))
+    in
+    let print ppf m =
+      Format.pp_print_string ppf (Catalog.Validate.strictness_name m)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Catalog.Validate.Trap
+      & info [ "strictness" ] ~docv:"MODE"
+          ~doc:
+            "Audit mode for --check: trap (report only, default), repair \
+             (fix findings, exit 0), strict (first finding aborts).")
+  in
+  let run dbspec check strictness =
+    handle_errors @@ fun () ->
+    let db, _ = dbspec in
+    if not check then
+      List.iter
+        (fun t -> Format.printf "%a@." Catalog.Table.pp t)
+        (Catalog.Db.tables db)
+    else begin
+      match Catalog.Validate.validate strictness db with
+      | Error issue ->
+        Printf.printf "finding: %s\n" (Catalog.Validate.issue_to_string issue);
+        Printf.printf "catalog audit: FAIL (strict aborts on first finding)\n";
+        exit 2
+      | Ok (_, []) -> print_endline "catalog audit: clean"
+      | Ok (_, issues) ->
+        let repaired =
+          match strictness with
+          | Catalog.Validate.Repair -> true
+          | Catalog.Validate.Strict | Catalog.Validate.Trap -> false
+        in
+        List.iter
+          (fun issue ->
+            Printf.printf "%s: %s\n"
+              (if repaired then "repaired" else "finding")
+              (Catalog.Validate.issue_to_string issue))
+          issues;
+        if repaired then
+          Printf.printf "catalog audit: %d finding(s), all repaired\n"
+            (List.length issues)
+        else begin
+          Printf.printf "catalog audit: FAIL (%d unrepaired finding(s))\n"
+            (List.length issues);
+          exit 2
+        end
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Print the catalog's per-table statistics, or audit the whole \
+          catalog with --check (exit 2 when unrepaired findings remain).")
+    Term.(const run $ db_arg $ check_arg $ strictness_arg)
+
 (* --- fault --- *)
 
 let fault_cmd =
@@ -555,8 +630,17 @@ let soak_cmd =
   let seed =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run iters deadline_ms seed =
-    let summary = Harness.Soak.run ~seed ~deadline_ms ~iters () in
+  let iter_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iter-seed" ] ~docv:"SEED"
+          ~doc:
+            "Replay exactly one iteration with this per-iteration seed (as \
+             printed in a failure's scenario line); --iters is ignored.")
+  in
+  let run iters deadline_ms seed iter_seed =
+    let summary = Harness.Soak.run ~seed ?iter_seed ~deadline_ms ~iters () in
     print_string (Harness.Soak.render summary);
     if not (Harness.Soak.pass summary) then exit 1
   in
@@ -567,7 +651,55 @@ let soak_cmd =
           catalog corruption × resource budgets, asserting no crashes, no \
           non-finite answers, deadline respect, anytime monotonicity and \
           consistent cancellation.")
-    Term.(const run $ iters $ deadline_ms $ seed)
+    Term.(const run $ iters $ deadline_ms $ seed $ iter_seed)
+
+(* --- churn --- *)
+
+let churn_cmd =
+  let iters =
+    Arg.(
+      value & opt int 60
+      & info [ "iters" ] ~docv:"N" ~doc:"Number of randomized iterations.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run iters seed metrics_fmt =
+    handle_errors @@ fun () ->
+    let metrics_mode =
+      match metrics_fmt with
+      | None -> `Off
+      | Some "text" -> `Text
+      | Some "json" -> `Json
+      | Some other ->
+        invalid_arg
+          (Printf.sprintf "unknown metrics format %S (text, json)" other)
+    in
+    let summary = Harness.Churn.run ~seed ~iters () in
+    print_string (Harness.Churn.render summary);
+    (match metrics_mode with
+    | `Off -> ()
+    | `Text ->
+      Format.printf "@.metrics:@.%a" Obs.Metrics.pp
+        summary.Harness.Churn.metrics
+    | `Json ->
+      (* Last stdout line, so the snapshot pipes straight into
+         [check-metrics]. *)
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Metrics.to_json summary.Harness.Churn.metrics)));
+    if not (Harness.Churn.pass summary) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Run the catalog-churn soak (F13): stream inserts/deletes through \
+          a versioned catalog store, re-ANALYZE in bulk and in partitions, \
+          corrupt staged statistics, and publish epochs throughout — \
+          asserting no crashes, no torn reads for pinned readers, monotone \
+          epoch ids, visible staleness disclosure and bounded drift \
+          against a fresh bulk-ANALYZE baseline.")
+    Term.(const run $ iters $ seed $ metrics_arg)
 
 (* --- check-metrics --- *)
 
@@ -681,5 +813,5 @@ let () =
        (Cmd.group info
           [
             section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd;
-            fault_cmd; soak_cmd; check_metrics_cmd;
+            analyze_cmd; fault_cmd; soak_cmd; churn_cmd; check_metrics_cmd;
           ]))

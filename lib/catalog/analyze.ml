@@ -19,4 +19,45 @@ let register ?histogram ?histogram_buckets ?mcv db ~name relation =
   Db.add db entry;
   entry
 
+let merge_tables (a : Table.t) (b : Table.t) =
+  if a.name <> b.name then
+    invalid_arg
+      (Printf.sprintf "Analyze.merge_tables: shard names differ (%s vs %s)"
+         a.name b.name);
+  let column_stats =
+    List.map
+      (fun (col, sa) ->
+        match List.assoc_opt col b.column_stats with
+        | Some sb ->
+          (col, Stats.Col_stats.merge ~rows:a.row_count sa ~rows':b.row_count sb)
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Analyze.merge_tables: shard schemas differ (column %s.%s)"
+               a.name col))
+      a.column_stats
+  in
+  Table.stats_only ~name:a.name ~schema:a.schema
+    ~row_count:(a.row_count + b.row_count) ~column_stats
+
+let partitions ?histogram ?histogram_buckets ?mcv ~name shards =
+  match shards with
+  | [] -> invalid_arg "Analyze.partitions: no shards"
+  | _ ->
+    (* Each shard is analyzed independently — this is the parallel-ANALYZE
+       entry point — and the per-shard statistics are folded with the merge
+       algebra. The fold order is immaterial up to the algebra's documented
+       tolerance (exactly so for row counts, nulls, bounds and sketches). *)
+    shards
+    |> List.map (fun shard ->
+           table ?histogram ?histogram_buckets ?mcv ~name shard)
+    |> function
+    | [ only ] ->
+      (* Freeze the same stats-only shape the merged path yields, so the
+         single-shard and many-shard results are interchangeable. *)
+      Table.stats_only ~name:only.Table.name ~schema:only.Table.schema
+        ~row_count:only.Table.row_count ~column_stats:only.Table.column_stats
+    | first :: rest -> List.fold_left merge_tables first rest
+    | [] -> assert false
+
 let validate = Validate.validate

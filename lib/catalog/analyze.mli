@@ -26,6 +26,27 @@ val register :
   Table.t
 (** Analyze and add to the catalog in one step; returns the table entry. *)
 
+val merge_tables : Table.t -> Table.t -> Table.t
+(** Combine the statistics of two disjoint shards of one table into a
+    stats-only entry: row counts add, per-column statistics merge per the
+    {!Stats.Col_stats.merge} algebra.
+    @raise Invalid_argument when names or schemas disagree. *)
+
+val partitions :
+  ?histogram:Stats.Histogram.kind ->
+  ?histogram_buckets:int ->
+  ?mcv:int ->
+  name:string ->
+  Rel.Relation.t list ->
+  Table.t
+(** Parallel-ANALYZE entry point: analyze each partition of a table
+    independently and fold the shard statistics with {!merge_tables}. The
+    result is stats-only (a merged entry carries no single stored
+    relation) and matches bulk {!table} output within the merge algebra's
+    tolerance: row counts, null counts and bounds exactly; distinct counts
+    to sketch accuracy; histogram/MCV shapes approximately.
+    @raise Invalid_argument on an empty shard list. *)
+
 val validate :
   Validate.strictness -> Db.t -> (Db.t * Validate.issue list, Validate.issue) result
 (** Audit catalog statistics for impossible numbers (d > ‖R‖, negative or

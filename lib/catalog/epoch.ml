@@ -1,0 +1,39 @@
+type t = {
+  id : int;
+  db : Db.t;
+  annotations : (string * string) list;
+}
+
+let freeze_table (tbl : Table.t) =
+  match tbl.data with
+  | None -> tbl
+  | Some _ ->
+    Table.stats_only ~name:tbl.name ~schema:tbl.schema
+      ~row_count:tbl.row_count ~column_stats:tbl.column_stats
+
+let create ~id ?(annotations = []) db =
+  let frozen = Db.create () in
+  List.iter (fun tbl -> Db.add frozen (freeze_table tbl)) (Db.tables db);
+  let annotations =
+    List.map (fun (t, note) -> (String.lowercase_ascii t, note)) annotations
+  in
+  { id; db = frozen; annotations }
+
+let id t = t.id
+let db t = t.db
+let annotations t = t.annotations
+
+let annotations_for t name =
+  let name = String.lowercase_ascii name in
+  List.filter_map
+    (fun (table, note) -> if table = name then Some note else None)
+    t.annotations
+
+let pp ppf t =
+  Format.fprintf ppf "epoch %d: %d tables%s" t.id
+    (List.length (Db.tables t.db))
+    (match t.annotations with
+    | [] -> ""
+    | notes ->
+      ", stale: "
+      ^ String.concat ", " (List.sort_uniq compare (List.map fst notes)))

@@ -1,0 +1,34 @@
+(** Immutable catalog snapshots.
+
+    An epoch is one consistent, frozen view of the whole catalog: a
+    monotone id plus a statistics-only {!Db.t} (every table stripped of
+    its stored relation, so nothing in an epoch aliases the live,
+    mutating data). {!Store} swaps a single current-epoch reference
+    atomically; a reader that pins an epoch before estimating sees the
+    same statistics for the whole estimate — and forever after — no
+    matter how many publishes happen concurrently.
+
+    Annotations carry per-table staleness notes (e.g. "serving
+    last-known-good statistics, table quarantined"); [Els.prepare_epoch]
+    threads them into the explain derivation card. *)
+
+type t
+
+val create : id:int -> ?annotations:(string * string) list -> Db.t -> t
+(** [create ~id db] freezes [db] into an epoch: every table is snapshot
+    as stats-only. [annotations] maps table names to staleness notes. *)
+
+val id : t -> int
+(** Monotone: each successful {!Store.publish} yields a strictly larger
+    id. *)
+
+val db : t -> Db.t
+(** The frozen catalog. Every table is stats-only; estimates prepared
+    against it never touch live data. *)
+
+val annotations : t -> (string * string) list
+
+val annotations_for : t -> string -> string list
+(** Staleness notes for one (lower-cased) table name; [] when fresh. *)
+
+val pp : Format.formatter -> t -> unit

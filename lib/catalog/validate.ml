@@ -19,6 +19,7 @@ type kind =
   | Stale_row_count
   | Negative_distinct
   | Distinct_exceeds_rows
+  | Distinct_drift
   | Negative_nulls
   | Invalid_bounds
   | Nan_histogram
@@ -31,6 +32,7 @@ let kind_name = function
   | Stale_row_count -> "stale-row-count"
   | Negative_distinct -> "negative-distinct"
   | Distinct_exceeds_rows -> "distinct-exceeds-rows"
+  | Distinct_drift -> "distinct-drift"
   | Negative_nulls -> "negative-nulls"
   | Invalid_bounds -> "invalid-bounds"
   | Nan_histogram -> "nan-histogram"
@@ -165,6 +167,31 @@ let audit_column table ~rows column (s : Stats.Col_stats.t) =
       { s with distinct = rows }
     end
     else s
+  in
+  let s =
+    (* The distinct sketch is an independent measurement of [d]; when the
+       recorded count has drifted a factor of 4 away from it (plus an
+       additive slack that silences small columns, where sketch noise is
+       proportionally large), the recorded number is stale beyond use.
+       Legitimately analyzed columns never trip this: [of_values] writes
+       the exact count and the sketch is ~2% accurate. *)
+    match s.distinct_sketch with
+    | Some sketch when rows > 0 ->
+      let est = Stats.Hll.estimate sketch in
+      let d = float_of_int s.distinct in
+      if Float.max d est > (4. *. Float.min d est) +. 16. then begin
+        let repaired = max 0 (min rows (int_of_float (Float.round est))) in
+        note { table; column = Some column; kind = Distinct_drift;
+               detail =
+                 Printf.sprintf
+                   "recorded distinct %d drifted from sketch estimate %.0f"
+                   s.distinct est;
+               repair =
+                 Printf.sprintf "adopt the sketch estimate (%d)" repaired };
+        { s with distinct = repaired }
+      end
+      else s
+    | Some _ | None -> s
   in
   let s =
     if s.nulls < 0 then begin

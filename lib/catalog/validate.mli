@@ -26,6 +26,8 @@ type kind =
   | Stale_row_count        (** catalog ‖R‖ disagrees with stored data *)
   | Negative_distinct
   | Distinct_exceeds_rows  (** d > ‖R‖ *)
+  | Distinct_drift         (** recorded d far from the distinct sketch's
+                               independent estimate *)
   | Negative_nulls
   | Invalid_bounds         (** min > max, or a NaN bound *)
   | Nan_histogram          (** NaN / negative bucket statistics *)

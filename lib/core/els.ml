@@ -10,12 +10,30 @@ module Els_error = Els_error
 module Guard = Guard
 module Kernel = Kernel
 
-let prepare ?memoize ?kernel ?trace config db query =
-  let profile = Profile.build ?memoize ?kernel ?trace config db query in
+let prepare ?memoize ?kernel ?trace ?annotations config db query =
+  let profile =
+    Profile.build ?memoize ?kernel ?trace ?annotations config db query
+  in
   (* Pay kernel compilation here, once per prepared query, rather than on
      the first estimation step. *)
   ignore (Profile.kernel profile : Kernel.t option);
   profile
+
+let prepare_epoch ?memoize ?kernel ?trace config epoch query =
+  (* Collect the epoch's staleness notes for the tables this query reads,
+     so a derivation card attached to the profile discloses any
+     last-known-good fallbacks behind its numbers. *)
+  let annotations =
+    query.Query.tables
+    |> List.concat_map (fun name ->
+           let source = Profile.normalize (Query.source query name) in
+           List.map
+             (fun note -> Printf.sprintf "%s: %s" source note)
+             (Catalog.Epoch.annotations_for epoch source))
+    |> List.sort_uniq String.compare
+  in
+  prepare ?memoize ?kernel ?trace ~annotations config
+    (Catalog.Epoch.db epoch) query
 
 let estimate config db query order =
   Incremental.final_size (prepare config db query) order

@@ -30,6 +30,7 @@ val prepare :
   ?memoize:bool ->
   ?kernel:bool ->
   ?trace:Obs.Trace.t ->
+  ?annotations:string list ->
   Config.t ->
   Catalog.Db.t ->
   Query.t ->
@@ -41,7 +42,22 @@ val prepare :
     never pays it mid-plan; [kernel:false] pins the profile to the
     interpreted path (the differential baseline). [memoize] (default
     [true]) controls the profile's selectivity caches, [trace] records
-    "profile"/"validate" spans. *)
+    "profile"/"validate" spans, [annotations] stamps staleness notes onto
+    attached derivation sinks. *)
+
+val prepare_epoch :
+  ?memoize:bool ->
+  ?kernel:bool ->
+  ?trace:Obs.Trace.t ->
+  Config.t ->
+  Catalog.Epoch.t ->
+  Query.t ->
+  Profile.t
+(** {!prepare} against a pinned catalog epoch. The profile reads only the
+    epoch's frozen statistics — later {!Catalog.Store.publish}es cannot
+    change its numbers — and inherits the epoch's staleness annotations
+    for the query's tables, so an explain card discloses any
+    last-known-good fallback behind the estimate. *)
 
 val estimate : Config.t -> Catalog.Db.t -> Query.t -> string list -> float
 (** One-shot: prepare and estimate the final join result size along the

@@ -62,6 +62,7 @@ type t = {
   stats : cache_stats;
   guard : Guard.t;
   validation : Catalog.Validate.issue list;
+  annotations : string list;
   mutable deriv : Obs.Derivation.t option;
   mutable kernel : kernel_slot;
 }
@@ -416,7 +417,8 @@ let build_index classes tables working =
     local_preds_by_table = Array.map List.rev local_rev;
   }
 
-let build ?(memoize = true) ?(kernel = true) ?trace config db query =
+let build ?(memoize = true) ?(kernel = true) ?trace ?(annotations = []) config
+    db query =
   Obs.Trace.with_span trace "profile" @@ fun () ->
   let deduped = Predicate.Set.elements (Predicate.Set.of_list query.Query.predicates) in
   let working =
@@ -462,12 +464,13 @@ let build ?(memoize = true) ?(kernel = true) ?trace config db query =
     stats = create_stats ();
     guard;
     validation = List.rev !issues;
+    annotations;
     deriv = None;
     kernel = (if kernel then Kernel_unbuilt else Kernel_disabled);
   }
 
-let build_result ?memoize ?kernel ?trace config db query =
-  match build ?memoize ?kernel ?trace config db query with
+let build_result ?memoize ?kernel ?trace ?annotations config db query =
+  match build ?memoize ?kernel ?trace ?annotations config db query with
   | profile -> Ok profile
   | exception Els_error.Error e -> Error e
   | exception Invalid_argument msg ->
@@ -497,7 +500,16 @@ let validation_issues t = t.validation
 (* Derivation recording is opt-in per profile and normally attached only
    around a single estimation pass — during DP enumeration the same profile
    serves thousands of candidate steps, which would swamp the sink. *)
-let set_derivation t d = t.deriv <- d
+let set_derivation t d =
+  (* A profile built against a stale epoch carries staleness annotations;
+     stamp them onto every sink attached to it so the explain card always
+     discloses which statistics were not fresh. *)
+  (match d with
+  | Some sink ->
+    List.iter (fun note -> Obs.Derivation.annotate sink note) t.annotations
+  | None -> ());
+  t.deriv <- d
+
 let derivation t = t.deriv
 
 let join_card t cref =

@@ -119,6 +119,10 @@ type t = {
       (** catalog-statistics issues found (and, under [Repair], fixed)
           while building the profile; empty under [Strict] (the first
           issue raises) *)
+  annotations : string list;
+      (** staleness notes inherited from the catalog epoch this profile
+          was prepared against; stamped onto every derivation sink
+          attached via {!set_derivation} *)
   mutable deriv : Obs.Derivation.t option;
       (** derivation sink; when set, {!Incremental} records each
           estimation step into it (see {!set_derivation}) *)
@@ -136,6 +140,7 @@ val build :
   ?memoize:bool ->
   ?kernel:bool ->
   ?trace:Obs.Trace.t ->
+  ?annotations:string list ->
   Config.t ->
   Catalog.Db.t ->
   Query.t ->
@@ -149,6 +154,8 @@ val build :
     [config.strictness] before use (see {!Catalog.Validate}).
     [trace] records a ["profile"] span with a ["validate"] child covering
     the catalog audit; tracing never changes any computed number.
+    [annotations] (default empty) are staleness notes to stamp onto
+    derivation sinks; they never influence a computed number either.
     @raise Invalid_argument when a query table is missing from the catalog
     or on more than 62 tables (bitset index limit).
     @raise Els_error.Error under [Strict] strictness when a referenced
@@ -158,6 +165,7 @@ val build_result :
   ?memoize:bool ->
   ?kernel:bool ->
   ?trace:Obs.Trace.t ->
+  ?annotations:string list ->
   Config.t ->
   Catalog.Db.t ->
   Query.t ->

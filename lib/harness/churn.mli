@@ -1,0 +1,70 @@
+(** Experiment F13: catalog churn soak.
+
+    Drives a {!Catalog.Store} through a randomized schedule of insert
+    batches, delete batches, bulk and partitioned re-ANALYZEs, staged-
+    statistics corruptions and epoch publishes, estimating the F9 chain
+    query against pinned epochs throughout, and asserts the versioned-
+    catalog contract:
+
+    - {e no crashes}: every operation either succeeds or refuses with a
+      structured error;
+    - {e no torn reads}: an estimate prepared against a pinned epoch is
+      bit-identical before and after any subsequent publish;
+    - {e monotone epochs}: every successful publish strictly increases
+      the epoch id;
+    - {e visible degradation}: a corrupted publish quarantines the table
+      (or hard-falls-back), the counters show it, and a derivation card
+      prepared against the stale epoch carries the staleness note;
+    - {e bounded drift}: the median q-error of epoch estimates against a
+      fresh bulk-ANALYZE baseline over the live data stays within the
+      stated tolerance (default 3.0).
+
+    Deterministic given [seed]; any failure report carries the iteration,
+    the scenario line and the one-command repro. *)
+
+type summary = {
+  iterations : int;
+  seed : int;
+  inserts : int;  (** rows streamed in *)
+  deletes : int;  (** rows streamed out *)
+  reanalyzes : int;  (** of which [sharded_reanalyzes] used partitions *)
+  sharded_reanalyzes : int;
+  corruptions : int;  (** staged-statistics corruptions injected *)
+  publishes : int;  (** successful epoch swaps *)
+  epoch_regressions : int;  (** non-monotone epoch ids — failure *)
+  pinned_checks : int;
+  pinned_divergences : int;  (** torn reads — failure *)
+  annotated_cards : int;
+      (** derivation cards that carried the staleness note after a
+          corrupted publish *)
+  missing_annotations : int;
+      (** corrupted publishes whose epoch or card lacked the note —
+          failure *)
+  q_checks : int;
+  median_q_error : float;
+      (** median q-error of epoch estimates vs the fresh bulk-ANALYZE
+          baseline; 1.0 when no checks ran *)
+  q_tolerance : float;
+  crashes : int;
+  first_failure : string option;
+      (** iteration, scenario and repro command of the first failed
+          assertion or crash *)
+  store : Catalog.Store.counters;  (** lifecycle counters at end of run *)
+  elapsed_s : float;
+  metrics : Obs.Metrics.snapshot;
+      (** profile/guard/catalog metrics plus the ["store.*"] lifecycle
+          counters and per-table drift gauges via
+          {!Obs_report.absorb_store} *)
+}
+
+val run : ?seed:int -> ?q_tolerance:float -> iters:int -> unit -> summary
+(** Defaults: seed 1, q-error tolerance 3.0. Deterministic given [seed]:
+    re-running with [iters] set to a failure's iteration replays the run
+    up to exactly that failure. *)
+
+val pass : summary -> bool
+(** Zero crashes, epoch regressions, torn reads and missing annotations;
+    when corruptions were injected the store must show failed audits; the
+    median q-error must be within tolerance. *)
+
+val render : summary -> string

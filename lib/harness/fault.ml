@@ -8,11 +8,15 @@ type corruption =
   | Mcv_overflow
   | Inverted_bounds
   | Stale_stats
+  | Stale_epoch_pin
+  | Torn_merge
+  | Drift_beyond_threshold
 
 let all =
   [
     Drop_stats; Negative_rows; Zero_rows; Distinct_exceeds_rows; Nan_histogram;
     Shuffled_histogram; Mcv_overflow; Inverted_bounds; Stale_stats;
+    Stale_epoch_pin; Torn_merge; Drift_beyond_threshold;
   ]
 
 let name = function
@@ -25,12 +29,15 @@ let name = function
   | Mcv_overflow -> "mcv-overflow"
   | Inverted_bounds -> "inverted-bounds"
   | Stale_stats -> "stale-stats"
+  | Stale_epoch_pin -> "stale-epoch-pin"
+  | Torn_merge -> "torn-merge"
+  | Drift_beyond_threshold -> "drift"
 
 let column_level = function
   | Drop_stats | Distinct_exceeds_rows | Nan_histogram | Shuffled_histogram
-  | Mcv_overflow | Inverted_bounds ->
+  | Mcv_overflow | Inverted_bounds | Torn_merge | Drift_beyond_threshold ->
     true
-  | Negative_rows | Zero_rows | Stale_stats -> false
+  | Negative_rows | Zero_rows | Stale_stats | Stale_epoch_pin -> false
 
 (* --- corrupting statistics ---------------------------------------------
 
@@ -72,13 +79,53 @@ let corrupt_histogram kind h =
         ]
     in
     Some (Stats.Histogram.of_buckets Stats.Histogram.Equi_width buckets)
+  | Torn_merge ->
+    (* A merge that concatenated shard buckets without coalescing: every
+       bucket appears twice, so the bounds are not monotone. A degenerate
+       single-point histogram survives doubling; give it overlapping
+       synthetic buckets instead so the kind always fires. *)
+    let doubled =
+      match h with
+      | Some h ->
+        let bs = Stats.Histogram.buckets h in
+        bs @ bs
+      | None -> []
+    in
+    let rec monotone = function
+      | a :: (b :: _ as rest) ->
+        a.Stats.Histogram.hi <= b.Stats.Histogram.lo && monotone rest
+      | [ _ ] | [] -> true
+    in
+    let buckets =
+      if doubled <> [] && not (monotone doubled) then doubled
+      else
+        [
+          { Stats.Histogram.lo = 1.; hi = 10.; count = 10.; distinct = 5. };
+          { Stats.Histogram.lo = 5.; hi = 20.; count = 10.; distinct = 5. };
+        ]
+    in
+    Some (Stats.Histogram.of_buckets Stats.Histogram.Equi_depth buckets)
   | _ -> h
 
 let corrupt_column kind rows (s : Stats.Col_stats.t) =
   match kind with
   | Distinct_exceeds_rows -> { s with distinct = (10 * max 1 rows) + 7 }
-  | Nan_histogram | Shuffled_histogram ->
+  | Nan_histogram | Shuffled_histogram | Torn_merge ->
     { s with histogram = corrupt_histogram kind s.histogram }
+  | Drift_beyond_threshold ->
+    (* Statistics frozen long before a stream of inserts: the recorded
+       distinct count stays tiny while the sketch (re-fed by the delta
+       path) remembers far more values. When the column never had a
+       sketch, synthesize one so the drift audit always has its
+       independent measurement. *)
+    let sketch =
+      match s.distinct_sketch with
+      | Some sk -> sk
+      | None ->
+        Stats.Hll.of_values
+          (Array.init 64 (fun i -> Rel.Value.Int (i + 1)))
+    in
+    { s with distinct = 0; distinct_sketch = Some sketch }
   | Mcv_overflow ->
     let entries =
       match s.mcv with
@@ -101,7 +148,7 @@ let corrupt_column kind rows (s : Stats.Col_stats.t) =
       | _ -> (Rel.Value.Int 1000, Rel.Value.Int (-1000))
     in
     { s with min_value = Some lo; max_value = Some hi }
-  | Drop_stats | Negative_rows | Zero_rows | Stale_stats -> s
+  | Drop_stats | Negative_rows | Zero_rows | Stale_stats | Stale_epoch_pin -> s
 
 let corrupt_table ?columns kind (t : Catalog.Table.t) =
   let touch name =
@@ -116,11 +163,27 @@ let corrupt_table ?columns kind (t : Catalog.Table.t) =
     (* Simulates statistics collected before the data was regenerated:
        the stored relation keeps its rows, the catalog number drifts. *)
     { t with row_count = (3 * max 1 t.row_count) + 11 }
+  | Stale_epoch_pin ->
+    (* A reader holding an epoch pinned across data growth: the stored
+       relation has moved on (here: doubled) while the pinned statistics
+       still describe the old world. With no stored data to diverge from,
+       degrade to the plain stale-row-count shape. *)
+    begin
+      match t.data with
+      | Some rel ->
+        let tuples = Rel.Relation.to_list rel in
+        { t with
+          data =
+            Some
+              (Rel.Relation.of_tuples (Rel.Relation.schema rel)
+                 (tuples @ tuples)) }
+      | None -> { t with row_count = (2 * max 1 t.row_count) + 13 }
+    end
   | Drop_stats ->
     { t with
       column_stats = List.filter (fun (n, _) -> not (touch n)) t.column_stats }
   | Distinct_exceeds_rows | Nan_histogram | Shuffled_histogram | Mcv_overflow
-  | Inverted_bounds ->
+  | Inverted_bounds | Torn_merge | Drift_beyond_threshold ->
     { t with
       column_stats =
         List.map

@@ -25,6 +25,17 @@ type corruption =
   | Stale_stats
       (** catalog row count drifted away from the stored relation, as if
           the data was regenerated after ANALYZE *)
+  | Stale_epoch_pin
+      (** the stored relation doubled under a pinned epoch's statistics —
+          the churn-era shape of staleness (stats-only tables degrade to a
+          plain stale row count) *)
+  | Torn_merge
+      (** shard histograms concatenated without coalescing: every bucket
+          twice, bounds non-monotone — a merge interrupted halfway *)
+  | Drift_beyond_threshold
+      (** recorded distinct count zeroed while the distinct sketch still
+          remembers the column — d-drift past the {!Catalog.Validate}
+          audit threshold *)
 
 val all : corruption list
 val name : corruption -> string

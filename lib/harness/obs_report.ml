@@ -60,6 +60,35 @@ let absorb_choice m choice =
   absorb_profile m choice.Optimizer.profile;
   absorb_provenance m choice.Optimizer.provenance
 
+let absorb_store m store =
+  let s = Catalog.Store.stats store in
+  (* Lifecycle totals are monotone over the store's life: absorb with the
+     max-absorbing setter so repeated snapshots of one store don't
+     double-count. *)
+  let set name v = Metrics.set_counter (Metrics.counter m name) v in
+  set "store.epoch" s.Catalog.Store.epoch;
+  set "store.publishes" s.Catalog.Store.publishes;
+  set "store.audits_failed" s.Catalog.Store.audits_failed;
+  set "store.quarantines" s.Catalog.Store.quarantines;
+  set "store.stale_served" s.Catalog.Store.stale_served;
+  set "store.retries" s.Catalog.Store.retries;
+  set "store.retry_successes" s.Catalog.Store.retry_successes;
+  set "store.hard_fallbacks" s.Catalog.Store.hard_fallbacks;
+  set "store.delta_inserts" s.Catalog.Store.delta_inserts;
+  set "store.delta_deletes" s.Catalog.Store.delta_deletes;
+  Metrics.set
+    (Metrics.gauge m "store.quarantined_now")
+    (float_of_int s.Catalog.Store.quarantined_now);
+  List.iter
+    (fun (table, d) ->
+      Metrics.set
+        (Metrics.gauge m (Printf.sprintf "store.drift.%s.rows_since_analyze" table))
+        (float_of_int d.Catalog.Store.rows_since_analyze);
+      Metrics.set
+        (Metrics.gauge m (Printf.sprintf "store.drift.%s.d_drift" table))
+        d.Catalog.Store.d_drift)
+    (Catalog.Store.drift store)
+
 let absorb_trial m (trial : Runner.trial) =
   c m "trial.count" 1;
   c m "exec.work" trial.Runner.work;

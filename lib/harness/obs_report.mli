@@ -41,3 +41,11 @@ val absorb_choice : Obs.Metrics.t -> Optimizer.choice -> unit
 val absorb_trial : Obs.Metrics.t -> Runner.trial -> unit
 (** Work, elapsed time, result size and provenance of one executed
     trial. *)
+
+val absorb_store : Obs.Metrics.t -> Catalog.Store.t -> unit
+(** Lifecycle counters (["store.*"]: epoch, publishes, failed audits,
+    quarantines, stale serves, retries, hard fallbacks, streamed deltas)
+    plus per-table drift gauges
+    (["store.drift.<table>.rows_since_analyze"/".d_drift"]) of one
+    {!Catalog.Store}. Totals use the max-absorbing counter setter, so
+    snapshotting the same store repeatedly never double-counts. *)

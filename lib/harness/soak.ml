@@ -61,8 +61,13 @@ let finite_choice choice =
   ok choice.Optimizer.estimated_cost
   && List.for_all ok choice.Optimizer.intermediate_estimates
 
-let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
+let run ?(seed = 1) ?iter_seed ?(deadline_ms = 5.) ?(tolerance_ms = 250.)
+    ~iters () =
   let master = Rel.Prng.create seed in
+  (* [iter_seed] replays exactly one iteration: the failure reports print
+     the per-iteration seed, so any soak assertion is reproducible with
+     one command regardless of where in the run it fired. *)
+  let iters = match iter_seed with Some _ -> 1 | None -> iters in
   let t_start = Unix.gettimeofday () in
   let estimated = ref 0 and degraded = ref 0 in
   let crashes = ref 0 and first_crash = ref None in
@@ -74,20 +79,30 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
   let executions = ref 0 and cancelled = ref 0 in
   let mismatches = ref 0 in
   let metrics = Obs.Metrics.create () in
-  let crash exn =
+  let crash scenario exn =
     incr crashes;
-    if !first_crash = None then first_crash := Some (Printexc.to_string exn)
+    if !first_crash = None then
+      first_crash := Some (Printf.sprintf "%s | %s" (Printexc.to_string exn)
+                             scenario)
   in
   for _ = 1 to iters do
-    let rng = Rel.Prng.split master in
+    let this_seed =
+      match iter_seed with
+      | Some s -> s
+      | None -> Rel.Prng.int master 1_000_000_000
+    in
+    let rng = Rel.Prng.create this_seed in
     let spec = random_workload rng in
     let query = spec.Datagen.Workload.query in
-    let db =
+    let corruption =
       (* Roughly a third of the iterations run against a corrupted
          catalog crossed from the F9 fault injector. *)
-      if Rel.Prng.int rng 3 = 0 then
-        Fault.corrupt_db (pick rng Fault.all) spec.Datagen.Workload.db
-      else spec.Datagen.Workload.db
+      if Rel.Prng.int rng 3 = 0 then Some (pick rng Fault.all) else None
+    in
+    let db =
+      match corruption with
+      | Some kind -> Fault.corrupt_db kind spec.Datagen.Workload.db
+      | None -> spec.Datagen.Workload.db
     in
     let strictness = pick rng strictnesses in
     let estimator = pick rng (Els.Estimator.registry ()) in
@@ -98,6 +113,21 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
           Optimizer.Randomized (Rel.Prng.int rng 1_000);
         ]
     in
+    let scenario =
+      Printf.sprintf
+        "scenario: %s | %s | %s | %s | %s | repro: elsdb soak --iter-seed %d"
+        (Els.Estimator.label estimator)
+        (Catalog.Validate.strictness_name strictness)
+        (match enumerator with
+        | Optimizer.Exhaustive -> "dp"
+        | Optimizer.Greedy_order -> "greedy"
+        | Optimizer.Randomized s -> Printf.sprintf "random:%d" s)
+        (match corruption with
+        | Some kind -> "corrupt:" ^ Fault.name kind
+        | None -> "clean")
+        (Query.to_string query) this_seed
+    in
+    let crash = crash scenario in
     let config =
       Els.Config.with_strictness strictness
         (Els.Config.of_estimator estimator)
@@ -128,19 +158,12 @@ let run ?(seed = 1) ?(deadline_ms = 5.) ?(tolerance_ms = 250.) ~iters () =
         if (not counted_trap) && !first_non_finite = None then
           first_non_finite :=
             Some
-              (Printf.sprintf
-                 "%s | %s | %s | cost %h | estimates [%s] | %s"
-                 (Els.Estimator.label estimator)
-                 (Catalog.Validate.strictness_name strictness)
-                 (match enumerator with
-                 | Optimizer.Exhaustive -> "dp"
-                 | Optimizer.Greedy_order -> "greedy"
-                 | Optimizer.Randomized s -> Printf.sprintf "random:%d" s)
+              (Printf.sprintf "cost %h | estimates [%s] | %s"
                  choice.Optimizer.estimated_cost
                  (String.concat "; "
                     (List.map (Printf.sprintf "%h")
                        choice.Optimizer.intermediate_estimates))
-                 (Query.to_string query))
+                 scenario)
       end;
       if choice.Optimizer.provenance.Optimizer.Provenance.exhausted <> None
       then begin

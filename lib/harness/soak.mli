@@ -55,13 +55,18 @@ type summary = {
 
 val run :
   ?seed:int ->
+  ?iter_seed:int ->
   ?deadline_ms:float ->
   ?tolerance_ms:float ->
   iters:int ->
   unit ->
   summary
 (** Defaults: seed 1, 5 ms optimizer deadline for the deadline leg,
-    250 ms wall-clock tolerance. *)
+    250 ms wall-clock tolerance. Each iteration derives its own seed from
+    [seed]; every failure report carries the full scenario line
+    (estimator, strictness, enumerator, corruption, query) plus that
+    per-iteration seed, and [run ~iter_seed] replays exactly that one
+    iteration ([iters] is ignored) — one command from report to repro. *)
 
 val pass : summary -> bool
 (** Zero crashes, non-finite answers, monotonicity violations, deadline

@@ -26,13 +26,16 @@ type step = {
 type t = {
   mutable base_rev : (string * float) list;
   mutable steps_rev : step list;
+  mutable annotations_rev : string list;
 }
 
-let create () = { base_rev = []; steps_rev = [] }
+let create () = { base_rev = []; steps_rev = []; annotations_rev = [] }
 let set_base t table rows = t.base_rev <- (table, rows) :: t.base_rev
 let record_step t step = t.steps_rev <- step :: t.steps_rev
+let annotate t note = t.annotations_rev <- note :: t.annotations_rev
 let base t = List.rev t.base_rev
 let steps t = List.rev t.steps_rev
+let annotations t = List.rev t.annotations_rev
 
 (* Mirrors Guard's Repair-mode clamps: the comparison chain rejects NaN,
    which repairs to the lower bound. *)
@@ -59,6 +62,9 @@ let replay ~combine t =
 
 let pp_card ppf t =
   Format.fprintf ppf "derivation:@.";
+  List.iter
+    (fun note -> Format.fprintf ppf "  note: %s@." note)
+    (annotations t);
   List.iter
     (fun (table, rows) ->
       Format.fprintf ppf "  base %s: %.4g rows@." table rows)
@@ -136,4 +142,6 @@ let to_json t =
                Json.Obj [ ("table", Json.String table); ("rows", Json.Float rows) ])
              (base t)) );
       ("steps", Json.List (List.map step_json (steps t)));
+      ( "annotations",
+        Json.List (List.map (fun n -> Json.String n) (annotations t)) );
     ]

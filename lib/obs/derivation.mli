@@ -53,8 +53,17 @@ val set_base : t -> string -> float -> unit
 
 val record_step : t -> step -> unit
 
+val annotate : t -> string -> unit
+(** Attach a free-form staleness/context note to the card (e.g. "table x:
+    serving last-known-good statistics"). Notes render ahead of the base
+    rows in {!pp_card} and under ["annotations"] in {!to_json};
+    observation-only, like everything here. *)
+
 val base : t -> (string * float) list
 (** Starting tables in recording order. *)
+
+val annotations : t -> string list
+(** Notes in recording order. *)
 
 val steps : t -> step list
 (** Recorded steps in recording order. *)

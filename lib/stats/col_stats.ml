@@ -5,6 +5,7 @@ type t = {
   max_value : Rel.Value.t option;
   histogram : Histogram.t option;
   mcv : Mcv.t option;
+  distinct_sketch : Hll.t option;
 }
 
 let numeric_values values =
@@ -55,6 +56,7 @@ let of_values ?histogram ?(histogram_buckets = 32) ?mcv values =
     max_value = !hi;
     histogram;
     mcv;
+    distinct_sketch = Some (Hll.of_values values);
   }
 
 let trivial ~distinct =
@@ -65,6 +67,7 @@ let trivial ~distinct =
     max_value = None;
     histogram = None;
     mcv = None;
+    distinct_sketch = None;
   }
 
 let with_bounds ~distinct ~lo ~hi =
@@ -75,6 +78,62 @@ let with_bounds ~distinct ~lo ~hi =
     max_value = Some hi;
     histogram = None;
     mcv = None;
+    distinct_sketch = None;
+  }
+
+let combine_bound pick a b =
+  match a, b with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (pick a b)
+
+let merge ~rows a ~rows':rows2 b =
+  let total_rows = rows + rows2 in
+  let distinct_sketch =
+    match a.distinct_sketch, b.distinct_sketch with
+    | Some sa, Some sb when Hll.precision sa = Hll.precision sb ->
+        Some (Hll.merge sa sb)
+    | _ -> None
+  in
+  let distinct =
+    match distinct_sketch with
+    | Some sketch ->
+        let est = int_of_float (Float.round (Hll.estimate sketch)) in
+        max 0 (min est total_rows)
+    | None ->
+        (* Without sketches the shard counts can only bound the union. *)
+        min (a.distinct + b.distinct) total_rows
+  in
+  let histogram =
+    match a.histogram, b.histogram with
+    | None, h | h, None -> h
+    | Some ha, Some hb -> Some (Histogram.merge ha hb)
+  in
+  let mcv =
+    let w1 = float_of_int (max 0 (rows - a.nulls))
+    and w2 = float_of_int (max 0 (rows2 - b.nulls)) in
+    match a.mcv, b.mcv with
+    | None, None -> None
+    | ma, mb ->
+        let empty = Mcv.of_entries [] in
+        let merged =
+          Mcv.merge
+            (w1, Option.value ma ~default:empty)
+            (w2, Option.value mb ~default:empty)
+        in
+        if Mcv.tracked_count merged = 0 then None else Some merged
+  in
+  {
+    distinct;
+    nulls = a.nulls + b.nulls;
+    min_value =
+      combine_bound (fun x y -> if Rel.Value.compare x y <= 0 then x else y)
+        a.min_value b.min_value;
+    max_value =
+      combine_bound (fun x y -> if Rel.Value.compare x y >= 0 then x else y)
+        a.max_value b.max_value;
+    histogram;
+    mcv;
+    distinct_sketch;
   }
 
 let pp ppf t =
@@ -82,10 +141,13 @@ let pp ppf t =
     | None -> Format.pp_print_string ppf "-"
     | Some v -> Rel.Value.pp ppf v
   in
-  Format.fprintf ppf "{d=%d nulls=%d min=%a max=%a%s}" t.distinct t.nulls
+  Format.fprintf ppf "{d=%d nulls=%d min=%a max=%a%s%s}" t.distinct t.nulls
     pp_opt t.min_value pp_opt t.max_value
     (match t.histogram, t.mcv with
     | None, None -> ""
     | Some _, None -> " hist"
     | None, Some _ -> " mcv"
     | Some _, Some _ -> " hist mcv")
+    (match t.distinct_sketch with
+    | None -> ""
+    | Some _ -> " sketch")

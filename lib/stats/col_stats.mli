@@ -3,7 +3,14 @@
     The two statistics the paper names as "typically important" — column
     cardinality [d] and value bounds — plus an optional histogram used only
     for local predicates, as permitted by the paper's weakened uniformity
-    assumption. *)
+    assumption.
+
+    Columns analyzed from data also carry an {!Hll} distinct-count sketch.
+    The sketch is never consulted by the estimators (the recorded
+    [distinct] stays authoritative, so estimates are bit-stable across its
+    introduction); it exists so shard statistics can be {!merge}d and so
+    [Catalog.Validate] can audit recorded [d] against an independent
+    measurement ("d-drift"). *)
 
 type t = {
   distinct : int;            (** column cardinality [d]: distinct non-nulls *)
@@ -12,6 +19,8 @@ type t = {
   max_value : Rel.Value.t option;
   histogram : Histogram.t option;
   mcv : Mcv.t option;
+  distinct_sketch : Hll.t option;
+      (** mergeable distinct sketch; [None] for catalog-supplied stats *)
 }
 
 val of_values :
@@ -22,13 +31,22 @@ val of_values :
   t
 (** Exact statistics of a column. A histogram is built only when requested
     and the column is numeric; [histogram_buckets] defaults to 32. [mcv]
-    requests a most-common-value sketch of that many entries. *)
+    requests a most-common-value sketch of that many entries. A distinct
+    sketch is always built. *)
 
 val trivial : distinct:int -> t
 (** Statistics carrying only a distinct count; used when the caller supplies
     catalog numbers directly (as in the paper's worked examples). *)
 
 val with_bounds : distinct:int -> lo:Rel.Value.t -> hi:Rel.Value.t -> t
+
+val merge : rows:int -> t -> rows':int -> t -> t
+(** [merge ~rows a ~rows':rows' b] combines the statistics of two disjoint
+    shards of one column, where [rows]/[rows'] are the shard row counts
+    (needed to weight MCV fractions and clamp the distinct estimate).
+    [distinct] comes from the merged sketch when both sides carry one of
+    equal precision, else from the shard-sum upper bound; nulls add;
+    bounds widen; histograms and MCVs merge per their own algebras. *)
 
 val numeric_values : Rel.Value.t array -> float array
 (** Non-null numeric values of a column as floats; empty for non-numeric

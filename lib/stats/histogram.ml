@@ -115,6 +115,153 @@ let build kind ~buckets values =
     let total = Array.fold_left (fun acc b -> acc +. b.count) 0. bs in
     Some { kind; buckets = bs; total; requested = Some buckets }
 
+(* --- merge algebra ------------------------------------------------------
+
+   Shard histograms are combined by concatenating buckets in a canonical
+   total order (so the operation is exactly commutative), coalescing any
+   overlapping neighbours (so the result always satisfies the monotone-
+   bounds audit in [Catalog.Validate]), then folding the smallest adjacent
+   pairs until the result honours the larger of the two bucket budgets.
+   Summing per-bucket [distinct] over-counts values present in both shards;
+   that is the documented tolerance of the merge path — the HLL sketch,
+   not the histogram, carries the authoritative distinct count. *)
+
+let bucket_order a b =
+  match Float.compare a.lo b.lo with
+  | 0 -> (
+      match Float.compare a.hi b.hi with
+      | 0 -> (
+          match Float.compare a.count b.count with
+          | 0 -> Float.compare a.distinct b.distinct
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let fuse a b =
+  {
+    lo = Float.min a.lo b.lo;
+    hi = Float.max a.hi b.hi;
+    count = a.count +. b.count;
+    distinct = a.distinct +. b.distinct;
+  }
+
+(* Coalesces adjacent buckets whose spans overlap, assuming the input is
+   sorted by [bucket_order]; the output has strictly monotone bounds. *)
+let coalesce_overlaps sorted =
+  List.fold_left
+    (fun acc b ->
+      match acc with
+      | prev :: rest when b.lo < prev.hi -> fuse prev b :: rest
+      | _ -> b :: acc)
+    [] sorted
+  |> List.rev
+
+(* Repeatedly fuses the adjacent pair with the smallest combined count
+   (leftmost on ties) until at most [target] buckets remain. *)
+let shrink_to target buckets =
+  let bs = ref buckets in
+  while List.length !bs > target do
+    let arr = Array.of_list !bs in
+    let best = ref 0 in
+    for i = 1 to Array.length arr - 2 do
+      if
+        arr.(i).count +. arr.(i + 1).count
+        < arr.(!best).count +. arr.(!best + 1).count
+      then best := i
+    done;
+    let out = ref [] in
+    Array.iteri
+      (fun i b ->
+        if i = !best then ()
+        else if i = !best + 1 then out := fuse arr.(!best) b :: !out
+        else out := b :: !out)
+      arr;
+    bs := List.rev !out
+  done;
+  !bs
+
+let budget_of t =
+  match t.requested with
+  | Some n -> n
+  | None -> Array.length t.buckets
+
+let merge a b =
+  let kind = if a.kind = b.kind then a.kind else Equi_depth in
+  let target = max 1 (max (budget_of a) (budget_of b)) in
+  let all = Array.to_list a.buckets @ Array.to_list b.buckets in
+  let merged =
+    List.sort bucket_order all |> coalesce_overlaps |> shrink_to target
+  in
+  let bs = Array.of_list merged in
+  let total = Array.fold_left (fun acc bk -> acc +. bk.count) 0. bs in
+  { kind; buckets = bs; total; requested = Some target }
+
+(* --- streaming deltas ---------------------------------------------------
+
+   Single-value adjustments for the catalog's staging epoch. These keep
+   bucket bounds monotone by construction: an out-of-range value widens
+   the first/last bucket, an in-gap value snaps to the nearest boundary
+   bucket, and removals never touch bounds at all. *)
+
+let containing_index buckets v =
+  let n = Array.length buckets in
+  let rec go i =
+    if i >= n then None
+    else if v >= buckets.(i).lo && v <= buckets.(i).hi then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let add_value t v =
+  let buckets = Array.copy t.buckets in
+  let n = Array.length buckets in
+  if n = 0 then
+    {
+      t with
+      buckets = [| { lo = v; hi = v; count = 1.; distinct = 1. } |];
+      total = t.total +. 1.;
+    }
+  else begin
+    let idx =
+      match containing_index buckets v with
+      | Some i -> i
+      | None ->
+          if v < buckets.(0).lo then begin
+            buckets.(0) <- { (buckets.(0)) with lo = v };
+            0
+          end
+          else if v > buckets.(n - 1).hi then begin
+            buckets.(n - 1) <- { (buckets.(n - 1)) with hi = v };
+            n - 1
+          end
+          else begin
+            (* In a gap between buckets: charge the nearest boundary. *)
+            let best = ref 0 and best_d = ref infinity in
+            Array.iteri
+              (fun i b ->
+                let d = Float.min (Float.abs (v -. b.lo)) (Float.abs (v -. b.hi)) in
+                if d < !best_d then begin
+                  best := i;
+                  best_d := d
+                end)
+              buckets;
+            !best
+          end
+    in
+    buckets.(idx) <- { (buckets.(idx)) with count = buckets.(idx).count +. 1. };
+    { t with buckets; total = t.total +. 1. }
+  end
+
+let remove_value t v =
+  match containing_index t.buckets v with
+  | None -> t
+  | Some idx ->
+      let buckets = Array.copy t.buckets in
+      let b = buckets.(idx) in
+      let count = Float.max 0. (b.count -. 1.) in
+      buckets.(idx) <- { b with count; distinct = Float.min b.distinct count };
+      { t with buckets; total = Float.max 0. (t.total -. 1.) }
+
 let clamp01 x = Float.min 1. (Float.max 0. x)
 
 (* Estimated count of values equal to [c] inside bucket [b]: the bucket's

@@ -43,6 +43,27 @@ val requested_buckets : t -> int option
     <= n]) that [Catalog.Validate] audits. [None] for raw {!of_buckets}
     histograms, which carry no such promise. *)
 
+val merge : t -> t -> t
+(** [merge a b] combines two shard histograms of the same column: buckets
+    are concatenated in a canonical order (the operation is exactly
+    commutative), overlapping neighbours are coalesced so bounds stay
+    monotone, and the result is folded down to the larger of the two
+    bucket budgets. Associativity holds only up to the fold's tolerance,
+    and per-bucket [distinct] sums over-count values present in both
+    shards — the distinct sketch, not the histogram, is authoritative for
+    cardinality. The merged kind is [Equi_depth] when the inputs
+    disagree. *)
+
+val add_value : t -> float -> t
+(** Streaming insert: bump the containing bucket's count (widening the
+    first/last bucket for out-of-range values, snapping to the nearest
+    bucket in a gap). The input is untouched. *)
+
+val remove_value : t -> float -> t
+(** Streaming delete: decrement the containing bucket's count, clamped at
+    zero; a value outside every bucket is a no-op. Bounds never shrink —
+    that residual over-coverage is part of the drift re-ANALYZE repays. *)
+
 val selectivity : t -> Rel.Cmp.t -> float -> float
 (** [selectivity h op c] estimates the fraction of the histogrammed values
     [v] with [v op c], assuming values are spread uniformly over each

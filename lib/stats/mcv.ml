@@ -44,6 +44,49 @@ let of_entries entries =
   let covered = List.fold_left (fun acc e -> acc +. e.fraction) 0. entries in
   { entries; covered }
 
+(* Structural lookup for the merge path: merging groups by the canonical
+   value, not by the numeric-aware [equal_sem] the estimator uses. *)
+let lookup_exact t v =
+  List.find_map
+    (fun e -> if Rel.Value.compare e.value v = 0 then Some e.fraction else None)
+    t.entries
+
+let merge (w1, t1) (w2, t2) =
+  let total = w1 +. w2 in
+  if total <= 0. then { entries = []; covered = 0. }
+  else begin
+    (* Row-weighted fraction of [v] across both shards; a value untracked
+       on one side contributes 0 there, which under-counts at most that
+       shard's untracked residual — the documented merge tolerance. *)
+    let weighted t w v =
+      match lookup_exact t v with
+      | Some f -> f *. w
+      | None -> 0.
+    in
+    let values =
+      List.sort_uniq Rel.Value.compare
+        (List.map (fun e -> e.value) t1.entries
+        @ List.map (fun e -> e.value) t2.entries)
+    in
+    let combined =
+      List.map
+        (fun value ->
+          {
+            value;
+            fraction = (weighted t1 w1 value +. weighted t2 w2 value) /. total;
+          })
+        values
+      |> List.sort (fun a b ->
+             match Float.compare b.fraction a.fraction with
+             | 0 -> Rel.Value.compare a.value b.value
+             | c -> c)
+    in
+    let k = max (List.length t1.entries) (List.length t2.entries) in
+    let entries = List.filteri (fun i _ -> i < k) combined in
+    let covered = List.fold_left (fun acc e -> acc +. e.fraction) 0. entries in
+    { entries; covered = Float.min 1. covered }
+  end
+
 let entries t = t.entries
 
 (* Numeric-aware: a Float literal must hit the tracked Int entry of an

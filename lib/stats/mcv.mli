@@ -29,6 +29,15 @@ val of_entries : entry list -> t
     sketches come from {!build}, and [Catalog.Validate] rejects or repairs
     what this lets through. *)
 
+val merge : float * t -> float * t -> t
+(** [merge (rows1, a) (rows2, b)] combines two shard sketches, weighting
+    each tracked fraction by its shard's non-null row count and keeping
+    the top [max (tracked a) (tracked b)] values of the union. Exactly
+    commutative; associative only within the truncation tolerance. A value
+    tracked on one side but not the other is treated as absent from the
+    other shard, under-counting it by at most that shard's untracked
+    residual. Yields an empty sketch when [rows1 +. rows2 <= 0]. *)
+
 val entries : t -> entry list
 (** Tracked values, most frequent first. *)
 

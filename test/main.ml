@@ -29,6 +29,9 @@ let () =
       ("integration", Test_integration.suite);
       ("accuracy", Test_accuracy.suite);
       ("fault", Test_fault.suite);
+      ("merge", Test_merge.suite);
+      ("store", Test_store.suite);
+      ("churn", Test_churn.suite);
       ("budget", Test_budget.suite);
       ("kernel", Test_kernel.suite);
       ("obs", Test_obs.suite);

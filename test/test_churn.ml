@@ -1,0 +1,70 @@
+(* The F13 churn soak as a test: a short deterministic run must pass its
+   own acceptance criteria end to end, and the soak harness's one-command
+   repro (--iter-seed) must replay exactly one iteration. *)
+
+let test_churn_passes () =
+  let summary = Harness.Churn.run ~seed:1 ~iters:30 () in
+  (match summary.Harness.Churn.first_failure with
+  | None -> ()
+  | Some msg -> Alcotest.fail msg);
+  Alcotest.(check bool) "churn soak passes" true (Harness.Churn.pass summary);
+  Alcotest.(check int) "no crashes" 0 summary.Harness.Churn.crashes;
+  Alcotest.(check int) "no torn reads" 0
+    summary.Harness.Churn.pinned_divergences;
+  Alcotest.(check int) "no epoch regressions" 0
+    summary.Harness.Churn.epoch_regressions;
+  Alcotest.(check bool) "exercised the delta path" true
+    (summary.Harness.Churn.inserts > 0);
+  Alcotest.(check bool) "exercised publishes" true
+    (summary.Harness.Churn.publishes > 0)
+
+let test_churn_deterministic () =
+  let a = Harness.Churn.run ~seed:7 ~iters:12 () in
+  let b = Harness.Churn.run ~seed:7 ~iters:12 () in
+  Alcotest.(check int) "same inserts" a.Harness.Churn.inserts
+    b.Harness.Churn.inserts;
+  Alcotest.(check int) "same publishes" a.Harness.Churn.publishes
+    b.Harness.Churn.publishes;
+  Alcotest.(check int) "same corruptions" a.Harness.Churn.corruptions
+    b.Harness.Churn.corruptions;
+  Helpers.check_float "same median q-error" a.Harness.Churn.median_q_error
+    b.Harness.Churn.median_q_error
+
+let test_churn_corruption_visible () =
+  (* Over enough iterations some corrupt publishes happen; each must be
+     disclosed (counted audit failures + annotated derivation cards). *)
+  let summary = Harness.Churn.run ~seed:1 ~iters:40 () in
+  Alcotest.(check bool) "corruptions injected" true
+    (summary.Harness.Churn.corruptions > 0);
+  Alcotest.(check bool) "audits caught them" true
+    (summary.Harness.Churn.store.Catalog.Store.audits_failed > 0);
+  Alcotest.(check bool) "cards disclosed them" true
+    (summary.Harness.Churn.annotated_cards > 0);
+  Alcotest.(check int) "no disclosure ever missing" 0
+    summary.Harness.Churn.missing_annotations
+
+let test_churn_render_mentions_pass () =
+  let summary = Harness.Churn.run ~seed:2 ~iters:10 () in
+  let text = Harness.Churn.render summary in
+  Alcotest.(check bool) "render carries the verdict" true
+    (Helpers.contains text "churn: PASS" || Helpers.contains text "churn: FAIL")
+
+let test_soak_iter_seed_replays_one () =
+  let summary = Harness.Soak.run ~iter_seed:424242 ~iters:50 () in
+  Alcotest.(check int) "--iter-seed replays exactly one iteration" 1
+    summary.Harness.Soak.iterations;
+  Alcotest.(check int) "and it does not crash" 0 summary.Harness.Soak.crashes
+
+let suite =
+  [
+    Alcotest.test_case "churn: 30-iteration soak passes" `Quick
+      test_churn_passes;
+    Alcotest.test_case "churn: deterministic under a fixed seed" `Quick
+      test_churn_deterministic;
+    Alcotest.test_case "churn: corruption always disclosed" `Quick
+      test_churn_corruption_visible;
+    Alcotest.test_case "churn: render states the verdict" `Quick
+      test_churn_render_mentions_pass;
+    Alcotest.test_case "soak: iter-seed replays one iteration" `Quick
+      test_soak_iter_seed_replays_one;
+  ]
