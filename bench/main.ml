@@ -34,7 +34,7 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let experiment_ids =
   [
     "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
-    "f7"; "f8"; "f10"; "f11"; "f12"; "f13"; "micro";
+    "f7"; "f8"; "f10"; "f11"; "f12"; "f13"; "f14"; "micro";
   ]
 
 let selected =
@@ -380,6 +380,19 @@ let run_f10 () =
   let scale = if quick then 20 else 10 in
   print_string (Harness.Estimator_panel.render (Harness.Estimator_panel.run ~scale ()))
 
+(* F14: inequality and band joins — estimated (histogram-CDF convolution)
+   vs executed (generalized sort-merge) across the estimator registry.
+   Every scenario overlaps by construction, so a non-finite q-error is a
+   failure. *)
+let run_f14 () =
+  section "F14: inequality/band join panel — estimate vs executed truth";
+  let rows = Harness.Ineq_panel.run () in
+  print_string (Harness.Ineq_panel.render rows);
+  if not (Harness.Ineq_panel.pass rows) then begin
+    print_endline "F14 FAILED: non-finite q-error in the panel";
+    exit 1
+  end
+
 (* F11: the budget subsystem under load. Three legs: (a) exact DP on an
    n=14 chain under a 1 ms wall-clock deadline must still return a valid
    plan by degrading down the anytime ladder; (b) a node-budget sweep on
@@ -582,7 +595,8 @@ let () =
       ("s5", run_s5); ("s6", run_s6); ("f1", run_f1); ("f2", run_f2);
       ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
       ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("f11", run_f11);
-      ("f12", run_f12); ("f13", run_f13); ("micro", run_micro);
+      ("f12", run_f12); ("f13", run_f13); ("f14", run_f14);
+      ("micro", run_micro);
     ]
   in
   List.iter (fun (id, run) -> if wants id then run ()) experiments;

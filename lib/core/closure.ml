@@ -5,7 +5,9 @@ type t = {
   classes : Eqclass.t;
 }
 
-(* All pairs within each class, as canonical Col_eq predicates. *)
+(* All pairs within each class, as canonical equality predicates.
+   Non-equality comparisons never enter a class (see Eqclass), so they
+   pass through the closure untouched. *)
 let all_pair_equalities classes =
   List.concat_map
     (fun cls ->
@@ -26,7 +28,7 @@ let propagate_constants classes predicates =
         List.map
           (fun col' -> Predicate.cmp col' op const)
           (Eqclass.members classes col)
-      | Predicate.Col_eq _ -> [])
+      | Predicate.Col_cmp _ -> [])
     predicates
 
 let compute predicates =

@@ -79,7 +79,15 @@ let of_predicates predicates =
   List.iter
     (fun p ->
       match p with
-      | Query.Predicate.Col_eq { left; right } -> union t left right
+      | Query.Predicate.Col_cmp { left; op = Query.Predicate.Eq; right } ->
+        union t left right
+      | Query.Predicate.Col_cmp { left; right; _ } ->
+        (* Only equality merges classes: [a < b] constrains the pair but
+           does not make the columns interchangeable (rule 2b needs
+           substitutivity). The endpoints still join the universe as
+           singletons so adjacency and grouping can see them. *)
+        add t left;
+        add t right
       | Query.Predicate.Cmp { col; _ } -> add t col)
     predicates;
   t

@@ -57,34 +57,54 @@ let eligible profile state name =
    roots of one class are the same physically-shared Cref (resolved once at
    build), so the common single-class step short-circuits on [==] without
    allocating group structure. *)
+let is_eq_pred profile id =
+  match (Profile.pred profile id).Profile.pred with
+  | Predicate.Col_cmp { op = Predicate.Eq; _ } -> true
+  | Predicate.Col_cmp _ | Predicate.Cmp _ -> false
+
 let class_groups profile ids =
   match ids with
   | [] -> []
   | first :: rest ->
     let root0 = (Profile.pred profile first).Profile.root in
     let same r = r == root0 || Query.Cref.equal r root0 in
+    (* The short-circuit additionally requires every member to be an
+       equality: comparison predicates never share a class-derived
+       selectivity, so equality-only workloads — and only those — take
+       the exact pre-generalization path. *)
     if
-      List.for_all
-        (fun id -> same (Profile.pred profile id).Profile.root)
-        rest
+      is_eq_pred profile first
+      && List.for_all
+           (fun id ->
+             is_eq_pred profile id
+             && same (Profile.pred profile id).Profile.root)
+           rest
     then [ ids ]
     else begin
       (* Keyed by [Cref.equal] (with the [==] fast path), never by the
          polymorphic [List.assoc_opt]: if [Cref.t] ever grows a field
          where structural (=) diverges from [Cref.equal], a polymorphic
          lookup would silently split one equivalence class in two and
-         apply its selectivity twice. *)
+         apply its selectivity twice. Equality predicates group by class
+         root; each comparison predicate is an independent constraint and
+         stays a singleton group ([None]-tagged, never a merge target). *)
       let groups = ref [] in
       List.iter
         (fun id ->
-          let r = (Profile.pred profile id).Profile.root in
-          match
-            List.find_opt
-              (fun (r', _) -> r' == r || Query.Cref.equal r' r)
-              !groups
-          with
-          | Some (_, members) -> members := id :: !members
-          | None -> groups := (r, ref [ id ]) :: !groups)
+          if is_eq_pred profile id then begin
+            let r = (Profile.pred profile id).Profile.root in
+            match
+              List.find_opt
+                (fun (r', _) ->
+                  match r' with
+                  | Some r' -> r' == r || Query.Cref.equal r' r
+                  | None -> false)
+                !groups
+            with
+            | Some (_, members) -> members := id :: !members
+            | None -> groups := (Some r, ref [ id ]) :: !groups
+          end
+          else groups := (None, ref [ id ]) :: !groups)
         ids;
       List.rev_map (fun (_, members) -> List.rev !members) !groups
     end
@@ -98,7 +118,9 @@ let step_selectivity profile state name =
   let bit = Profile.table_bit profile name in
   match Profile.kernel profile with
   | Some k -> Kernel.step_selectivity k ~mask:state.mask ~bit
-  | None -> selectivity_of_ids profile (eligible_ids profile state.mask bit)
+  | None ->
+    Profile.note_kernel_fallback profile;
+    selectivity_of_ids profile (eligible_ids profile state.mask bit)
 
 (* Join predicate ids bridging the two (disjoint) masks: one pass over the
    join predicates with O(1) endpoint tests. *)
@@ -145,7 +167,18 @@ let capped_size profile ~bridged ~left_rows ~right_rows raw =
    provenance behind its output. Every number is re-read through the
    profile's memo caches, so recording never changes a computed value. *)
 
-let column_records profile group =
+(* Derivation-card label of one class group: ["eq"] for an equality
+   class, the comparison's kind for a singleton comparison group. *)
+let group_kind profile group =
+  match group with
+  | id :: _ -> begin
+    match Predicate.kind (Profile.pred profile id).Profile.pred with
+    | Some k -> Predicate.kind_name k
+    | None -> "local"
+  end
+  | [] -> "eq"
+
+let column_records profile ~cdf group =
   let crefs =
     List.rev
       (List.fold_left
@@ -157,6 +190,15 @@ let column_records profile group =
              (Predicate.columns (Profile.pred profile id).Profile.pred))
          [] group)
   in
+  (* For a comparison group the selectivity comes from the columns' CDFs,
+     not their d′, so the provenance label names the CDF's backing
+     statistic instead of the cardinality derivation. *)
+  let cdf_label cref =
+    "cdf("
+    ^ Stats.Selectivity_est.(
+        source_name (cdf_source (Profile.column_stats profile cref)))
+    ^ ")"
+  in
   List.map
     (fun cref ->
       let table = Profile.table profile cref.Query.Cref.table in
@@ -166,7 +208,7 @@ let column_records profile group =
           Obs.Derivation.column = Query.Cref.to_string cref;
           base_distinct = col.Profile.base_distinct;
           join_distinct = Profile.join_card profile cref;
-          source = col.Profile.d_source;
+          source = (if cdf then cdf_label cref else col.Profile.d_source);
         }
       | None ->
         (* Never mentioned in predicates: [join_card] falls back to the
@@ -175,7 +217,7 @@ let column_records profile group =
           Obs.Derivation.column = Query.Cref.to_string cref;
           base_distinct = table.Profile.base_rows;
           join_distinct = Profile.join_card profile cref;
-          source = "catalog";
+          source = (if cdf then cdf_label cref else "catalog");
         })
     crefs
 
@@ -184,9 +226,11 @@ let record_step profile ~index ~table ~left_rows ~right_rows ~ids ~output sink =
   let classes =
     List.map
       (fun group ->
+        let kind = group_kind profile group in
         {
           Obs.Derivation.class_root =
             Query.Cref.to_string (Profile.pred profile (List.hd group)).Profile.root;
+          kind;
           rule;
           inputs =
             List.map
@@ -195,7 +239,8 @@ let record_step profile ~index ~table ~left_rows ~right_rows ~ids ~output sink =
                   Profile.join_selectivity profile id ))
               group;
           combined = Profile.class_selectivity profile group;
-          columns = column_records profile group;
+          columns =
+            column_records profile ~cdf:(not (String.equal kind "eq")) group;
         })
       (class_groups profile ids)
   in
@@ -230,6 +275,7 @@ let join_states profile s1 s2 =
       rev_history = size :: List.append s2.rev_history s1.rev_history;
     }
   | (Some _ | None), _ ->
+    Profile.note_kernel_fallback profile;
     let ids = eligible_ids_between profile s1.mask s2.mask in
     let s = selectivity_of_ids profile ids in
     let size =
@@ -267,6 +313,7 @@ let extend profile state name =
       rev_history = size :: state.rev_history;
     }
   | (Some _ | None), _ ->
+    Profile.note_kernel_fallback profile;
     let table = Profile.table_at profile bit in
     let ids = eligible_ids profile state.mask bit in
     let s = selectivity_of_ids profile ids in

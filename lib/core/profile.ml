@@ -7,6 +7,7 @@ type column_profile = {
   local_distinct : float;
   join_distinct : float;
   d_source : string;
+  col_stats : Stats.Col_stats.t;
 }
 
 type table_profile = {
@@ -32,6 +33,7 @@ type cache_stats = {
   mutable group_misses : int;
   mutable eligible_probes : int;
   mutable scans_avoided : int;
+  mutable kernel_fallbacks : int;
 }
 
 type index = {
@@ -84,6 +86,7 @@ let create_stats () =
     group_misses = 0;
     eligible_probes = 0;
     scans_avoided = 0;
+    kernel_fallbacks = 0;
   }
 
 let reset_stats s =
@@ -92,13 +95,15 @@ let reset_stats s =
   s.group_hits <- 0;
   s.group_misses <- 0;
   s.eligible_probes <- 0;
-  s.scans_avoided <- 0
+  s.scans_avoided <- 0;
+  s.kernel_fallbacks <- 0
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "sel hit/miss=%d/%d group hit/miss=%d/%d probes=%d scans-avoided=%d"
+    "sel hit/miss=%d/%d group hit/miss=%d/%d probes=%d scans-avoided=%d \
+     kernel-fallbacks=%d"
     s.sel_hits s.sel_misses s.group_hits s.group_misses s.eligible_probes
-    s.scans_avoided
+    s.scans_avoided s.kernel_fallbacks
 
 let ceil_pos x = if x <= 0. then 0. else Float.ceil x
 
@@ -128,7 +133,7 @@ let const_preds_on predicates col =
       match p with
       | Predicate.Cmp { col = c; op; const } when Cref.equal c col ->
         Some (op, const)
-      | Predicate.Cmp _ | Predicate.Col_eq _ -> None)
+      | Predicate.Cmp _ | Predicate.Col_cmp _ -> None)
     predicates
 
 (* Intra-table column equalities of [table], as column pairs. *)
@@ -136,11 +141,11 @@ let intra_table_equalities predicates table =
   List.filter_map
     (fun p ->
       match p with
-      | Predicate.Col_eq { left; right }
+      | Predicate.Col_cmp { left; op = Predicate.Eq; right }
         when Cref.same_table left right
              && String.equal left.Cref.table table ->
         Some (left, right)
-      | Predicate.Col_eq _ | Predicate.Cmp _ -> None)
+      | Predicate.Col_cmp _ | Predicate.Cmp _ -> None)
     predicates
 
 (* Steps 3-4: fold the constant local predicates of one table into its row
@@ -225,7 +230,8 @@ let local_effects guard db_table predicates columns =
         Cref.Map.add col
           { cref = col; base_distinct; local_distinct;
             join_distinct = local_distinct;
-            d_source = d_source_of stats preds combined }
+            d_source = d_source_of stats preds combined;
+            col_stats = stats }
           acc)
       Cref.Map.empty per_column
   in
@@ -523,16 +529,46 @@ let join_card t cref =
        cardinality. Callers only reach this for ad-hoc estimates. *)
     profile.base_rows
 
+let column_stats t cref =
+  let profile = table t cref.Cref.table in
+  match Cref.Map.find_opt cref profile.columns with
+  | Some col -> col.col_stats
+  | None ->
+    (* A column never mentioned in predicates carries no distribution
+       information worth convolving; the estimators fall back to the
+       System R defaults. *)
+    Stats.Col_stats.trivial ~distinct:0
+
 let selectivity_of_cards d1 d2 =
   let m = Float.max d1 d2 in
   if d1 <= 0. || d2 <= 0. then 0. else Float.min 1. (1. /. m)
 
+(* Raw (unguarded, uncached) selectivity of one column-comparison
+   predicate. Equality is the paper's 1/max(d1, d2) over the effective
+   cardinalities; inequality and band go through the histogram-CDF
+   convolution of {!Stats.Selectivity_est}, the rule-2d generalization. *)
+let comparison_selectivity t ~left ~op ~right =
+  match op with
+  | Predicate.Eq ->
+    selectivity_of_cards (join_card t left) (join_card t right)
+  | Predicate.Band eps ->
+    Stats.Selectivity_est.join_band (column_stats t left) ~eps
+      (column_stats t right)
+  | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge ->
+    let cmp_op =
+      match Predicate.cmp_of_comparison op with
+      | Some o -> o
+      | None -> assert false
+    in
+    Stats.Selectivity_est.join_comparison (column_stats t left) cmp_op
+      (column_stats t right)
+
 let join_selectivity t id =
   let compute () =
     match t.index.pred_infos.(id).pred with
-    | Predicate.Col_eq { left; right } ->
+    | Predicate.Col_cmp { left; op; right } ->
       Guard.selectivity t.guard ~site:"Profile.join_selectivity"
-        (selectivity_of_cards (join_card t left) (join_card t right))
+        (comparison_selectivity t ~left ~op ~right)
     | Predicate.Cmp _ ->
       invalid_arg "Profile.join_selectivity: not a join predicate"
   in
@@ -618,9 +654,24 @@ let kernel_kind est =
   else if est == Estimator.pess then Some (Kernel.Unit, Kernel.Min_rows)
   else None
 
+(* The kernel's step algebra is the equality rule (class-grouped
+   1/max-d selectivities); a comparison join changes the grouping
+   semantics (every non-Eq predicate is its own group), so profiles
+   carrying one fall back to the interpreted tier wholesale — per-step
+   mixing would put bit-identity on equality-only workloads at risk. *)
+let kernel_lowerable t =
+  Array.for_all
+    (fun id ->
+      match t.index.pred_infos.(id).pred with
+      | Predicate.Col_cmp { op = Predicate.Eq; _ } -> true
+      | Predicate.Col_cmp _ -> false
+      | Predicate.Cmp _ -> true)
+    t.index.join_pred_ids
+
 let compile_kernel t =
   match kernel_kind (estimator t) with
   | None -> None
+  | Some _ when not (kernel_lowerable t) -> None
   | Some (combine, cap) ->
     let index = t.index in
     let n = Array.length index.table_names in
@@ -702,3 +753,14 @@ let kernel t =
 
 let kernel_steps t =
   match t.kernel with Kernel_ready k -> Kernel.steps k | _ -> 0
+
+(* Called by [Incremental] on interpreted steps: counts only the steps
+   that *wanted* the kernel but could not have it (non-Eq join predicates
+   or a custom estimator), so the counter reads as "fallback", not
+   "kernel was switched off". *)
+let note_kernel_fallback t =
+  match t.kernel with
+  | Kernel_unsupported -> t.stats.kernel_fallbacks <- t.stats.kernel_fallbacks + 1
+  | Kernel_unbuilt | Kernel_disabled | Kernel_ready _ -> ()
+
+let kernel_fallback_steps t = t.stats.kernel_fallbacks

@@ -39,6 +39,10 @@ type column_profile = {
           d′ provenance, e.g. ["equality(mcv)"], ["range(histogram)"],
           ["urn"], ["single-table(urn)"]. Observation only: never read by
           the estimator. *)
+  col_stats : Stats.Col_stats.t;
+      (** the catalog statistics behind the numbers above (trivial when
+          the catalog had none) — the CDF source for comparison-join
+          selectivities *)
 }
 
 type table_profile = {
@@ -70,6 +74,10 @@ type cache_stats = {
   mutable scans_avoided : int;
       (** predicates an index probe skipped relative to a full scan of the
           working conjunction *)
+  mutable kernel_fallbacks : int;
+      (** estimation steps that wanted the compiled kernel but ran
+          interpreted because the profile has no lowering (comparison
+          join predicates, or a custom estimator) *)
 }
 
 type index = {
@@ -92,8 +100,11 @@ type kernel_slot =
   | Kernel_unbuilt  (** not compiled yet; {!kernel} will try *)
   | Kernel_disabled  (** [build ~kernel:false] — interpreted path only *)
   | Kernel_unsupported
-      (** the configured estimator is not one of the four built-in rules,
-          so its [combine] closure cannot be lowered *)
+      (** no lowering exists: the configured estimator is not one of the
+          four built-in rules (its [combine] closure is arbitrary OCaml),
+          or the working conjunction carries comparison join predicates
+          (the kernel's step algebra is the equality rule); interpreted
+          steps on such a profile bump [cache_stats.kernel_fallbacks] *)
   | Kernel_ready of Kernel.t
 
 type t = {
@@ -199,9 +210,23 @@ val join_card : t -> Query.Cref.t -> float
     [join_distinct] under a local-aware configuration, [base_distinct]
     under the standard algorithm. *)
 
+val column_stats : t -> Query.Cref.t -> Stats.Col_stats.t
+(** The catalog statistics of a predicate column (trivial statistics for
+    columns the query never predicates on) — the CDF inputs of
+    comparison-join selectivities. *)
+
 val selectivity_of_cards : float -> float -> float
 (** [min 1 (1 / max d1 d2)]; 0 when either side is 0 (a contradicted
     column joins nothing). Equation 2 of the paper. *)
+
+val comparison_selectivity :
+  t -> left:Query.Cref.t -> op:Query.Predicate.comparison ->
+  right:Query.Cref.t -> float
+(** Raw (unguarded, uncached) selectivity of one column comparison:
+    [Eq] is the paper's [1/max(d1, d2)] over effective cardinalities;
+    inequality and band operators go through the histogram-CDF
+    convolution of {!Stats.Selectivity_est} — the rule-2d
+    generalization. *)
 
 val join_selectivity : t -> int -> float
 (** Selectivity of the join predicate with the given id, memoized in
@@ -247,6 +272,17 @@ val kernel_steps : t -> int
 (** Estimation steps executed through the compiled kernel so far (0 when
     none is compiled) — published by {!Harness.Obs_report} next to the
     cache counters, which the kernel path does not touch. *)
+
+val note_kernel_fallback : t -> unit
+(** Called by {!Incremental} when an estimation step runs interpreted:
+    bumps [cache_stats.kernel_fallbacks] only when the profile {e has no}
+    kernel lowering (comparison join predicates or a custom estimator) —
+    derivation-recording passes and explicit [~kernel:false] opt-outs are
+    not fallbacks. *)
+
+val kernel_fallback_steps : t -> int
+(** Value of the fallback counter — published by {!Harness.Obs_report} as
+    ["profile.kernel.fallback_steps"]. *)
 
 val set_derivation : t -> Obs.Derivation.t option -> unit
 (** Attach (or detach, with [None]) a derivation sink. While attached,

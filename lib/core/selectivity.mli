@@ -1,9 +1,11 @@
 (** Join-predicate selectivities (Equation 2 of the paper).
 
-    For a join predicate [J : (R₁.x₁ = R₂.x₂)],
+    For an equality join predicate [J : (R₁.x₁ = R₂.x₂)],
     [S_J = 1 / max(d₁, d₂)], where the cardinalities come from the
     estimation profile — effective ([d′]) under a local-aware
-    configuration, base otherwise. *)
+    configuration, base otherwise. Comparison join predicates
+    ([R₁.x₁ < R₂.x₂], band joins) are estimated by the histogram-CDF
+    convolution of {!Stats.Selectivity_est} instead. *)
 
 val of_cards : float -> float -> float
 (** [of_cards d1 d2 = min 1 (1 / max d1 d2)]; 0 when either side is 0
@@ -16,5 +18,7 @@ val join : Profile.t -> Query.Predicate.t -> float
 val group_by_class :
   Profile.t -> Query.Predicate.t list -> Query.Predicate.t list list
 (** Partition join predicates by the equivalence class of their columns —
-    the grouping Rules M/SS/LS operate on. Groups are ordered by their
-    first predicate. *)
+    the grouping Rules M/SS/LS operate on. Only equality predicates share
+    a class-derived selectivity; each comparison (inequality/band)
+    predicate forms its own singleton group and contributes an
+    independent factor. Groups are ordered by their first predicate. *)

@@ -34,6 +34,41 @@ let chain ?(rows_range = (200, 2000)) ?(distinct_range = (5, 200))
   in
   { db; query; true_size = None }
 
+let comparison ?(rows_range = (200, 2000)) ?(distinct_range = (5, 200))
+    ?(op = Query.Predicate.Lt) ?(table_prefix = "c") ~seed ~n_tables () =
+  if n_tables < 2 then
+    invalid_arg "Workload.comparison: need at least 2 tables";
+  let rng = Prng.create seed in
+  let db = Catalog.Db.create () in
+  let names =
+    List.init n_tables (fun i -> Printf.sprintf "%s%d" table_prefix (i + 1))
+  in
+  List.iter
+    (fun table ->
+      let rows = Prng.int_in rng (fst rows_range) (snd rows_range) in
+      let distinct =
+        min rows (Prng.int_in rng (fst distinct_range) (snd distinct_range))
+      in
+      ignore
+        (Tablegen.register (Prng.split rng) db ~table ~rows
+           [ Tablegen.column "a" ~distinct ]))
+    names;
+  (* Every link but the last is an equality; the last is the requested
+     comparison. Join-column domains all start at 1, so the comparison
+     always has overlap and the executed truth stays positive. *)
+  let rec links = function
+    | [ a; b ] ->
+      [ Query.Predicate.col_cmp (Query.Cref.v a "a") op (Query.Cref.v b "a") ]
+    | a :: (b :: _ as rest) ->
+      Query.Predicate.col_eq (Query.Cref.v a "a") (Query.Cref.v b "a")
+      :: links rest
+    | [ _ ] | [] -> []
+  in
+  let query =
+    Query.make ~projection:Query.Count_star ~tables:names (links names)
+  in
+  { db; query; true_size = None }
+
 let star ?(fact_rows = 5000) ?(dim_rows_range = (100, 1000))
     ?(distinct_range = (5, 100)) ~seed ~n_dims () =
   if n_dims < 1 then invalid_arg "Workload.star: need at least 1 dimension";

@@ -30,6 +30,21 @@ val chain :
     [rows_range]), linked by a chain of equality predicates. Defaults:
     rows in [[200, 2000]], distinct in [[5, 200]], exact-uniform data. *)
 
+val comparison :
+  ?rows_range:int * int ->
+  ?distinct_range:int * int ->
+  ?op:Query.Predicate.comparison ->
+  ?table_prefix:string ->
+  seed:int ->
+  n_tables:int ->
+  unit ->
+  spec
+(** Like {!chain}, but the final link is the given comparison instead of
+    an equality ([c1.a = c2.a = … AND c(n-1).a op cn.a]) — the
+    inequality/band-join setting of experiment F14. Join columns are
+    integers [1..distinct], so any two tables' domains overlap and the
+    executed result is non-empty. Default op: [Lt]. *)
+
 val star :
   ?fact_rows:int ->
   ?dim_rows_range:int * int ->

@@ -126,18 +126,28 @@ let reference_plan query =
             Plan.scan ~source:(Query.source query table) ~filters:scan_filters
               table
           in
-          let has_key =
+          let bridges p =
+            match p with
+            | Query.Predicate.Col_cmp { left; right; _ } ->
+              not (Query.Cref.same_table left right)
+              && (String.equal left.Query.Cref.table table
+                 || String.equal right.Query.Cref.table table)
+            | Query.Predicate.Cmp _ -> false
+          in
+          let has_eq_key =
             List.exists
-              (fun p ->
-                match p with
-                | Query.Predicate.Col_eq { left; right } ->
-                  not (Query.Cref.same_table left right)
-                  && (String.equal left.Query.Cref.table table
-                     || String.equal right.Query.Cref.table table)
-                | Query.Predicate.Cmp _ -> false)
+              (fun p -> Query.Predicate.is_equijoin p && bridges p)
               join_preds
           in
-          let method_ = if has_key then Plan.Hash else Plan.Nested_loop in
+          let has_comparison = List.exists bridges join_preds in
+          (* Hash wants an equality key; a comparison-only link takes the
+             generalized sort-merge; a cartesian link falls back to
+             nested loops. *)
+          let method_ =
+            if has_eq_key then Plan.Hash
+            else if has_comparison then Plan.Sort_merge
+            else Plan.Nested_loop
+          in
           ( Plan.Join { method_; outer = plan; inner; predicates = join_preds },
             covered,
             later ))

@@ -8,7 +8,8 @@ let split ~left ~right preds =
     (fun p ->
       let bridged =
         match p with
-        | Query.Predicate.Col_eq { left = a; right = b } -> begin
+        | Query.Predicate.Col_cmp
+            { left = a; op = Query.Predicate.Eq; right = b } -> begin
           match position left a, position right b with
           | Some i, Some j -> Some (i, j)
           | None, _ | _, None -> begin
@@ -17,7 +18,7 @@ let split ~left ~right preds =
             | None, _ | _, None -> None
           end
         end
-        | Query.Predicate.Cmp _ -> None
+        | Query.Predicate.Col_cmp _ | Query.Predicate.Cmp _ -> None
       in
       match bridged with
       | Some pair -> keys := pair :: !keys
@@ -36,3 +37,23 @@ let split ~left ~right preds =
         residual := p :: !residual)
     preds;
   (List.rev !keys, List.rev !residual)
+
+let comparison_driver ~left ~right preds =
+  let rec find = function
+    | [] -> None
+    | p :: rest -> begin
+      match p with
+      | Query.Predicate.Col_cmp { left = a; op; right = b }
+        when op <> Query.Predicate.Eq -> begin
+        match position left a, position right b with
+        | Some i, Some j -> Some (p, i, j, op)
+        | None, _ | _, None -> begin
+          match position left b, position right a with
+          | Some i, Some j -> Some (p, i, j, Query.Predicate.mirror op)
+          | None, _ | _, None -> find rest
+        end
+      end
+      | Query.Predicate.Col_cmp _ | Query.Predicate.Cmp _ -> find rest
+    end
+  in
+  find preds

@@ -12,3 +12,13 @@ val split :
     concatenated schema after the join.
     @raise Invalid_argument when a predicate references a column present in
     neither schema. *)
+
+val comparison_driver :
+  left:Rel.Schema.t ->
+  right:Rel.Schema.t ->
+  Query.Predicate.t list ->
+  (Query.Predicate.t * int * int * Query.Predicate.comparison) option
+(** The first comparison (non-equality) predicate bridging the two
+    schemas, as [(pred, left_pos, right_pos, op)] with [op] oriented
+    left-versus-right (mirrored when the predicate was spelled the other
+    way round) — the sort driver of a comparison sort-merge join. *)

@@ -1,3 +1,136 @@
+(* --- comparison merge ---------------------------------------------------
+
+   The inequality/band generalization: both inputs sorted on the driving
+   predicate's columns under {!Rel.Value.compare_sem} (the order
+   {!Rel.Cmp.eval} compares by), then for each right tuple the qualifying
+   left tuples form a monotone window of the sorted left input — a
+   growing prefix for [Lt]/[Le], a shrinking suffix for [Gt]/[Ge], and a
+   two-pointer sliding window for a band. Each window endpoint only ever
+   advances, so the merge does O(n log n) sort comparisons plus
+   O(output) emission work. NULL driver keys never qualify and are
+   dropped up front (as are non-numeric keys under a band). *)
+let comparison_join ?budget counters ~out_schema ~lcol ~rcol ~op ~residual
+    ~outer ~inner =
+  let accept_residual = Query.Eval.compile_all out_schema residual in
+  let n_residual = List.length residual in
+  let spend n =
+    match budget with
+    | None -> ()
+    | Some b -> Rel.Budget.spend_rows_exn b n
+  in
+  let keep col tuple =
+    (not (Rel.Value.is_null tuple.(col)))
+    &&
+    match op with
+    | Query.Predicate.Band _ -> begin
+      match tuple.(col) with
+      | Rel.Value.Int _ | Rel.Value.Float _ -> true
+      | Rel.Value.Null | Rel.Value.String _ | Rel.Value.Bool _ -> false
+    end
+    | Query.Predicate.Eq | Query.Predicate.Lt | Query.Predicate.Le
+    | Query.Predicate.Gt | Query.Predicate.Ge ->
+      true
+  in
+  let sorted col operator =
+    let tuples =
+      List.filter (keep col) (Operator.fold (fun acc t -> t :: acc) [] operator)
+    in
+    let arr = Array.of_list tuples in
+    Array.sort
+      (fun a b ->
+        Counters.compared counters 1;
+        Rel.Value.compare_sem a.(col) b.(col))
+      arr;
+    arr
+  in
+  let left_arr = sorted lcol outer in
+  let right_arr = sorted rcol inner in
+  let nl = Array.length left_arr and nr = Array.length right_arr in
+  (* Window of qualifying left indexes for the current right tuple:
+     [win_lo, win_hi). Both bounds are monotone in the right key. *)
+  let win_lo = ref 0 and win_hi = ref 0 in
+  let li = ref 0 in
+  let ri = ref (-1) in
+  let counted_sem l r =
+    Counters.compared counters 1;
+    Rel.Value.compare_sem l r
+  in
+  let advance_windows rkey =
+    (match op with
+    | Query.Predicate.Lt ->
+      (* left < right: prefix of lefts strictly below the right key. *)
+      win_lo := 0;
+      while !win_hi < nl && counted_sem left_arr.(!win_hi).(lcol) rkey < 0 do
+        incr win_hi
+      done
+    | Query.Predicate.Le ->
+      win_lo := 0;
+      while !win_hi < nl && counted_sem left_arr.(!win_hi).(lcol) rkey <= 0 do
+        incr win_hi
+      done
+    | Query.Predicate.Gt ->
+      (* left > right: suffix of lefts strictly above the right key. *)
+      win_hi := nl;
+      while !win_lo < nl && counted_sem left_arr.(!win_lo).(lcol) rkey <= 0 do
+        incr win_lo
+      done
+    | Query.Predicate.Ge ->
+      win_hi := nl;
+      while !win_lo < nl && counted_sem left_arr.(!win_lo).(lcol) rkey < 0 do
+        incr win_lo
+      done
+    | Query.Predicate.Band eps ->
+      let x = Rel.Value.float_exn rkey in
+      let fkey i = Rel.Value.float_exn left_arr.(i).(lcol) in
+      while
+        !win_lo < nl
+        && begin
+             Counters.compared counters 1;
+             fkey !win_lo < x -. eps
+           end
+      do
+        incr win_lo
+      done;
+      if !win_hi < !win_lo then win_hi := !win_lo;
+      while
+        !win_hi < nl
+        && begin
+             Counters.compared counters 1;
+             fkey !win_hi <= x +. eps
+           end
+      do
+        incr win_hi
+      done
+    | Query.Predicate.Eq ->
+      invalid_arg "Sort_merge.comparison_join: Eq is a merge key, not a driver");
+    li := !win_lo
+  in
+  let rec pull () =
+    if !ri >= nr then None
+    else if !ri >= 0 && !li < !win_hi then begin
+      let joined =
+        Rel.Tuple.concat left_arr.(!li) right_arr.(!ri)
+      in
+      incr li;
+      Counters.compared counters n_residual;
+      if accept_residual joined then begin
+        Counters.output counters 1;
+        spend 1;
+        Some joined
+      end
+      else pull ()
+    end
+    else begin
+      incr ri;
+      if !ri >= nr then None
+      else begin
+        advance_windows right_arr.(!ri).(rcol);
+        pull ()
+      end
+    end
+  in
+  Operator.make out_schema pull
+
 let join ?budget counters preds ~outer ~inner =
   let left_schema = Operator.schema outer in
   let right_schema = Operator.schema inner in
@@ -5,8 +138,21 @@ let join ?budget counters preds ~outer ~inner =
   let keys, residual =
     Join_keys.split ~left:left_schema ~right:right_schema preds
   in
-  if keys = [] then
-    invalid_arg "Sort_merge.join: no equi-join key between the inputs";
+  if keys = [] then begin
+    match
+      Join_keys.comparison_driver ~left:left_schema ~right:right_schema
+        residual
+    with
+    | Some (driver_pred, lcol, rcol, op) ->
+      let residual =
+        List.filter (fun p -> not (p == driver_pred)) residual
+      in
+      comparison_join ?budget counters ~out_schema ~lcol ~rcol ~op ~residual
+        ~outer ~inner
+    | None ->
+      invalid_arg "Sort_merge.join: no join key between the inputs"
+  end
+  else
   let left_cols = List.map fst keys and right_cols = List.map snd keys in
   let accept_residual = Query.Eval.compile_all out_schema residual in
   let n_residual = List.length residual in

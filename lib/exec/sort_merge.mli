@@ -1,9 +1,21 @@
-(** Sort-merge equi-join.
+(** Sort-merge join: equality keys, inequality and band drivers.
 
-    Both inputs are materialized and sorted on the equi-join keys (sort
-    comparisons are charged to the work counters), then merged, buffering
-    duplicate key runs on the right so m×n matches within a key group are
-    all produced. NULL keys never match and are skipped. *)
+    With equi-join keys, both inputs are materialized and sorted on them
+    (sort comparisons are charged to the work counters), then merged,
+    buffering duplicate key runs on the right so m×n matches within a key
+    group are all produced.
+
+    With no equi-key but a comparison predicate ([R.a < S.b],
+    [|R.a - S.b| <= eps]) bridging the inputs, both sides are sorted on
+    the driving columns and merged by a monotone window: for each right
+    tuple the qualifying left tuples are a prefix ([Lt]/[Le]), a suffix
+    ([Gt]/[Ge]) or a two-pointer band window of the sorted left input, so
+    the merge does O(n log n) sort comparisons plus O(output) emission
+    work. Remaining predicates are evaluated as residuals on the
+    concatenated tuple.
+
+    NULL keys never match and are skipped (as are non-numeric keys under
+    a band driver). *)
 
 val join :
   ?budget:Rel.Budget.t ->
@@ -15,4 +27,5 @@ val join :
 (** With a [budget], every emitted tuple spends one budgeted row (raising
     {!Rel.Budget.Exhausted} on trip); input reads are spent by the child
     operators during materialization.
-    @raise Invalid_argument when no equi-key bridges the two inputs. *)
+    @raise Invalid_argument when neither an equi-key nor a comparison
+    predicate bridges the two inputs. *)

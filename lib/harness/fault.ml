@@ -211,6 +211,13 @@ let default_sql =
   "SELECT COUNT(*) FROM t1, t2, t3 WHERE t1.a = t2.a AND t2.a = t3.a AND \
    t1.b <= 25"
 
+(* The comparison-join leg of the matrix: same catalog, but the last link
+   is an inequality, so every corruption also crosses the CDF-convolution
+   estimator and the kernel's interpreted fallback. *)
+let inequality_sql =
+  "SELECT COUNT(*) FROM t1, t2, t3 WHERE t1.a = t2.a AND t2.a < t3.a AND \
+   t1.b <= 25"
+
 let base_db ?(seed = 7) () =
   let rng = Datagen.Prng.create seed in
   let db = Catalog.Db.create () in
@@ -319,22 +326,31 @@ let outcome_of ?(estimator = Els.Estimator.ls) ?budget ~strictness corruption
       budget_tripped = tripped ();
     }
 
-let run ?seed ?(sql = default_sql) ?(estimators = Els.Estimator.registry ())
-    ?make_budget ~strictness () =
+let run ?seed ?sql ?(estimators = Els.Estimator.registry ()) ?make_budget
+    ~strictness () =
   let clean = base_db ?seed () in
   let budget () = Option.map (fun f -> f ()) make_budget in
+  let sqls =
+    match sql with
+    | Some sql -> [ sql ]
+    | None -> [ default_sql; inequality_sql ]
+  in
   List.concat_map
-    (fun estimator ->
-      let baseline =
-        outcome_of ~estimator ?budget:(budget ()) ~strictness None clean sql
-      in
-      baseline
-      :: List.map
-           (fun kind ->
-             outcome_of ~estimator ?budget:(budget ()) ~strictness (Some kind)
-               (corrupt_db kind clean) sql)
-           all)
-    estimators
+    (fun sql ->
+      List.concat_map
+        (fun estimator ->
+          let baseline =
+            outcome_of ~estimator ?budget:(budget ()) ~strictness None clean
+              sql
+          in
+          baseline
+          :: List.map
+               (fun kind ->
+                 outcome_of ~estimator ?budget:(budget ()) ~strictness
+                   (Some kind) (corrupt_db kind clean) sql)
+               all)
+        estimators)
+    sqls
 
 (* An outcome is acceptable when the pipeline neither crashed nor let an
    impossible number escape; under Repair and Trap every injected

@@ -60,7 +60,13 @@ val corrupt_db :
     (default: all); the input is untouched. *)
 
 val default_sql : string
-(** The 3-table chain query (with a local predicate) the suite drives. *)
+(** The 3-table equality chain query (with a local predicate) the suite
+    drives. *)
+
+val inequality_sql : string
+(** The comparison-join leg: the same chain with its last link turned
+    into [t2.a < t3.a], crossing every corruption with the CDF-convolution
+    selectivity path and the kernel's interpreted fallback. *)
 
 val base_db : ?seed:int -> unit -> Catalog.Db.t
 (** Three stored, fully-analyzed chain tables (equi-depth histograms and
@@ -108,13 +114,15 @@ val run :
   strictness:Catalog.Validate.strictness ->
   unit ->
   outcome list
-(** Per estimator ([estimators] defaults to the full
-    {!Els.Estimator.registry}): the clean baseline followed by one outcome
-    per corruption kind in {!all}, each applied to every table and column
-    of {!base_db} — the robustness contract must hold for every registered
-    estimator, not just ELS. [make_budget] produces a {e fresh} budget per
-    outcome (budgets are sticky, so they cannot be shared), crossing the
-    corruption grid with resource exhaustion. *)
+(** Per driven query ([sql] forces a single query; the default drives
+    both {!default_sql} and {!inequality_sql}) and per estimator
+    ([estimators] defaults to the full {!Els.Estimator.registry}): the
+    clean baseline followed by one outcome per corruption kind in {!all},
+    each applied to every table and column of {!base_db} — the robustness
+    contract must hold for every registered estimator, not just ELS.
+    [make_budget] produces a {e fresh} budget per outcome (budgets are
+    sticky, so they cannot be shared), crossing the corruption grid with
+    resource exhaustion. *)
 
 val acceptable : outcome -> bool
 (** No crash; estimates (when produced) finite and non-negative; under

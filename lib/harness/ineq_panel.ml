@@ -1,0 +1,92 @@
+type row = {
+  scenario : string;
+  predicate : string;
+  estimator : string;
+  estimate : float;
+  truth : float;
+  q : Accuracy.q_error;
+}
+
+(* One generated workload per scenario: a pure inequality join, a band
+   join, and a mixed chain (equality link then inequality link). All use
+   integer join columns with domains starting at 1, so the comparison
+   always overlaps and the executed truth is positive — every q-error in
+   the panel is expected to be finite. *)
+let scenarios ~seed =
+  [
+    ("lt", Datagen.Workload.comparison ~seed ~n_tables:2 ());
+    ( "ge",
+      Datagen.Workload.comparison ~op:Query.Predicate.Ge ~seed:(seed + 1)
+        ~n_tables:2 () );
+    ( "band",
+      Datagen.Workload.comparison
+        ~op:(Query.Predicate.Band 2.5)
+        ~seed:(seed + 2) ~n_tables:2 () );
+    ( "mixed",
+      Datagen.Workload.comparison ~seed:(seed + 3) ~n_tables:3 () );
+  ]
+
+let join_predicate_string query =
+  String.concat " AND "
+    (List.filter_map
+       (fun p ->
+         if Query.Predicate.is_join p then Some (Query.Predicate.to_string p)
+         else None)
+       query.Query.predicates)
+
+let run ?(seed = 42) () =
+  List.concat_map
+    (fun (scenario, spec) ->
+      let db = spec.Datagen.Workload.db in
+      let query = spec.Datagen.Workload.query in
+      let order = query.Query.tables in
+      let truth =
+        float_of_int
+          (Exec.Executor.run_query db query).Exec.Executor.row_count
+      in
+      let predicate = join_predicate_string query in
+      List.map
+        (fun est ->
+          let config = Els.Config.of_estimator est in
+          let estimates = Els.intermediate_sizes config db query order in
+          let estimate =
+            match List.rev estimates with last :: _ -> last | [] -> 0.
+          in
+          {
+            scenario;
+            predicate;
+            estimator = Els.Estimator.label est;
+            estimate;
+            truth;
+            q = Accuracy.q_error ~est:estimate ~truth;
+          })
+        (Els.Estimator.registry ()))
+    (scenarios ~seed)
+
+let pass rows =
+  rows <> []
+  && List.for_all
+       (fun r -> match r.q with Accuracy.Finite _ -> true | _ -> false)
+       rows
+
+let q_cell = function
+  | Accuracy.Finite q -> Report.float_cell q
+  | Accuracy.Infinite -> "inf"
+  | Accuracy.Undefined -> "undef"
+
+let render rows =
+  Report.table
+    ~header:
+      [ "Scenario"; "Join Predicate"; "Estimator"; "Estimate"; "True";
+        "q-error" ]
+    (List.map
+       (fun r ->
+         [
+           r.scenario;
+           r.predicate;
+           r.estimator;
+           Report.float_cell r.estimate;
+           Report.float_cell r.truth;
+           q_cell r.q;
+         ])
+       rows)

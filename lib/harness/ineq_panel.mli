@@ -1,0 +1,32 @@
+(** Experiment F14: inequality and band joins, estimated vs executed.
+
+    The estimation pipeline's comparison-join generalization replaces the
+    paper's equality-only selectivity rules with a histogram-CDF
+    convolution ({!Stats.Selectivity_est.join_comparison} /
+    [join_band]); the executor's generalized sort-merge supplies the
+    exact truth. This panel crosses four generated scenarios — a [<]
+    join, a [>=] join, a [|a − b| <= eps] band, and a mixed
+    equality-then-inequality chain — with every estimator in the core
+    registry, reporting the final estimate, the executed true size, and
+    the q-error.
+
+    The generated workloads overlap by construction (integer join columns
+    with domains starting at 1), so a sound estimator produces a finite
+    q-error on every row — CI asserts exactly {!pass}. *)
+
+type row = {
+  scenario : string;  (** "lt", "ge", "band" or "mixed" *)
+  predicate : string;  (** the join predicate(s), rendered *)
+  estimator : string;  (** {!Els.Estimator.label} *)
+  estimate : float;  (** final join-size estimate *)
+  truth : float;  (** executed true size *)
+  q : Accuracy.q_error;
+}
+
+val run : ?seed:int -> unit -> row list
+(** Default seed 42; each scenario derives its own sub-seed. *)
+
+val pass : row list -> bool
+(** True when the panel is non-empty and every q-error is finite. *)
+
+val render : row list -> string

@@ -30,6 +30,11 @@ let absorb_profile m profile =
   Metrics.set_counter
     (Metrics.counter m "profile.kernel.steps")
     (Els.Profile.kernel_steps profile);
+  (* Steps the kernel declined (non-equality join predicates in the
+     profile): estimation fell back to the interpreted tier. *)
+  Metrics.set_counter
+    (Metrics.counter m "profile.kernel.fallback_steps")
+    (Els.Profile.kernel_fallback_steps profile);
   absorb_guard_stats m (Els.Profile.guard_stats profile);
   absorb_validation m (Els.Profile.validation_issues profile)
 

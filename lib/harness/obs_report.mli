@@ -9,6 +9,9 @@
       counters;
     - ["profile.kernel.steps"] — estimation steps served by the profile's
       compiled {!Els.Kernel} (which bypasses the caches above);
+    - ["profile.kernel.fallback_steps"] — steps the kernel declined
+      because the profile carries non-equality join predicates, served by
+      the interpreted tier instead;
     - ["guard.*"] — {!Els.Guard.stats} violations / repairs / fallbacks;
     - ["catalog.issues"], ["catalog.issue.<kind>"] —
       {!Catalog.Validate} findings per issue kind;

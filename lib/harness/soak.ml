@@ -44,16 +44,34 @@ let pick rng list = List.nth list (Rel.Prng.int rng (List.length list))
 
 let random_workload rng =
   let seed = Rel.Prng.int rng 1_000_000 in
-  if Rel.Prng.bool rng then
+  match Rel.Prng.int rng 3 with
+  | 0 ->
     Datagen.Workload.chain ~rows_range:(20, 120) ~distinct_range:(3, 40)
       ~seed
       ~n_tables:(Rel.Prng.int_in rng 2 6)
       ()
-  else
+  | 1 ->
     Datagen.Workload.star
       ~fact_rows:(Rel.Prng.int_in rng 50 200)
       ~dim_rows_range:(10, 60) ~seed
       ~n_dims:(Rel.Prng.int_in rng 1 4)
+      ()
+  | _ ->
+    (* Comparison-join leg: a chain whose last link is an inequality or
+       band, exercising the CDF-convolution estimator, the interpreted
+       kernel fallback and the generalized sort-merge under the same
+       chaos (corruption × strictness × budgets) as the equality legs. *)
+    let op =
+      pick rng
+        [
+          Query.Predicate.Lt; Query.Predicate.Le; Query.Predicate.Gt;
+          Query.Predicate.Ge;
+          Query.Predicate.Band (float_of_int (Rel.Prng.int_in rng 0 4));
+        ]
+    in
+    Datagen.Workload.comparison ~rows_range:(20, 120)
+      ~distinct_range:(3, 40) ~op ~seed
+      ~n_tables:(Rel.Prng.int_in rng 2 4)
       ()
 
 let finite_choice choice =

@@ -7,6 +7,7 @@ type column_record = {
 
 type class_record = {
   class_root : string;
+  kind : string;
   rule : string;
   inputs : (string * float) list;
   combined : float;
@@ -77,8 +78,8 @@ let pp_card ppf t =
         Format.fprintf ppf "    cartesian step (no eligible predicates)@.";
       List.iter
         (fun c ->
-          Format.fprintf ppf "    class %s  rule=%s  S=%.6g@." c.class_root
-            c.rule c.combined;
+          Format.fprintf ppf "    class %s  kind=%s  rule=%s  S=%.6g@."
+            c.class_root c.kind c.rule c.combined;
           List.iter
             (fun (pred, s) ->
               Format.fprintf ppf "      %s  s=%.6g@." pred s)
@@ -108,6 +109,7 @@ let class_json c =
   Json.Obj
     [
       ("class", Json.String c.class_root);
+      ("kind", Json.String c.kind);
       ("rule", Json.String c.rule);
       ( "inputs",
         Json.List

@@ -23,6 +23,10 @@ type column_record = {
 
 type class_record = {
   class_root : string;  (** equivalence-class representative column *)
+  kind : string;
+      (** predicate kind of the group: ["eq"] (class of equality
+          predicates), ["ineq"] or ["band"] (singleton comparison
+          predicate) *)
   rule : string;  (** estimator id that combined the class (m/ss/ls/pess) *)
   inputs : (string * float) list;
       (** eligible predicate text → its raw join selectivity, in

@@ -9,8 +9,12 @@ let scan_filters profile table = Els.Profile.scan_filters profile table
 let method_applicable method_ eligible =
   match method_ with
   | Exec.Plan.Nested_loop -> true
-  | Exec.Plan.Sort_merge | Exec.Plan.Hash | Exec.Plan.Index_nested_loop ->
-    eligible <> []
+  (* Sort-merge handles any comparison join (its driver generalizes to
+     inequality/band windows); hash and index lookups need an equality
+     key to probe on. *)
+  | Exec.Plan.Sort_merge -> eligible <> []
+  | Exec.Plan.Hash | Exec.Plan.Index_nested_loop ->
+    List.exists Query.Predicate.is_equijoin eligible
 
 let scan_node profile table =
   let tp = Els.Profile.table profile table in
@@ -67,8 +71,9 @@ let no_method_error methods tables =
          detail =
            Printf.sprintf
              "no applicable join method for %s: the allowed methods (%s) \
-              all need an eligible equi-join predicate and this step has \
-              none (allow nested loop to plan cartesian steps)"
+              all need an eligible join predicate (an equality for \
+              hash/index) and this step has none (allow nested loop to \
+              plan cartesian steps)"
              (match tables with
              | [ t ] -> Printf.sprintf "table %S" t
              | ts -> Printf.sprintf "tables %s" (String.concat ", " ts))

@@ -14,9 +14,28 @@ let compile schema = function
   | Predicate.Cmp { col; op; const } ->
     let i = index schema col in
     fun tuple -> Rel.Cmp.eval op tuple.(i) const
-  | Predicate.Col_eq { left; right } ->
+  | Predicate.Col_cmp { left; op = Predicate.Eq; right } ->
     let i = index schema left and j = index schema right in
     fun tuple -> Rel.Value.sql_equal tuple.(i) tuple.(j)
+  | Predicate.Col_cmp { left; op = Predicate.Band eps; right } ->
+    let i = index schema left and j = index schema right in
+    fun tuple ->
+      let l = tuple.(i) and r = tuple.(j) in
+      (* SQL three-valued logic: NULL on either side never qualifies.
+         Non-numeric values cannot be within a numeric band. *)
+      (match l, r with
+      | (Rel.Value.Int _ | Rel.Value.Float _),
+        (Rel.Value.Int _ | Rel.Value.Float _) ->
+        Float.abs (Rel.Value.float_exn l -. Rel.Value.float_exn r) <= eps
+      | _ -> false)
+  | Predicate.Col_cmp { left; op; right } ->
+    let i = index schema left and j = index schema right in
+    let op =
+      match Predicate.cmp_of_comparison op with
+      | Some op -> op
+      | None -> assert false (* Eq and Band handled above *)
+    in
+    fun tuple -> Rel.Cmp.eval op tuple.(i) tuple.(j)
 
 let compile_all schema predicates =
   let compiled = List.map (compile schema) predicates in

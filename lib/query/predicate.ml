@@ -1,12 +1,26 @@
 module T = struct
+  type comparison =
+    | Eq
+    | Lt
+    | Le
+    | Gt
+    | Ge
+    | Band of float
+
+  let compare_comparison a b =
+    match a, b with
+    | Band x, Band y -> Float.compare x y
+    | _ -> Stdlib.compare a b
+
   type t =
     | Cmp of {
         col : Cref.t;
         op : Rel.Cmp.t;
         const : Rel.Value.t;
       }
-    | Col_eq of {
+    | Col_cmp of {
         left : Cref.t;
+        op : comparison;
         right : Cref.t;
       }
 
@@ -21,34 +35,91 @@ module T = struct
       end
       | c -> c
     end
-    | Col_eq x, Col_eq y -> begin
+    | Col_cmp x, Col_cmp y -> begin
       match Cref.compare x.left y.left with
-      | 0 -> Cref.compare x.right y.right
+      | 0 -> begin
+        match compare_comparison x.op y.op with
+        | 0 -> Cref.compare x.right y.right
+        | c -> c
+      end
       | c -> c
     end
-    | Cmp _, Col_eq _ -> -1
-    | Col_eq _, Cmp _ -> 1
+    | Cmp _, Col_cmp _ -> -1
+    | Col_cmp _, Cmp _ -> 1
 end
 
 include T
 
 let cmp col op const = Cmp { col; op; const }
 
-let col_eq a b =
+let mirror = function
+  | Eq -> Eq
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Band eps -> Band eps
+
+let col_cmp a op b =
+  (match op with
+  | Band eps when not (Float.is_finite eps && eps >= 0.) ->
+    invalid_arg "Predicate.col_cmp: band epsilon must be finite and >= 0"
+  | _ -> ());
   let c = Cref.compare a b in
-  if c = 0 then invalid_arg "Predicate.col_eq: column equated with itself"
-  else if c < 0 then Col_eq { left = a; right = b }
-  else Col_eq { left = b; right = a }
+  if c = 0 then invalid_arg "Predicate.col_cmp: column compared with itself"
+  else if c < 0 then Col_cmp { left = a; op; right = b }
+  else Col_cmp { left = b; op = mirror op; right = a }
+
+let col_eq a b = col_cmp a Eq b
+
+let comparison_of_cmp = function
+  | Rel.Cmp.Eq -> Some Eq
+  | Rel.Cmp.Lt -> Some Lt
+  | Rel.Cmp.Le -> Some Le
+  | Rel.Cmp.Gt -> Some Gt
+  | Rel.Cmp.Ge -> Some Ge
+  | Rel.Cmp.Ne -> None
+
+let cmp_of_comparison = function
+  | Eq -> Some Rel.Cmp.Eq
+  | Lt -> Some Rel.Cmp.Lt
+  | Le -> Some Rel.Cmp.Le
+  | Gt -> Some Rel.Cmp.Gt
+  | Ge -> Some Rel.Cmp.Ge
+  | Band _ -> None
+
+type kind =
+  | Kind_eq
+  | Kind_ineq
+  | Kind_band
+
+let comparison_kind = function
+  | Eq -> Kind_eq
+  | Lt | Le | Gt | Ge -> Kind_ineq
+  | Band _ -> Kind_band
+
+let kind = function
+  | Cmp _ -> None
+  | Col_cmp { op; _ } -> Some (comparison_kind op)
+
+let kind_name = function
+  | Kind_eq -> "eq"
+  | Kind_ineq -> "ineq"
+  | Kind_band -> "band"
 
 let is_join = function
-  | Col_eq { left; right } -> not (Cref.same_table left right)
+  | Col_cmp { left; right; _ } -> not (Cref.same_table left right)
   | Cmp _ -> false
+
+let is_equijoin = function
+  | Col_cmp { left; op = Eq; right } -> not (Cref.same_table left right)
+  | Col_cmp _ | Cmp _ -> false
 
 let is_local p = not (is_join p)
 
 let columns = function
   | Cmp { col; _ } -> [ col ]
-  | Col_eq { left; right } -> [ left; right ]
+  | Col_cmp { left; right; _ } -> [ left; right ]
 
 let tables p =
   List.sort_uniq String.compare
@@ -61,12 +132,24 @@ let references_only table_names p =
 
 let equal a b = compare a b = 0
 
+let comparison_to_string = function
+  | Eq -> "="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Band _ -> "~"
+
 let to_string = function
   | Cmp { col; op; const } ->
     Printf.sprintf "%s %s %s" (Cref.to_string col) (Rel.Cmp.to_string op)
       (Rel.Value.to_string const)
-  | Col_eq { left; right } ->
-    Printf.sprintf "%s = %s" (Cref.to_string left) (Cref.to_string right)
+  | Col_cmp { left; op = Band eps; right } ->
+    Printf.sprintf "|%s - %s| <= %g" (Cref.to_string left)
+      (Cref.to_string right) eps
+  | Col_cmp { left; op; right } ->
+    Printf.sprintf "%s %s %s" (Cref.to_string left)
+      (comparison_to_string op) (Cref.to_string right)
 
 let pp ppf p = Format.pp_print_string ppf (to_string p)
 

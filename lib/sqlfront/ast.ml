@@ -7,11 +7,24 @@ type operand =
   | Col of column_ref
   | Lit of Rel.Value.t
 
-type condition = {
-  lhs : operand;
-  op : Rel.Cmp.t;
-  rhs : operand;
+type bound = {
+  base : operand;
+  offset : float; (* signed; 0. when no [+ k]/[- k] was written *)
 }
+
+type condition =
+  | Cmp of {
+      lhs : operand;
+      op : Rel.Cmp.t;
+      rhs : operand;
+      op_pos : int; (* byte offset of the comparison operator *)
+    }
+  | Between of {
+      lhs : operand;
+      lo : bound;
+      hi : bound;
+      pos : int; (* byte offset of the BETWEEN keyword *)
+    }
 
 type select_item =
   | Sel_star
@@ -38,6 +51,20 @@ let operand_to_string = function
   | Col c -> column_ref_to_string c
   | Lit v -> Rel.Value.to_string v
 
+let bound_to_string b =
+  if b.offset = 0. then operand_to_string b.base
+  else if b.offset < 0. then
+    Printf.sprintf "%s - %g" (operand_to_string b.base) (-.b.offset)
+  else Printf.sprintf "%s + %g" (operand_to_string b.base) b.offset
+
+let condition_to_string = function
+  | Cmp { lhs; op; rhs; _ } ->
+    Printf.sprintf "%s %s %s" (operand_to_string lhs) (Rel.Cmp.to_string op)
+      (operand_to_string rhs)
+  | Between { lhs; lo; hi; _ } ->
+    Printf.sprintf "%s BETWEEN %s AND %s" (operand_to_string lhs)
+      (bound_to_string lo) (bound_to_string hi)
+
 let pp_query ppf q =
   let select =
     match q.select with
@@ -56,9 +83,5 @@ let pp_query ppf q =
   match q.where with
   | [] -> ()
   | conds ->
-    let cond_to_string c =
-      Printf.sprintf "%s %s %s" (operand_to_string c.lhs)
-        (Rel.Cmp.to_string c.op) (operand_to_string c.rhs)
-    in
     Format.fprintf ppf " WHERE %s"
-      (String.concat " AND " (List.map cond_to_string conds))
+      (String.concat " AND " (List.map condition_to_string conds))

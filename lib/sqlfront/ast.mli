@@ -10,11 +10,29 @@ type operand =
   | Col of column_ref
   | Lit of Rel.Value.t
 
-type condition = {
-  lhs : operand;
-  op : Rel.Cmp.t;
-  rhs : operand;
+type bound = {
+  base : operand;
+  offset : float;
+      (** signed numeric offset on the bound ([col - 0.5] gives [-0.5]);
+          [0.] when no arithmetic was written *)
 }
+
+type condition =
+  | Cmp of {
+      lhs : operand;
+      op : Rel.Cmp.t;
+      rhs : operand;
+      op_pos : int;  (** byte offset of the comparison operator *)
+    }
+      (** a plain [lhs op rhs] comparison *)
+  | Between of {
+      lhs : operand;
+      lo : bound;
+      hi : bound;
+      pos : int;  (** byte offset of the BETWEEN keyword *)
+    }
+      (** [lhs BETWEEN lo AND hi]; bounds may carry [± offset] arithmetic
+          on a column base, which the binder recognizes as a band join *)
 
 type select_item =
   | Sel_star
@@ -32,4 +50,5 @@ type query = {
   where : condition list; (** conjunction; empty for no WHERE *)
 }
 
+val condition_to_string : condition -> string
 val pp_query : Format.formatter -> query -> unit

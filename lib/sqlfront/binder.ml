@@ -1,6 +1,17 @@
 exception Bind_error of string
 
+exception
+  Bind_pos_error of {
+    message : string;
+    position : int;
+  }
+
 let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+let fail_at position fmt =
+  Printf.ksprintf
+    (fun message -> raise (Bind_pos_error { message; position }))
+    fmt
 
 type env = {
   db : Catalog.Db.t;
@@ -83,37 +94,128 @@ let coerce_const ty v =
       fail "constant %s does not match column type %s"
         (Rel.Value.to_string v) (Rel.Value.ty_name ty)
 
-(* [Some pred] to keep, [None] for a dropped tautology. *)
-let bind_condition env (cond : Ast.condition) =
-  match cond.lhs, cond.rhs with
-  | Ast.Col lc, Ast.Col rc -> begin
-    let left = resolve env lc and right = resolve env rc in
-    if not (Rel.Cmp.is_equality cond.op) then
-      fail "only equality is supported between columns (%s %s %s)"
-        (Query.Cref.to_string left) (Rel.Cmp.to_string cond.op)
-        (Query.Cref.to_string right);
-    let lty = column_type env left and rty = column_type env right in
+let is_numeric = function
+  | Rel.Value.Ty_int | Rel.Value.Ty_float -> true
+  | Rel.Value.Ty_string | Rel.Value.Ty_bool -> false
+
+(* Column-to-column comparison: equality joins exactly as before;
+   inequalities form comparison joins across tables; [<>] between columns
+   is rejected at its operator offset with a did-you-mean hint (no join
+   method or estimation rule covers an anti-join key). *)
+let bind_col_col env ~op_pos op left right =
+  let lty = column_type env left and rty = column_type env right in
+  let compatible = lty = rty || (is_numeric lty && is_numeric rty) in
+  match op with
+  | Rel.Cmp.Eq ->
     if lty <> rty then
       fail "type mismatch in %s = %s" (Query.Cref.to_string left)
         (Query.Cref.to_string right);
-    if Query.Cref.equal left right then None
-    else Some (Query.Predicate.col_eq left right)
-  end
-  | Ast.Col c, Ast.Lit v ->
-    let col = resolve env c in
-    let v = coerce_const (column_type env col) v in
-    Some (Query.Predicate.cmp col cond.op v)
-  | Ast.Lit v, Ast.Col c ->
-    let col = resolve env c in
-    let v = coerce_const (column_type env col) v in
-    Some (Query.Predicate.cmp col (Rel.Cmp.flip cond.op) v)
-  | Ast.Lit a, Ast.Lit b ->
-    if Rel.Cmp.eval cond.op a b then None
-    else
-      fail "condition %s %s %s is always false" (Rel.Value.to_string a)
-        (Rel.Cmp.to_string cond.op) (Rel.Value.to_string b)
+    if Query.Cref.equal left right then []
+    else [ Query.Predicate.col_eq left right ]
+  | Rel.Cmp.Ne ->
+    fail_at op_pos
+      "<> is not supported between columns (%s <> %s); did you mean =, or \
+       a range comparison (<, <=, >, >=, BETWEEN)?"
+      (Query.Cref.to_string left)
+      (Query.Cref.to_string right)
+  | Rel.Cmp.Lt | Rel.Cmp.Le | Rel.Cmp.Gt | Rel.Cmp.Ge ->
+    if Query.Cref.equal left right then
+      fail "column %s compared with itself" (Query.Cref.to_string left);
+    if Query.Cref.same_table left right then
+      fail
+        "comparison %s %s %s stays inside table %s: only equality is \
+         supported between columns of one table"
+        (Query.Cref.to_string left) (Rel.Cmp.to_string op)
+        (Query.Cref.to_string right) left.Query.Cref.table;
+    if not compatible then
+      fail "type mismatch in %s %s %s (%s vs %s)"
+        (Query.Cref.to_string left) (Rel.Cmp.to_string op)
+        (Query.Cref.to_string right) (Rel.Value.ty_name lty)
+        (Rel.Value.ty_name rty);
+    let comparison =
+      match Query.Predicate.comparison_of_cmp op with
+      | Some c -> c
+      | None -> assert false
+    in
+    [ Query.Predicate.col_cmp left comparison right ]
 
-let bind db (ast : Ast.query) =
+(* A BETWEEN whose bounds are the same column shifted by a symmetric
+   [± eps] is a band join: [a BETWEEN b - eps AND b + eps] means
+   [|a - b| <= eps]. Asymmetric column bounds are rejected — the paper's
+   estimation rules (and the band merge driver) only cover centred
+   bands. *)
+let bind_between env ~pos lhs (lo : Ast.bound) (hi : Ast.bound) =
+  match lhs with
+  | Ast.Lit v ->
+    fail_at pos "BETWEEN needs a column on its left, found constant %s"
+      (Rel.Value.to_string v)
+  | Ast.Col c -> begin
+    let col = resolve env c in
+    match lo.Ast.base, hi.Ast.base with
+    | Ast.Lit l, Ast.Lit h ->
+      (* Constant range: desugar into the usual [>=]/[<=] pair. *)
+      let ty = column_type env col in
+      [
+        Query.Predicate.cmp col Rel.Cmp.Ge (coerce_const ty l);
+        Query.Predicate.cmp col Rel.Cmp.Le (coerce_const ty h);
+      ]
+    | Ast.Col bl, Ast.Col bh ->
+      let blo = resolve env bl and bhi = resolve env bh in
+      if not (Query.Cref.equal blo bhi) then
+        fail_at pos
+          "BETWEEN band bounds must shift one column (%s vs %s); write \
+           %s BETWEEN col - eps AND col + eps"
+          (Query.Cref.to_string blo) (Query.Cref.to_string bhi)
+          (Query.Cref.to_string col);
+      let eps = hi.Ast.offset in
+      if not (eps >= 0. && lo.Ast.offset = -.eps) then
+        fail_at pos
+          "BETWEEN band must be symmetric: %s - eps AND %s + eps (got \
+           offsets %g and %g)"
+          (Query.Cref.to_string blo) (Query.Cref.to_string blo)
+          lo.Ast.offset eps;
+      if Query.Cref.same_table col blo then
+        fail
+          "band %s BETWEEN %s - %g AND %s + %g stays inside table %s: \
+           bands are join predicates"
+          (Query.Cref.to_string col) (Query.Cref.to_string blo) eps
+          (Query.Cref.to_string blo) eps col.Query.Cref.table;
+      let lty = column_type env col and rty = column_type env blo in
+      if not (is_numeric lty && is_numeric rty) then
+        fail "band join %s BETWEEN %s ± %g needs numeric columns (%s vs %s)"
+          (Query.Cref.to_string col) (Query.Cref.to_string blo) eps
+          (Rel.Value.ty_name lty) (Rel.Value.ty_name rty);
+      [ Query.Predicate.col_cmp col (Query.Predicate.Band eps) blo ]
+    | Ast.Lit _, Ast.Col _ | Ast.Col _, Ast.Lit _ ->
+      fail_at pos
+        "BETWEEN bounds must be both constants or both the same shifted \
+         column"
+  end
+
+(* Bound predicates to keep; [[]] for a dropped tautology. *)
+let bind_condition env (cond : Ast.condition) =
+  match cond with
+  | Ast.Between { lhs; lo; hi; pos } -> bind_between env ~pos lhs lo hi
+  | Ast.Cmp { lhs; op; rhs; op_pos } -> begin
+    match lhs, rhs with
+    | Ast.Col lc, Ast.Col rc ->
+      bind_col_col env ~op_pos op (resolve env lc) (resolve env rc)
+    | Ast.Col c, Ast.Lit v ->
+      let col = resolve env c in
+      let v = coerce_const (column_type env col) v in
+      [ Query.Predicate.cmp col op v ]
+    | Ast.Lit v, Ast.Col c ->
+      let col = resolve env c in
+      let v = coerce_const (column_type env col) v in
+      [ Query.Predicate.cmp col (Rel.Cmp.flip op) v ]
+    | Ast.Lit a, Ast.Lit b ->
+      if Rel.Cmp.eval op a b then []
+      else
+        fail "condition %s %s %s is always false" (Rel.Value.to_string a)
+          (Rel.Cmp.to_string op) (Rel.Value.to_string b)
+  end
+
+let bind_structured db (ast : Ast.query) =
   match
     let from =
       List.map
@@ -133,7 +235,7 @@ let bind db (ast : Ast.query) =
       <> List.length (aliases env)
     then fail "duplicate alias in FROM";
     check_tables env;
-    let predicates = List.filter_map (bind_condition env) ast.where in
+    let predicates = List.concat_map (bind_condition env) ast.where in
     let projection =
       match ast.select with
       | Ast.Sel_star -> Query.Star
@@ -144,8 +246,22 @@ let bind db (ast : Ast.query) =
     Query.make ~projection ~sources:env.from ~tables:(aliases env) predicates
   with
   | q -> Ok q
-  | exception Bind_error msg -> Error ("bind error: " ^ msg)
-  | exception Invalid_argument msg -> Error ("bind error: " ^ msg)
+  | exception Bind_error msg ->
+    Error (Els.Els_error.Invalid_query { detail = "bind error: " ^ msg })
+  (* Positioned binder refusals ([<>] between columns, asymmetric band
+     bounds) surface as [Parse_error] so callers get the byte offset. *)
+  | exception Bind_pos_error { message; position } ->
+    Error (Els.Els_error.Parse_error { position; detail = message })
+  | exception Invalid_argument msg ->
+    Error (Els.Els_error.Invalid_query { detail = "bind error: " ^ msg })
+
+let bind db ast =
+  match bind_structured db ast with
+  | Ok q -> Ok q
+  | Error (Els.Els_error.Parse_error { position; detail }) ->
+    Error (Printf.sprintf "bind error at offset %d: %s" position detail)
+  | Error (Els.Els_error.Invalid_query { detail }) -> Error detail
+  | Error e -> Error (Els.Els_error.to_string e)
 
 let compile db input =
   match Parser.parse input with
@@ -158,11 +274,7 @@ let compile_result db input =
     Error
       (Els.Els_error.Parse_error
          { position = e.Parser.position; detail = e.Parser.message })
-  | Ok ast -> begin
-    match bind db ast with
-    | Ok q -> Ok q
-    | Error msg -> Error (Els.Els_error.Invalid_query { detail = msg })
-  end
+  | Ok ast -> bind_structured db ast
 
 let compile_exn db input =
   match compile db input with

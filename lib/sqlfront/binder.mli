@@ -3,9 +3,20 @@
     The binder checks tables against the catalog, resolves unqualified
     column names (rejecting ambiguous ones), type-checks comparisons, and
     normalizes conditions so constants always sit on the right. Conditions
-    between two columns must be equalities — exactly the predicate language
-    of the paper. Trivially true conditions (e.g. [1 = 1], [R.x = R.x]) are
-    dropped; trivially false ones are rejected. *)
+    between two columns may be equalities or (cross-table) range
+    comparisons [< <= > >=]; [a BETWEEN b - eps AND b + eps] over one
+    shifted column binds as a band join ([|a - b| <= eps]). [<>] between
+    columns, intra-table column inequalities, and asymmetric band bounds
+    are rejected with structured messages. Trivially true conditions
+    (e.g. [1 = 1], [R.x = R.x]) are dropped; trivially false ones are
+    rejected. *)
+
+val bind_structured :
+  Catalog.Db.t -> Ast.query -> (Query.t, Els.Els_error.t) result
+(** Bind with structured errors: positioned refusals ([<>] between
+    columns, malformed band bounds) become [Parse_error] carrying the
+    byte offset of the offending operator/keyword; everything else is
+    [Invalid_query]. Never raises. *)
 
 val bind : Catalog.Db.t -> Ast.query -> (Query.t, string) result
 

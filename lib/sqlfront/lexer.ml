@@ -145,6 +145,14 @@ let tokenize_spanned input =
     | Some c ->
       (match c with
       | ' ' | '\t' | '\n' | '\r' -> advance ()
+      | '+' ->
+        let start = !pos in
+        advance ();
+        emit start Token.Plus
+      | '-' ->
+        let start = !pos in
+        advance ();
+        emit start Token.Minus
       | '*' ->
         let start = !pos in
         advance ();

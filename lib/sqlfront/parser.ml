@@ -131,22 +131,52 @@ let operand st =
   | tok ->
     fail (peek_pos st) "expected operand but found %s" (Token.to_string tok)
 
-(* One WHERE conjunct; [x BETWEEN a AND b] desugars into two
-   conditions. *)
+let numeric_lit st =
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    float_of_int n
+  | Token.Float_lit f ->
+    advance st;
+    f
+  | tok ->
+    fail (peek_pos st) "expected numeric literal but found %s"
+      (Token.to_string tok)
+
+(* A BETWEEN bound: an operand, optionally followed by [± numeric]
+   arithmetic when the base is a column ([s.b - 0.5]). *)
+let bound st =
+  let base = operand st in
+  match peek st with
+  | (Token.Plus | Token.Minus) as tok -> begin
+    match base with
+    | Ast.Lit _ ->
+      fail (peek_pos st)
+        "offset arithmetic is only supported after a column reference"
+    | Ast.Col _ ->
+      let sign = if Token.equal tok Token.Minus then -1. else 1. in
+      advance st;
+      let off = numeric_lit st in
+      { Ast.base; offset = sign *. off }
+  end
+  | _ -> { Ast.base; offset = 0. }
+
+(* One WHERE conjunct: a comparison or a BETWEEN range. *)
 let condition st =
   let lhs = operand st in
   match peek st with
   | Token.Op op ->
+    let op_pos = peek_pos st in
     advance st;
     let rhs = operand st in
-    [ { Ast.lhs; op; rhs } ]
+    Ast.Cmp { lhs; op; rhs; op_pos }
   | Token.Kw_between ->
+    let pos = peek_pos st in
     advance st;
-    let lo = operand st in
+    let lo = bound st in
     expect st Token.Kw_and;
-    let hi = operand st in
-    [ { Ast.lhs; op = Rel.Cmp.Ge; rhs = lo };
-      { Ast.lhs; op = Rel.Cmp.Le; rhs = hi } ]
+    let hi = bound st in
+    Ast.Between { lhs; lo; hi; pos }
   | tok ->
     fail (peek_pos st) "expected comparison operator but found %s"
       (Token.to_string tok)
@@ -155,8 +185,7 @@ let where_clause st =
   if Token.equal (peek st) Token.Kw_where then begin
     advance st;
     let rec loop acc =
-      let cs = condition st in
-      let acc = List.rev_append cs acc in
+      let acc = condition st :: acc in
       if Token.equal (peek st) Token.Kw_and then begin
         advance st;
         loop acc

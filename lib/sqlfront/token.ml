@@ -13,6 +13,8 @@ type t =
   | Float_lit of float
   | String_lit of string
   | Op of Rel.Cmp.t
+  | Plus
+  | Minus
   | Star
   | Comma
   | Dot
@@ -36,6 +38,8 @@ let to_string = function
   | Float_lit f -> string_of_float f
   | String_lit s -> Printf.sprintf "%S" s
   | Op op -> Rel.Cmp.to_string op
+  | Plus -> "+"
+  | Minus -> "-"
   | Star -> "*"
   | Comma -> ","
   | Dot -> "."

@@ -15,6 +15,8 @@ type t =
   | Float_lit of float
   | String_lit of string
   | Op of Rel.Cmp.t
+  | Plus  (** in BETWEEN bound arithmetic: [col + offset] *)
+  | Minus  (** in BETWEEN bound arithmetic: [col - offset] *)
   | Star
   | Comma
   | Dot

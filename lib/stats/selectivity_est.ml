@@ -209,3 +209,118 @@ let range_pair stats ~lower ~upper =
       comparison stats op c
   in
   clamp01 (mass_below_upper -. mass_below_lower)
+
+(* --- comparison joins: histogram-CDF convolution ------------------------
+
+   P(a op b) for [a] drawn from the left column and [b] from the right,
+   generalizing the paper's rule 2d from constants to column pairs: the
+   left column's cumulative distribution is integrated over the right
+   column's value distribution. Histograms give a piecewise CDF; min/max
+   bounds degrade to linear interpolation; with no numeric statistics on
+   either side the System R defaults apply (1/3 for inequalities, the
+   equality default for a band). *)
+
+(* F(op, x) for op ∈ {Lt, Le}: fraction of the column's values v with
+   [v op x], from the best available statistic. *)
+let cdf_eval stats op x =
+  match stats.Col_stats.histogram with
+  | Some h -> Some (Histogram.selectivity h op x)
+  | None -> begin
+    match interpolate stats (Rel.Value.Float x) with
+    | Some (below, at_or_below) ->
+      Some
+        (match op with
+        | Rel.Cmp.Lt -> below
+        | Rel.Cmp.Le | Rel.Cmp.Eq | Rel.Cmp.Ne | Rel.Cmp.Gt | Rel.Cmp.Ge ->
+          at_or_below)
+    | None -> None
+  end
+
+(* The right column's value distribution as weighted intervals
+   [(lo, hi, weight)] with the weights summing to 1. *)
+let outer_buckets stats =
+  match stats.Col_stats.histogram with
+  | Some h ->
+    let total = Histogram.total_count h in
+    if total <= 0. then None
+    else
+      Some
+        (List.filter_map
+           (fun b ->
+             if b.Histogram.count > 0. then
+               Some (b.Histogram.lo, b.Histogram.hi, b.Histogram.count /. total)
+             else None)
+           (Histogram.buckets h))
+  | None -> begin
+    match stats.Col_stats.min_value, stats.Col_stats.max_value with
+    | Some lo_v, Some hi_v -> begin
+      match as_float lo_v, as_float hi_v with
+      | Some lo, Some hi when lo <= hi -> Some [ (lo, hi, 1.) ]
+      | _, _ -> None
+    end
+    | _, _ -> None
+  end
+
+exception No_cdf
+
+(* E_b[g(b)] over the right column's buckets: a point-mass bucket
+   (lo = hi) contributes weight·g(point) exactly; an interval bucket uses
+   the trapezoid (g(lo) + g(hi)) / 2, exact whenever g is linear over the
+   bucket. *)
+let integrate g buckets =
+  List.fold_left
+    (fun acc (lo, hi, w) ->
+      if lo = hi then acc +. (w *. g lo)
+      else acc +. (w *. (g lo +. g hi) /. 2.))
+    0. buckets
+
+let conv left op right =
+  match outer_buckets right with
+  | None -> None
+  | Some buckets -> begin
+    let f op x = match cdf_eval left op x with Some v -> v | None -> raise No_cdf in
+    match integrate (fun x -> f op x) buckets with
+    | mass -> Some mass
+    | exception No_cdf -> None
+  end
+
+let join_comparison left op right =
+  let estimate =
+    match op with
+    | Rel.Cmp.Lt -> conv left Rel.Cmp.Lt right
+    | Rel.Cmp.Le -> conv left Rel.Cmp.Le right
+    (* P(a > b) = 1 - P(a <= b); P(a >= b) = 1 - P(a < b). *)
+    | Rel.Cmp.Gt -> Option.map (fun m -> 1. -. m) (conv left Rel.Cmp.Le right)
+    | Rel.Cmp.Ge -> Option.map (fun m -> 1. -. m) (conv left Rel.Cmp.Lt right)
+    | Rel.Cmp.Eq | Rel.Cmp.Ne ->
+      invalid_arg "Selectivity_est.join_comparison: not an inequality"
+  in
+  match estimate with
+  | Some mass -> clamp01 mass
+  | None -> default_range
+
+let join_band left ~eps right =
+  match outer_buckets right with
+  | None -> default_eq
+  | Some buckets -> begin
+    let f op x = match cdf_eval left op x with Some v -> v | None -> raise No_cdf in
+    (* P(|a - b| <= eps) = E_b[F_le(b + eps) - F_lt(b - eps)]. *)
+    match
+      integrate
+        (fun x -> f Rel.Cmp.Le (x +. eps) -. f Rel.Cmp.Lt (x -. eps))
+        buckets
+    with
+    | mass -> clamp01 mass
+    | exception No_cdf -> default_eq
+  end
+
+let cdf_source stats =
+  match stats.Col_stats.histogram with
+  | Some _ -> Src_histogram
+  | None -> begin
+    match stats.Col_stats.min_value, stats.Col_stats.max_value with
+    | Some lo_v, Some hi_v when as_float lo_v <> None && as_float hi_v <> None
+      ->
+      Src_interpolation
+    | _, _ -> Src_default
+  end

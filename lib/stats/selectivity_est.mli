@@ -46,3 +46,25 @@ val range_pair :
     column, estimated jointly (not as an independent product) so that
     [x > 10 AND x <= 20] is the mass of the interval. Missing sides default
     to the column bounds. *)
+
+val join_comparison : Col_stats.t -> Rel.Cmp.t -> Col_stats.t -> float
+(** [join_comparison left op right] estimates P(a op b) for [a] drawn from
+    the left column and [b] from the right — the inequality-join
+    generalization of the paper's rule 2d. The left column's CDF
+    (histogram when present, min/max interpolation otherwise) is
+    integrated over the right column's value distribution: point-mass
+    buckets contribute exactly, interval buckets by the trapezoid rule.
+    With no numeric statistics on either side the System R range default
+    (1/3) applies. Result lies in [[0, 1]].
+    @raise Invalid_argument for [Eq] and [Ne] (equality joins use the
+    d-based rules; [Ne] is not a supported join comparison). *)
+
+val join_band : Col_stats.t -> eps:float -> Col_stats.t -> float
+(** [join_band left ~eps right] estimates P(|a - b| <= eps), the band-join
+    selectivity, by the same convolution. Falls back to the equality
+    default when no numeric statistics exist. Result lies in [[0, 1]]. *)
+
+val cdf_source : Col_stats.t -> source
+(** Which statistic backs a column's CDF in {!join_comparison} /
+    {!join_band}: [Src_histogram], [Src_interpolation] or [Src_default] —
+    the derivation card's label for comparison-join columns. *)

@@ -19,8 +19,10 @@ let test_suite_passes () =
     (fun mode ->
       let outcomes = outcomes_for mode in
       Alcotest.(check int)
-        "per estimator: one outcome per corruption plus the clean baseline"
-        ((1 + List.length Harness.Fault.all)
+        "per query and estimator: one outcome per corruption plus the \
+         clean baseline"
+        (2
+        * (1 + List.length Harness.Fault.all)
         * List.length (Els.Estimator.registry ()))
         (List.length outcomes);
       List.iter

@@ -106,6 +106,29 @@ let test_custom_estimator_falls_back () =
            (Els.Incremental.final_size reference order)))
     (permutations names)
 
+(* A comparison join is not lowerable: the whole profile stays on the
+   interpreted tier (kernel = None) and every extend step taken there
+   bumps the visible fallback counter — the signal CI asserts on. *)
+let test_comparison_join_falls_back () =
+  let db, _, names =
+    build_chain { dims = [ (6, 2); (4, 3); (8, 1) ]; seed = 7 }
+  in
+  let link a op b =
+    Query.Predicate.col_cmp (Query.Cref.v a "a") op (Query.Cref.v b "a")
+  in
+  let query =
+    Query.make ~tables:names
+      [ link "t1" Query.Predicate.Eq "t2"; link "t2" Query.Predicate.Lt "t3" ]
+  in
+  let profile = Els.prepare Els.Config.els db query in
+  Alcotest.(check bool) "mixed query compiles no kernel" false
+    (has_kernel profile);
+  Alcotest.(check int) "fresh profile has no fallback steps" 0
+    (Els.Profile.kernel_fallback_steps profile);
+  ignore (Els.Incremental.final_size profile names);
+  Alcotest.(check bool) "interpreted steps counted as fallbacks" true
+    (Els.Profile.kernel_fallback_steps profile > 0)
+
 (* --- allocation regression --- *)
 
 (* One DP-style sweep over all 2^n masks through the *_into entry points.
@@ -322,6 +345,8 @@ let suite =
       test_panel_kernels_compile;
     Alcotest.test_case "kernel: custom estimator falls back" `Quick
       test_custom_estimator_falls_back;
+    Alcotest.test_case "kernel: comparison join falls back" `Quick
+      test_comparison_join_falls_back;
     Alcotest.test_case "kernel: zero minor words per extend step" `Quick
       test_zero_alloc_per_step;
     Alcotest.test_case "kernel: one selectivity per class" `Quick

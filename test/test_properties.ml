@@ -632,6 +632,207 @@ let prop_cost_monotone =
       in
       List.for_all (fun (small, big) -> small >= 0. && small <= big +. 1e-9) checks)
 
+(* --- comparison joins --------------------------------------------------- *)
+
+type cmp_op = Op_lt | Op_le | Op_gt | Op_ge | Op_band of float
+
+let comparison_of_op = function
+  | Op_lt -> Query.Predicate.Lt
+  | Op_le -> Query.Predicate.Le
+  | Op_gt -> Query.Predicate.Gt
+  | Op_ge -> Query.Predicate.Ge
+  | Op_band eps -> Query.Predicate.Band eps
+
+let op_to_string = function
+  | Op_lt -> "<"
+  | Op_le -> "<="
+  | Op_gt -> ">"
+  | Op_ge -> ">="
+  | Op_band eps -> Printf.sprintf "band(%g)" eps
+
+(* Random bags with the odd NULL, each side independently int- or
+   float-typed (so cross-type comparisons are exercised): the generalized
+   sort-merge must produce exactly the rows the nested-loop oracle does,
+   for every comparison operator including bands. *)
+let gen_comparison_inputs =
+  QCheck2.Gen.(
+    let side =
+      let* is_float = bool in
+      let value =
+        frequency
+          [
+            ( 9,
+              if is_float then
+                map
+                  (fun v -> Rel.Value.Float (float_of_int v /. 2.))
+                  (int_range 1 24)
+              else map (fun v -> Rel.Value.Int v) (int_range 1 12) );
+            (1, return Rel.Value.Null);
+          ]
+      in
+      let* vals = list_size (int_range 0 25) value in
+      return (is_float, vals)
+    in
+    let* left = side in
+    let* right = side in
+    let* op =
+      oneofl [ Op_lt; Op_le; Op_gt; Op_ge; Op_band 0.; Op_band 2.5 ]
+    in
+    return (left, right, op))
+
+let print_comparison_inputs ((_, left), (_, right), op) =
+  Printf.sprintf "op=%s left=[%s] right=[%s]" (op_to_string op)
+    (String.concat ";" (List.map Rel.Value.to_string left))
+    (String.concat ";" (List.map Rel.Value.to_string right))
+
+let prop_comparison_sort_merge_oracle =
+  QCheck2.Test.make ~count ~name:"comparison SMJ = NL oracle on random bags"
+    ~print:print_comparison_inputs gen_comparison_inputs
+    (fun ((lfloat, left), (rfloat, right), op) ->
+      let rel table is_float vals =
+        let ty = if is_float then Rel.Value.Ty_float else Rel.Value.Ty_int in
+        Rel.Relation.of_tuples
+          (Rel.Schema.make [ Rel.Schema.column ~table ~name:"a" ty ])
+          (List.map (fun v -> [| v |]) vals)
+      in
+      let r = rel "r" lfloat left and s = rel "s" rfloat right in
+      let pred =
+        Query.Predicate.col_cmp (Query.Cref.v "r" "a") (comparison_of_op op)
+          (Query.Cref.v "s" "a")
+      in
+      let rows op_ =
+        List.sort compare
+          (List.map Array.to_list
+             (Rel.Relation.to_list (Exec.Operator.to_relation op_)))
+      in
+      let counters = Exec.Counters.create () in
+      let nl =
+        rows
+          (Exec.Nested_loop.join counters [ pred ]
+             ~outer:(Exec.Operator.of_relation r)
+             ~make_inner:(fun () -> Exec.Operator.of_relation s))
+      in
+      let sm =
+        rows
+          (Exec.Sort_merge.join counters [ pred ]
+             ~outer:(Exec.Operator.of_relation r)
+             ~inner:(Exec.Operator.of_relation s))
+      in
+      nl = sm)
+
+(* Convolution selectivities stay probabilities whatever the statistics —
+   with histograms, with bare min/max bounds, or with none at all. *)
+let gen_conv_inputs =
+  QCheck2.Gen.(
+    let* lvals = list_size (int_range 0 40) (int_range ~-20 50) in
+    let* rvals = list_size (int_range 0 40) (int_range ~-20 50) in
+    let* lhist = bool in
+    let* rhist = bool in
+    let* op = oneofl [ Op_lt; Op_le; Op_gt; Op_ge; Op_band 3. ] in
+    return (lvals, rvals, lhist, rhist, op))
+
+let stats_of_ints ~histogram vals =
+  let arr = Array.of_list (List.map (fun v -> Rel.Value.Int v) vals) in
+  if histogram then
+    Stats.Col_stats.of_values ~histogram:Stats.Histogram.Equi_depth
+      ~histogram_buckets:8 arr
+  else Stats.Col_stats.of_values arr
+
+let prop_convolution_in_unit =
+  QCheck2.Test.make ~count:300
+    ~name:"join_comparison/join_band in [0,1] for any statistics"
+    ~print:(fun (l, r, lh, rh, op) ->
+      Printf.sprintf "op=%s lhist=%b rhist=%b |l|=%d |r|=%d" (op_to_string op)
+        lh rh (List.length l) (List.length r))
+    gen_conv_inputs
+    (fun (lvals, rvals, lhist, rhist, op) ->
+      let left = stats_of_ints ~histogram:lhist lvals in
+      let right = stats_of_ints ~histogram:rhist rvals in
+      let s =
+        match op with
+        | Op_band eps -> Stats.Selectivity_est.join_band left ~eps right
+        | Op_lt -> Stats.Selectivity_est.join_comparison left Rel.Cmp.Lt right
+        | Op_le -> Stats.Selectivity_est.join_comparison left Rel.Cmp.Le right
+        | Op_gt -> Stats.Selectivity_est.join_comparison left Rel.Cmp.Gt right
+        | Op_ge -> Stats.Selectivity_est.join_comparison left Rel.Cmp.Ge right
+      in
+      Float.is_finite s && s >= 0. && s <= 1.)
+
+(* On point-mass histograms (every bucket a single value) the convolution
+   has no interpolation left to do: it must equal the exact pair-counting
+   probability. *)
+let point_stats vals =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace tbl v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    vals;
+  let entries =
+    List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [])
+  in
+  let buckets =
+    List.map
+      (fun (v, c) ->
+        { Stats.Histogram.lo = float_of_int v; hi = float_of_int v;
+          count = float_of_int c; distinct = 1. })
+      entries
+  in
+  {
+    Stats.Col_stats.distinct = List.length entries;
+    nulls = 0;
+    min_value = Some (Rel.Value.Int (fst (List.hd entries)));
+    max_value = Some (Rel.Value.Int (fst (List.nth entries (List.length entries - 1))));
+    histogram = Some (Stats.Histogram.of_buckets Stats.Histogram.Equi_width buckets);
+    mcv = None;
+    distinct_sketch = None;
+  }
+
+let exact_probability lvals rvals test =
+  let pairs = List.length lvals * List.length rvals in
+  let hits =
+    List.fold_left
+      (fun acc a ->
+        List.fold_left
+          (fun acc b -> if test a b then acc + 1 else acc)
+          acc rvals)
+      0 lvals
+  in
+  float_of_int hits /. float_of_int pairs
+
+let prop_convolution_point_mass_exact =
+  QCheck2.Test.make ~count:300
+    ~name:"convolution exact on point-mass histograms"
+    ~print:(fun (l, r, op) ->
+      Printf.sprintf "op=%s left=[%s] right=[%s]" (op_to_string op)
+        (String.concat ";" (List.map string_of_int l))
+        (String.concat ";" (List.map string_of_int r)))
+    QCheck2.Gen.(
+      let vals = list_size (int_range 1 30) (int_range 1 15) in
+      triple vals vals (oneofl [ Op_lt; Op_le; Op_gt; Op_ge; Op_band 2. ]))
+    (fun (lvals, rvals, op) ->
+      let left = point_stats lvals and right = point_stats rvals in
+      let estimated, expected =
+        match op with
+        | Op_lt ->
+          ( Stats.Selectivity_est.join_comparison left Rel.Cmp.Lt right,
+            exact_probability lvals rvals (fun a b -> a < b) )
+        | Op_le ->
+          ( Stats.Selectivity_est.join_comparison left Rel.Cmp.Le right,
+            exact_probability lvals rvals (fun a b -> a <= b) )
+        | Op_gt ->
+          ( Stats.Selectivity_est.join_comparison left Rel.Cmp.Gt right,
+            exact_probability lvals rvals (fun a b -> a > b) )
+        | Op_ge ->
+          ( Stats.Selectivity_est.join_comparison left Rel.Cmp.Ge right,
+            exact_probability lvals rvals (fun a b -> a >= b) )
+        | Op_band eps ->
+          ( Stats.Selectivity_est.join_band left ~eps right,
+            exact_probability lvals rvals (fun a b ->
+                Float.abs (float_of_int a -. float_of_int b) <= eps) )
+      in
+      Float.abs (estimated -. expected) <= 1e-9)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -653,4 +854,7 @@ let suite =
       prop_cache_transparent;
       prop_index_matches_scan;
       prop_pess_bounds_ls_on_key_joins;
+      prop_comparison_sort_merge_oracle;
+      prop_convolution_in_unit;
+      prop_convolution_point_mass_exact;
     ]

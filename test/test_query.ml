@@ -26,7 +26,7 @@ let test_predicate_canonical () =
   Alcotest.(check int) "set dedups" 1
     (P.Set.cardinal (P.Set.of_list [ p1; p2 ]));
   Alcotest.check_raises "self equality rejected"
-    (Invalid_argument "Predicate.col_eq: column equated with itself")
+    (Invalid_argument "Predicate.col_cmp: column compared with itself")
     (fun () -> ignore (P.col_eq x x))
 
 let test_predicate_classification () =

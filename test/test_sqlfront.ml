@@ -78,7 +78,10 @@ let test_parser_literals_sides () =
   let q = parse_exn "SELECT * FROM t WHERE 5 < a" in
   Alcotest.(check bool) "literal lhs" true
     (match q.Sqlfront.Ast.where with
-    | [ { lhs = Sqlfront.Ast.Lit (Rel.Value.Int 5); op = Rel.Cmp.Lt; _ } ] ->
+    | [
+        Sqlfront.Ast.Cmp
+          { lhs = Sqlfront.Ast.Lit (Rel.Value.Int 5); op = Rel.Cmp.Lt; _ };
+      ] ->
       true
     | _ -> false)
 
@@ -93,13 +96,28 @@ let test_parser_aliases () =
 
 let test_parser_between () =
   let q = parse_exn "SELECT * FROM t WHERE a BETWEEN 3 AND 9 AND b = 1" in
-  Alcotest.(check int) "desugared into three conditions" 3
-    (List.length q.Sqlfront.Ast.where);
+  Alcotest.(check int) "two conditions" 2 (List.length q.Sqlfront.Ast.where);
+  (match q.Sqlfront.Ast.where with
+  | [ Sqlfront.Ast.Between { lo; hi; _ }; Sqlfront.Ast.Cmp _ ] ->
+    Alcotest.(check bool) "lower bound" true
+      (lo.Sqlfront.Ast.base = Sqlfront.Ast.Lit (Rel.Value.Int 3)
+      && lo.Sqlfront.Ast.offset = 0.);
+    Alcotest.(check bool) "upper bound" true
+      (hi.Sqlfront.Ast.base = Sqlfront.Ast.Lit (Rel.Value.Int 9)
+      && hi.Sqlfront.Ast.offset = 0.)
+  | _ -> Alcotest.fail "unexpected shape");
+  (* Band spelling: bounds shift a column by a signed offset. *)
+  let q = parse_exn "SELECT * FROM r, s WHERE r.a BETWEEN s.b - 0.5 AND s.b + 0.5" in
   match q.Sqlfront.Ast.where with
-  | [ c1; c2; _ ] ->
-    Alcotest.(check bool) "lower bound" true (c1.Sqlfront.Ast.op = Rel.Cmp.Ge);
-    Alcotest.(check bool) "upper bound" true (c2.Sqlfront.Ast.op = Rel.Cmp.Le)
-  | _ -> Alcotest.fail "unexpected shape"
+  | [ Sqlfront.Ast.Between { lo; hi; _ } ] ->
+    Alcotest.(check (float 0.)) "lo offset" (-0.5) lo.Sqlfront.Ast.offset;
+    Alcotest.(check (float 0.)) "hi offset" 0.5 hi.Sqlfront.Ast.offset;
+    Alcotest.(check bool) "column bases" true
+      (match lo.Sqlfront.Ast.base, hi.Sqlfront.Ast.base with
+      | Sqlfront.Ast.Col c1, Sqlfront.Ast.Col c2 ->
+        c1.Sqlfront.Ast.name = "b" && c2.Sqlfront.Ast.name = "b"
+      | _ -> false)
+  | _ -> Alcotest.fail "unexpected band shape"
 
 let test_parser_errors () =
   List.iter
@@ -183,7 +201,7 @@ let test_binder_resolution () =
          match p with
          | Query.Predicate.Cmp { col; _ } ->
            Query.Cref.equal col (Query.Cref.v "t" "b")
-         | Query.Predicate.Col_eq _ -> false)
+         | Query.Predicate.Col_cmp _ -> false)
        q.Query.predicates)
 
 let test_binder_normalization () =
@@ -212,7 +230,8 @@ let test_binder_errors () =
       "SELECT * FROM t, u WHERE a = 1" (* ambiguous a *);
       "SELECT * FROM t WHERE u.c = 1" (* u not in FROM *);
       "SELECT * FROM t WHERE t.zz = 1";
-      "SELECT * FROM t, u WHERE t.a < u.a" (* non-equality join *);
+      "SELECT * FROM t WHERE t.a < t.b" (* intra-table column inequality *);
+      "SELECT * FROM t, u WHERE t.a <> u.a" (* anti-join key *);
       "SELECT * FROM t WHERE a = 'text'" (* type mismatch *);
       "SELECT zz FROM t";
     ]
@@ -259,6 +278,44 @@ let test_binder_compile_result () =
   | Ok q -> Alcotest.(check int) "well-formed binds" 1 (List.length q.Query.predicates)
   | Error e -> Alcotest.fail (Els.Els_error.to_string e)
 
+(* Comparison joins bind to first-class Col_cmp predicates; the band
+   spelling folds into [Band eps]; asymmetric bands and <> joins are
+   refused with positioned structured errors. *)
+let test_binder_comparison_joins () =
+  let q = compile_ok "SELECT * FROM t, u WHERE t.a < u.a" in
+  Alcotest.(check bool) "inequality join binds to Col_cmp Lt" true
+    (match q.Query.predicates with
+    | [ Query.Predicate.Col_cmp { op = Query.Predicate.Lt; _ } ] -> true
+    | _ -> false);
+  let q =
+    compile_ok "SELECT * FROM t, u WHERE t.a BETWEEN u.a - 2 AND u.a + 2"
+  in
+  (match q.Query.predicates with
+  | [ Query.Predicate.Col_cmp { op = Query.Predicate.Band eps; left; right } ]
+    ->
+    Alcotest.(check (float 0.)) "epsilon" 2. eps;
+    Alcotest.(check bool) "band sides" true
+      (Query.Cref.equal left (Query.Cref.v "t" "a")
+      && Query.Cref.equal right (Query.Cref.v "u" "a"))
+  | _ -> Alcotest.fail "expected a single Band predicate");
+  match
+    Sqlfront.Binder.compile_result (binder_db ())
+      "SELECT * FROM t, u WHERE t.a BETWEEN u.a - 1 AND u.a + 2"
+  with
+  | Error (Els.Els_error.Parse_error { detail; _ }) ->
+    Alcotest.(check bool) "asymmetric band refused" true
+      (Helpers.contains detail "symmetric")
+  | _ -> Alcotest.fail "expected Parse_error for asymmetric band"
+
+let test_binder_ne_hint () =
+  let sql = "SELECT * FROM t, u WHERE t.a <> u.a" in
+  match Sqlfront.Binder.compile_result (binder_db ()) sql with
+  | Error (Els.Els_error.Parse_error { position; detail }) ->
+    Alcotest.(check int) "position points at <>" 29 position;
+    Alcotest.(check bool) "did-you-mean hint" true
+      (Helpers.contains detail "did you mean")
+  | _ -> Alcotest.fail "expected positioned Parse_error for <> join"
+
 let suite =
   [
     Alcotest.test_case "lexer: basics" `Quick test_lexer_basics;
@@ -281,4 +338,7 @@ let suite =
     Alcotest.test_case "binder: suggestions" `Quick test_binder_suggestions;
     Alcotest.test_case "binder: compile_result" `Quick
       test_binder_compile_result;
+    Alcotest.test_case "binder: comparison joins" `Quick
+      test_binder_comparison_joins;
+    Alcotest.test_case "binder: <> hint" `Quick test_binder_ne_hint;
   ]
