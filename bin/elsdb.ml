@@ -10,7 +10,14 @@
      fault      run the fault-injection suite (experiment F9)
      soak       run the randomized soak/chaos harness (experiment F11)
      churn      run the catalog-churn soak (experiment F13)
+     serve      long-running estimation service (ndjson protocol)
+     serve-chaos     protocol-level chaos against the service (F15)
      check-metrics   validate a --metrics json snapshot from stdin
+
+   Exit codes are uniform across subcommands: 0 success, 1 runtime
+   failure (corrupt statistics, invariant breach, exhausted budget, shed
+   request, failed suite, I/O error), 2 usage error (bad flags, bad SQL,
+   unknown table/estimator/format). Never a backtrace.
 
    estimate/explain/run accept --trace[=pretty|json] (hierarchical spans
    over bind → validate → profile → optimize → execute) and
@@ -261,23 +268,40 @@ let resolve_query (db, default_query) sql =
     | None -> Ok (Datagen.Section8.query_scaled ~scale:10)
   end
 
+(* Bad SQL is a usage error: the user asked for something the system can
+   never do, so it exits 2 like any other malformed invocation. *)
 let or_die = function
   | Ok v -> v
   | Error msg ->
     prerr_endline msg;
-    exit 1
+    exit 2
 
-(* A user-facing failure (bad SQL, unknown table, corrupt statistics under
-   strict mode) exits 2 with a one-line message — never a backtrace. *)
+(* The exit-code taxonomy: errors the caller can fix by changing the
+   invocation (bad query, unknown name, missing statistics) are usage
+   errors (2); errors that arise from the system's state at runtime
+   (corrupt statistics, invariant breaches, exhausted budgets, shed
+   requests) are runtime failures (1). *)
+let exit_code_of_error = function
+  | Els.Els_error.Parse_error _ | Els.Els_error.Invalid_query _
+  | Els.Els_error.Missing_stats _ ->
+    2
+  | Els.Els_error.Corrupt_stats _ | Els.Els_error.Invariant_violation _
+  | Els.Els_error.Budget_exhausted _ | Els.Els_error.Overloaded _ ->
+    1
+
+(* Every failure is a one-line message — never a backtrace. *)
 let handle_errors f =
   match f () with
   | () -> ()
   | exception Els.Els_error.Error e ->
     Printf.eprintf "error: %s\n" (Els.Els_error.to_string e);
-    exit 2
+    exit (exit_code_of_error e)
   | exception Invalid_argument msg | exception Failure msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
 
 (* --- section8 --- *)
 
@@ -289,6 +313,7 @@ let section8_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
   let run scale seed =
+    handle_errors @@ fun () ->
     let rows = Harness.Section8_experiment.run ~scale ~seed () in
     print_string (Harness.Section8_experiment.render rows)
   in
@@ -476,7 +501,7 @@ let analyze_cmd =
       & info [ "check" ]
           ~doc:
             "Audit the catalog instead of printing it: list every finding \
-             and exit 2 when unrepaired findings remain (trap and strict \
+             and exit 1 when unrepaired findings remain (trap and strict \
              modes); repair mode fixes what it finds and exits 0.")
   in
   let strictness_arg =
@@ -509,7 +534,7 @@ let analyze_cmd =
       | Error issue ->
         Printf.printf "finding: %s\n" (Catalog.Validate.issue_to_string issue);
         Printf.printf "catalog audit: FAIL (strict aborts on first finding)\n";
-        exit 2
+        exit 1
       | Ok (_, []) -> print_endline "catalog audit: clean"
       | Ok (_, issues) ->
         let repaired =
@@ -529,7 +554,7 @@ let analyze_cmd =
         else begin
           Printf.printf "catalog audit: FAIL (%d unrepaired finding(s))\n"
             (List.length issues);
-          exit 2
+          exit 1
         end
     end
   in
@@ -537,7 +562,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Print the catalog's per-table statistics, or audit the whole \
-          catalog with --check (exit 2 when unrepaired findings remain).")
+          catalog with --check (exit 1 when unrepaired findings remain).")
     Term.(const run $ db_arg $ check_arg $ strictness_arg)
 
 (* --- fault --- *)
@@ -577,6 +602,7 @@ let fault_cmd =
              optimizer budget (budget trips are expected degradations).")
   in
   let run strictness seed node_budget =
+    handle_errors @@ fun () ->
     let modes =
       match strictness with
       | Some m -> [ m ]
@@ -640,6 +666,7 @@ let soak_cmd =
              printed in a failure's scenario line); --iters is ignored.")
   in
   let run iters deadline_ms seed iter_seed =
+    handle_errors @@ fun () ->
     let summary = Harness.Soak.run ~seed ?iter_seed ~deadline_ms ~iters () in
     print_string (Harness.Soak.render summary);
     if not (Harness.Soak.pass summary) then exit 1
@@ -700,6 +727,152 @@ let churn_cmd =
           epoch ids, visible staleness disclosure and bounded drift \
           against a fresh bulk-ANALYZE baseline.")
     Term.(const run $ iters $ seed $ metrics_arg)
+
+(* --- serve --- *)
+
+let serve_cmd =
+  let domains =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.domains
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains per session.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int Serve.Server.default_config.Serve.Server.queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Bounded admission queue depth; requests beyond it are shed \
+             with a structured overloaded response.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline applied to requests that do not \
+             carry their own deadline_ms field.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_frame_bytes
+      & info [ "max-frame-bytes" ] ~docv:"N"
+          ~doc:"Frames longer than $(docv) bytes are refused, not parsed.")
+  in
+  let drain_deadline_ms =
+    Arg.(
+      value
+      & opt float Serve.Server.default_config.Serve.Server.drain_deadline_ms
+      & info [ "drain-deadline-ms" ] ~docv:"MS"
+          ~doc:"How long a drain waits for in-flight work to finish.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (one session per \
+             connection) instead of serving a single stdin/stdout session.")
+  in
+  let run dbspec domains queue_depth deadline_ms max_frame_bytes
+      drain_deadline_ms socket metrics_fmt =
+    handle_errors @@ fun () ->
+    let db, _ = dbspec in
+    let registry, metrics_mode = resolve_metrics metrics_fmt in
+    let config =
+      {
+        Serve.Server.default_config with
+        Serve.Server.domains;
+        queue_depth;
+        default_deadline_ms = deadline_ms;
+        max_frame_bytes;
+        drain_deadline_ms;
+      }
+    in
+    let server = Serve.Server.create ~config ?metrics:registry db in
+    (* SIGTERM asks the server to drain: admission stops, in-flight work
+       finishes, the process exits 0. *)
+    if Sys.unix then
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Serve.Server.request_stop server));
+    (match socket with
+    | Some path -> Serve.Server.serve_socket server ~path
+    | None ->
+      let stats = Serve.Server.session server stdin stdout in
+      Printf.eprintf
+        "session: %d frames, %d admitted, %d ok, %d error, %d shed, %d \
+         malformed, %d internal, max epoch %d%s\n"
+        stats.Serve.Server.frames stats.Serve.Server.admitted
+        stats.Serve.Server.answered_ok stats.Serve.Server.answered_error
+        stats.Serve.Server.shed stats.Serve.Server.malformed
+        stats.Serve.Server.internal_errors stats.Serve.Server.max_epoch
+        (if stats.Serve.Server.disconnected then ", client disconnected"
+         else ""));
+    (* The registry the sessions wrote into, flushed as the last stdout
+       line so it pipes straight into [check-metrics]. *)
+    print_metrics metrics_mode registry
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running estimation service: a versioned ndjson \
+          protocol (estimate, explain, run, analyze, health, drain) over \
+          stdin/stdout or a Unix-domain socket (--socket), with worker \
+          domains, bounded admission, per-request deadlines, a per-request \
+          exception firewall and graceful drain on SIGTERM.")
+    Term.(
+      const run $ db_arg $ domains $ queue_depth $ deadline_ms
+      $ max_frame_bytes $ drain_deadline_ms $ socket $ metrics_arg)
+
+(* --- serve-chaos --- *)
+
+let serve_chaos_cmd =
+  let sessions =
+    Arg.(
+      value & opt int 500
+      & info [ "sessions" ] ~docv:"N" ~doc:"Number of randomized sessions.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"CI-sized run: caps --sessions at 60 (keeps every frame kind).")
+  in
+  let run sessions seed quick metrics_fmt =
+    handle_errors @@ fun () ->
+    let registry, metrics_mode = resolve_metrics metrics_fmt in
+    ignore registry;
+    let sessions = if quick then min sessions 60 else sessions in
+    let summary = Harness.Serve_chaos.run ~seed ~sessions () in
+    print_string (Harness.Serve_chaos.render summary);
+    (match metrics_mode with
+    | `Off -> ()
+    | `Text ->
+      Format.printf "@.metrics:@.%a" Obs.Metrics.pp
+        summary.Harness.Serve_chaos.metrics
+    | `Json ->
+      (* Last stdout line, so the snapshot pipes straight into
+         [check-metrics]. *)
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Metrics.to_json summary.Harness.Serve_chaos.metrics)));
+    if not (Harness.Serve_chaos.pass summary) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve-chaos"
+       ~doc:
+         "Run protocol-level chaos against the estimation service (F15): \
+          malformed, truncated and oversized frames, unknown protocol \
+          versions, deadline storms, mid-request disconnects and \
+          concurrent catalog churn against the real server loop — \
+          asserting zero crashes, total structured accounting and monotone \
+          epoch visibility.")
+    Term.(const run $ sessions $ seed $ quick $ metrics_arg)
 
 (* --- check-metrics --- *)
 
@@ -808,10 +981,23 @@ let () =
         "Join result size estimation (Swami & Schiefer, EDBT 1994) on an \
          in-memory relational engine."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd;
-            analyze_cmd; fault_cmd; soak_cmd; churn_cmd; check_metrics_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        section8_cmd; estimate_cmd; explain_cmd; run_cmd; closure_cmd;
+        analyze_cmd; fault_cmd; soak_cmd; churn_cmd; serve_cmd;
+        serve_chaos_cmd; check_metrics_cmd;
+      ]
+  in
+  (* Pin the exit-code taxonomy: cmdliner's own parse failures are usage
+     errors (2); an exception that escaped handle_errors is a runtime
+     failure (1) — and handle_errors already turned the expected ones into
+     one-line messages, so `Exn here means a genuine bug, reported without
+     the default backtrace dump. *)
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 1
+  | exception exn ->
+    Printf.eprintf "error: %s\n" (Printexc.to_string exn);
+    exit 1

@@ -9,6 +9,7 @@ type t =
       resource : Rel.Budget.resource;
       detail : string;
     }
+  | Overloaded of { depth : int; shed_policy : string }
 
 exception Error of t
 
@@ -31,6 +32,9 @@ let to_string = function
     Printf.sprintf "%s budget exhausted at %s: %s"
       (Rel.Budget.resource_name resource)
       site detail
+  | Overloaded { depth; shed_policy } ->
+    Printf.sprintf "overloaded: request shed at queue depth %d (policy %s)"
+      depth shed_policy
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

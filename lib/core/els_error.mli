@@ -34,6 +34,12 @@ type t =
           surfaces here. (The optimizer does {e not} raise this — it
           degrades down its anytime ladder and records the rung in its
           provenance instead.) *)
+  | Overloaded of { depth : int; shed_policy : string }
+      (** an admission-controlled service refused the request because its
+          bounded queue was full (or it was draining): [depth] is the
+          queue depth observed at the shed and [shed_policy] names the
+          policy that fired (["reject-newest"], ["draining"]). Shedding is
+          always disclosed — never a silent drop. *)
 
 exception Error of t
 (** Carrier for the exception-style API. A printer is registered, so an

@@ -72,7 +72,7 @@ let member key = function
 
 exception Parse_error of int * string
 
-let of_string s =
+let of_string ?(max_depth = 512) ?(max_token_bytes = 1_000_000) s =
   let len = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
@@ -103,10 +103,20 @@ let of_string s =
     end
     else fail (Printf.sprintf "expected %s" word)
   in
+  (* Adversarial input sits on the service's network boundary: both string
+     and number tokens are length-capped so a single frame cannot buffer
+     without bound, and container nesting is depth-capped so parsing is
+     loop-free in the stack sense — the only recursion is [parse_value],
+     and it refuses to go deeper than [max_depth]. *)
+  let check_token n =
+    if n > max_token_bytes then
+      fail (Printf.sprintf "token longer than %d bytes" max_token_bytes)
+  in
   let parse_string () =
     expect '"';
     let buf = Buffer.create 16 in
     let rec loop () =
+      check_token (Buffer.length buf);
       match peek () with
       | None -> fail "unterminated string"
       | Some '"' -> advance ()
@@ -153,6 +163,7 @@ let of_string s =
       | _ -> false
     in
     while (match peek () with Some c -> is_number_char c | None -> false) do
+      check_token (!pos - start);
       advance ()
     done;
     let text = String.sub s start (!pos - start) in
@@ -168,7 +179,7 @@ let of_string s =
       | Some x -> Float x
       | None -> fail (Printf.sprintf "invalid number %s" text)
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -177,6 +188,8 @@ let of_string s =
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
     | Some '[' ->
+      if depth >= max_depth then
+        fail (Printf.sprintf "nesting deeper than %d levels" max_depth);
       advance ();
       skip_ws ();
       if peek () = Some ']' then begin
@@ -184,17 +197,19 @@ let of_string s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
         List (List.rev !items)
       end
     | Some '{' ->
+      if depth >= max_depth then
+        fail (Printf.sprintf "nesting deeper than %d levels" max_depth);
       advance ();
       skip_ws ();
       if peek () = Some '}' then begin
@@ -207,7 +222,7 @@ let of_string s =
           let key = parse_string () in
           skip_ws ();
           expect ':';
-          let value = parse_value () in
+          let value = parse_value (depth + 1) in
           (key, value)
         in
         let fields = ref [ field () ] in
@@ -224,7 +239,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected character %c" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> len then fail "trailing garbage after document";
     v

@@ -22,10 +22,19 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 (** Same rendering as {!to_string}. *)
 
-val of_string : string -> (t, string) result
+val of_string :
+  ?max_depth:int -> ?max_token_bytes:int -> string -> (t, string) result
 (** Parse one JSON document (surrounding whitespace allowed). Numbers
     without [.], [e] or [E] parse as [Int]; everything else as [Float].
-    Errors carry a byte offset. *)
+    Errors carry a byte offset.
+
+    The parser is {e total} on adversarial input — it always returns
+    rather than crashing. Container nesting beyond [max_depth] (default
+    512) is a structured parse error, never a stack overflow, and string
+    or number tokens longer than [max_token_bytes] (default 1,000,000)
+    are refused before they buffer. This matters because the serve
+    protocol ({!Serve.Protocol}) puts this parser on the service's
+    network boundary. *)
 
 val member : string -> t -> t option
 (** Field lookup in an [Obj]; [None] for other constructors. *)

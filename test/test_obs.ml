@@ -70,6 +70,35 @@ let test_json_roundtrip () =
   | Ok _ -> Alcotest.fail "accepted malformed input"
   | Error _ -> ()
 
+(* The parser is a boundary: adversarial input must come back as [Error],
+   never as a stack overflow or an unbounded allocation. *)
+let test_json_hardening () =
+  (* pathological nesting is refused by the depth cap, not the stack *)
+  (match Obs.Json.of_string (String.make 100_000 '[') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted 100k-deep nesting");
+  (match Obs.Json.of_string (String.make 100_000 '{') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted 100k-deep object nesting");
+  (* the cap is exact: depth max_depth parses, max_depth + 1 does not *)
+  let nested depth = String.make depth '[' ^ "1" ^ String.make depth ']' in
+  (match Obs.Json.of_string ~max_depth:8 (nested 8) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "refused depth 8 under max_depth 8: %s" e);
+  (match Obs.Json.of_string ~max_depth:8 (nested 9) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted depth 9 under max_depth 8");
+  (* oversized tokens are refused by the length cap *)
+  (match
+     Obs.Json.of_string ~max_token_bytes:16
+       ("\"" ^ String.make 64 'a' ^ "\"")
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a 64-byte string under a 16-byte cap");
+  match Obs.Json.of_string ~max_token_bytes:16 (String.make 64 '1') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a 64-digit number under a 16-byte cap"
+
 (* --- metrics registry --- *)
 
 let test_metrics_instruments () =
@@ -321,12 +350,46 @@ let prop_metric_diff_monotone =
       && List.fold_left ( + ) 0 counters
          = List.fold_left (fun acc (_, by) -> acc + by) 0 ops2)
 
+(* Totality fuzz: [of_string] on arbitrary bytes returns Ok or Error —
+   it never raises and never fails to terminate. *)
+let prop_json_parse_total =
+  QCheck2.Test.make ~count:2_000 ~name:"json parse is total on random bytes"
+    ~print:String.escaped
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+    (fun s ->
+      match Obs.Json.of_string ~max_depth:32 ~max_token_bytes:4096 s with
+      | Ok _ | Error _ -> true)
+
+(* Totality fuzz on near-misses: take a valid document, damage one byte,
+   and the parser must still return rather than raise. *)
+let prop_json_parse_total_mutated =
+  QCheck2.Test.make ~count:2_000 ~name:"json parse is total on mutated docs"
+    ~print:(fun (pos, byte) -> Printf.sprintf "pos=%d byte=%d" pos byte)
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 255))
+    (fun (pos, byte) ->
+      let doc =
+        Obs.Json.to_string
+          Obs.Json.(
+            Obj
+              [
+                ("id", String "q-1");
+                ("xs", List [ Int 1; Float 2.5; Null; Bool false ]);
+                ("nested", Obj [ ("deep", List [ Obj [ ("k", Int 9) ] ]) ]);
+              ])
+      in
+      let b = Bytes.of_string doc in
+      Bytes.set b (pos mod Bytes.length b) (Char.chr byte);
+      match Obs.Json.of_string (Bytes.to_string b) with
+      | Ok _ | Error _ -> true)
+
 let suite =
   [
     Alcotest.test_case "trace: fake clock nesting" `Quick test_trace_fake_clock;
     Alcotest.test_case "trace: exception closes span" `Quick
       test_trace_exception_closes_span;
     Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: adversarial input refused" `Quick
+      test_json_hardening;
     Alcotest.test_case "metrics: instruments" `Quick test_metrics_instruments;
     Alcotest.test_case "metrics: set_counter monotone" `Quick
       test_metrics_set_counter_monotone;
@@ -344,4 +407,6 @@ let suite =
         prop_obs_bit_identity;
         prop_derivation_replay;
         prop_metric_diff_monotone;
+        prop_json_parse_total;
+        prop_json_parse_total_mutated;
       ]

@@ -1,0 +1,255 @@
+(* The estimation service: protocol parsing totality, admission control,
+   crash isolation and deadline behaviour, driven through the exact
+   [Serve.Server.session] loop that [elsdb serve] runs — over pipe pairs,
+   like the chaos harness but with hand-picked frames and deterministic
+   clocks. *)
+
+let sql = Harness.Fault.default_sql
+
+(* --- protocol parsing --- *)
+
+let test_protocol_parse () =
+  let parse = Serve.Protocol.parse in
+  (match parse (Printf.sprintf {|{"id":"a","op":"estimate","sql":"%s"}|} sql) with
+  | Ok { Serve.Protocol.id = Some "a"; op = Estimate { sql = got; _ }; _ } ->
+    Alcotest.(check string) "sql carried" sql got
+  | Ok _ -> Alcotest.fail "parsed to the wrong request"
+  | Error (_, e) -> Alcotest.failf "refused: %s" (Els.Els_error.to_string e));
+  (* unknown ops are refused but still echo the id *)
+  (match parse {|{"id":"b","op":"estimaet","sql":"x"}|} with
+  | Error (Some "b", Els.Els_error.Invalid_query _) -> ()
+  | Error _ -> Alcotest.fail "lost the id on an unknown op"
+  | Ok _ -> Alcotest.fail "accepted an unknown op");
+  (* unsupported protocol versions are refused with the id *)
+  (match parse {|{"id":"c","v":99,"op":"health"}|} with
+  | Error (Some "c", Els.Els_error.Invalid_query _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "accepted protocol version 99");
+  (* a frame that is valid JSON but not an object is anonymous *)
+  (match parse "12345" with
+  | Error (None, Els.Els_error.Invalid_query _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "accepted a non-object frame");
+  (* damaged JSON is a parse error, not an exception *)
+  (match parse "{\"id\": \"d\", " with
+  | Error (None, Els.Els_error.Parse_error _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "accepted truncated JSON");
+  (* oversized frames are refused before parsing *)
+  (match parse ~max_frame_bytes:16 (String.make 64 'x') with
+  | Error (None, Els.Els_error.Parse_error _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "accepted an oversized frame");
+  (* adversarially deep nesting is a parse error, not a stack overflow *)
+  (match parse (String.make 10_000 '[') with
+  | Error (None, Els.Els_error.Parse_error _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "accepted pathological nesting");
+  (* bad budgets are refused with the id *)
+  match parse {|{"id":"e","op":"health","deadline_ms":-1}|} with
+  | Error (Some "e", Els.Els_error.Invalid_query _) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "accepted a negative deadline"
+
+(* --- session plumbing --- *)
+
+type resp = {
+  rid : string option;
+  ok : bool;
+  kind : string option;
+  top : (string * Obs.Json.t) list;  (** top-level response fields *)
+  err : (string * Obs.Json.t) list;  (** fields inside the error object *)
+}
+
+let parse_response line =
+  match Obs.Json.of_string line with
+  | Error e -> Alcotest.failf "unparseable response %S: %s" line e
+  | Ok (Obs.Json.Obj top as json) ->
+    let rid =
+      match Obs.Json.member "id" json with
+      | Some (Obs.Json.String s) -> Some s
+      | _ -> None
+    in
+    let ok = Obs.Json.member "ok" json = Some (Obs.Json.Bool true) in
+    let err =
+      match Obs.Json.member "error" json with
+      | Some (Obs.Json.Obj fields) -> fields
+      | _ -> []
+    in
+    let kind =
+      match List.assoc_opt "kind" err with
+      | Some (Obs.Json.String k) -> Some k
+      | _ -> None
+    in
+    { rid; ok; kind; top; err }
+  | Ok _ -> Alcotest.failf "non-object response %S" line
+
+(* Write every frame up front, close the request pipe, run the real
+   session loop to completion, then read the response stream back. The
+   response pipe's kernel buffer holds a small session's worth of output,
+   so no concurrent reader is needed here (the chaos harness covers the
+   streaming case). *)
+let drive ?config frames =
+  let db = Harness.Fault.base_db ~seed:11 () in
+  let server = Serve.Server.create ?config db in
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let wc = Unix.out_channel_of_descr in_w in
+  List.iter
+    (fun f ->
+      output_string wc f;
+      output_char wc '\n')
+    frames;
+  close_out wc;
+  let ic = Unix.in_channel_of_descr in_r in
+  let oc = Unix.out_channel_of_descr out_w in
+  let stats = Serve.Server.session server ic oc in
+  close_out oc;
+  close_in ic;
+  let rc = Unix.in_channel_of_descr out_r in
+  let rec read acc =
+    match input_line rc with
+    | line -> read (parse_response line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = read [] in
+  close_in rc;
+  (stats, responses)
+
+let by_id responses id =
+  match List.find_opt (fun r -> r.rid = Some id) responses with
+  | Some r -> r
+  | None -> Alcotest.failf "no response for id %S" id
+
+(* --- the happy path: every op answered, ids echoed, drain counted --- *)
+
+let test_session_basic () =
+  let frames =
+    [
+      {|{"id":"h","op":"health"}|};
+      Printf.sprintf {|{"id":"e1","op":"estimate","sql":"%s"}|} sql;
+      Printf.sprintf
+        {|{"id":"x","op":"explain","sql":"%s","enumerator":"greedy"}|} sql;
+      Printf.sprintf {|{"id":"r","op":"run","sql":"%s"}|} sql;
+      {|{"id":"a","op":"analyze"}|};
+      {|{"id":"d","op":"drain"}|};
+    ]
+  in
+  let stats, responses = drive frames in
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " ok") true (by_id responses id).ok)
+    [ "h"; "e1"; "x"; "r"; "a"; "d" ];
+  Alcotest.(check int) "all answered" 6 (List.length responses);
+  Alcotest.(check int) "frames" 6 stats.Serve.Server.frames;
+  Alcotest.(check int) "no internal errors" 0
+    stats.Serve.Server.internal_errors;
+  Alcotest.(check bool) "drained" true stats.Serve.Server.drained;
+  (* the explain response discloses the anytime rung it was served from *)
+  Alcotest.(check bool) "explain discloses rung" true
+    (List.mem_assoc "rung" (by_id responses "x").top)
+
+(* --- admission control: post-drain frames are shed, never dropped --- *)
+
+let test_session_shed_after_drain () =
+  let frames =
+    [
+      {|{"id":"d","op":"drain"}|};
+      Printf.sprintf {|{"id":"late1","op":"estimate","sql":"%s"}|} sql;
+      Printf.sprintf {|{"id":"late2","op":"run","sql":"%s"}|} sql;
+    ]
+  in
+  let stats, responses = drive frames in
+  Alcotest.(check bool) "drain ok" true (by_id responses "d").ok;
+  List.iter
+    (fun id ->
+      let r = by_id responses id in
+      Alcotest.(check bool) (id ^ " refused") false r.ok;
+      Alcotest.(check (option string)) (id ^ " kind") (Some "overloaded") r.kind;
+      Alcotest.(check bool) (id ^ " policy disclosed") true
+        (List.assoc_opt "shed_policy" r.err
+        = Some (Obs.Json.String "draining")))
+    [ "late1"; "late2" ];
+  Alcotest.(check int) "shed counted" 2 stats.Serve.Server.shed;
+  Alcotest.(check int) "sheds are answers" 3 (List.length responses)
+
+(* --- crash isolation: damage is refused, the worker survives --- *)
+
+let test_session_damage_isolated () =
+  let config =
+    { Serve.Server.default_config with Serve.Server.max_frame_bytes = 256 }
+  in
+  let frames =
+    [
+      "this is not json";
+      String.make 512 'x';
+      {|{"id":"typo","op":"estimaet"}|};
+      {|{"id":"nosql","op":"estimate"}|};
+      {|{"id":"badtbl","op":"estimate","sql":"SELECT COUNT(*) FROM nowhere"}|};
+      Printf.sprintf {|{"id":"fine","op":"estimate","sql":"%s"}|} sql;
+      {|{"id":"d","op":"drain"}|};
+    ]
+  in
+  let stats, responses = drive ~config frames in
+  Alcotest.(check int) "every frame answered" 7 (List.length responses);
+  (* the two id-less damaged frames got anonymous structured refusals *)
+  Alcotest.(check int) "anonymous refusals" 2
+    (List.length (List.filter (fun r -> r.rid = None) responses));
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " refused") false (by_id responses id).ok)
+    [ "typo"; "nosql"; "badtbl" ];
+  Alcotest.(check bool) "healthy request still served" true
+    (by_id responses "fine").ok;
+  Alcotest.(check bool) "drain completed" true (by_id responses "d").ok;
+  Alcotest.(check int) "firewall never fired" 0
+    stats.Serve.Server.internal_errors
+
+(* --- deadlines: a mid-query budget trip is a structured answer with the
+   anytime rung disclosed, and the worker lives on (fake clock, so the
+   trip is deterministic — no real time involved) --- *)
+
+let test_session_budget_trip () =
+  (* Every budget-clock call advances 2 ms of fake time, so a 10 ms
+     deadline survives admission and the dequeue check but trips inside
+     optimize/execute — deterministically, on call count alone. *)
+  let tick = ref 0.0 in
+  let clock () =
+    let v = !tick in
+    tick := v +. 0.002;
+    v
+  in
+  let config =
+    {
+      Serve.Server.default_config with
+      Serve.Server.domains = 1;
+      clock = Some clock;
+    }
+  in
+  let frames =
+    [
+      Printf.sprintf {|{"id":"slow","op":"run","sql":"%s","deadline_ms":10}|}
+        sql;
+      Printf.sprintf {|{"id":"after","op":"estimate","sql":"%s"}|} sql;
+      {|{"id":"d","op":"drain"}|};
+    ]
+  in
+  let stats, responses = drive ~config frames in
+  let slow = by_id responses "slow" in
+  Alcotest.(check bool) "tripped request refused" false slow.ok;
+  Alcotest.(check (option string)) "budget-exhausted" (Some "budget-exhausted")
+    slow.kind;
+  (* the refusal discloses which anytime rung the optimizer degraded to
+     before the executor cancelled *)
+  Alcotest.(check bool) "rung in provenance" true
+    (List.mem_assoc "rung" slow.err);
+  Alcotest.(check bool) "worker survived: next request ok" true
+    (by_id responses "after").ok;
+  Alcotest.(check bool) "drain completed" true (by_id responses "d").ok;
+  Alcotest.(check int) "trip counted" 1 stats.Serve.Server.budget_trips;
+  Alcotest.(check int) "not an internal error" 0
+    stats.Serve.Server.internal_errors
+
+let suite =
+  [
+    Alcotest.test_case "protocol: parse totality" `Quick test_protocol_parse;
+    Alcotest.test_case "session: every op answered" `Quick test_session_basic;
+    Alcotest.test_case "session: post-drain sheds" `Quick
+      test_session_shed_after_drain;
+    Alcotest.test_case "session: damage isolated" `Quick
+      test_session_damage_isolated;
+    Alcotest.test_case "session: budget trip mid-query" `Quick
+      test_session_budget_trip;
+  ]
