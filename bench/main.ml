@@ -24,6 +24,8 @@
            (supplementary)
      F13 — catalog churn: versioned epochs, partitioned re-ANALYZE and
            self-healing publishes under streamed deltas (supplementary)
+     F16 — degree-statistics estimators (LP2/DEGSEQ/ENT) vs executed truth
+           on key chains, skewed stars and Section 8 (supplementary)
 
    Run with --quick to shrink T1/F1/F3 (used in CI-style smoke runs).
    Passing experiment ids (e.g. `bench/main.exe f8 micro`) runs only
@@ -34,7 +36,7 @@ let quick = Array.exists (String.equal "--quick") Sys.argv
 let experiment_ids =
   [
     "t1"; "t1-ablation"; "e1"; "s5"; "s6"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6";
-    "f7"; "f8"; "f10"; "f11"; "f12"; "f13"; "f14"; "micro";
+    "f7"; "f8"; "f10"; "f11"; "f12"; "f13"; "f14"; "f16"; "micro";
   ]
 
 let selected =
@@ -393,6 +395,20 @@ let run_f14 () =
     exit 1
   end
 
+(* F16: the degree-statistics family — per-estimator q-error against the
+   executed truth on a key-join chain, a Zipf-skewed star and the Section
+   8 workload. Every scenario is non-empty by construction, so a
+   non-finite q-error is a failure. *)
+let run_f16 () =
+  section "F16: degree-statistics estimators — bound quality vs truth";
+  let scale = if quick then 50 else 10 in
+  let rows = Harness.Bound_panel.run ~scale () in
+  print_string (Harness.Bound_panel.render rows);
+  if not (Harness.Bound_panel.pass rows) then begin
+    print_endline "F16 FAILED: non-finite q-error in the panel";
+    exit 1
+  end
+
 (* F11: the budget subsystem under load. Three legs: (a) exact DP on an
    n=14 chain under a 1 ms wall-clock deadline must still return a valid
    plan by degrading down the anytime ladder; (b) a node-budget sweep on
@@ -596,7 +612,7 @@ let () =
       ("f3", run_f3); ("f4", run_f4); ("f5", run_f5); ("f6", run_f6);
       ("f7", run_f7); ("f8", run_f8); ("f10", run_f10); ("f11", run_f11);
       ("f12", run_f12); ("f13", run_f13); ("f14", run_f14);
-      ("micro", run_micro);
+      ("f16", run_f16); ("micro", run_micro);
     ]
   in
   List.iter (fun (id, run) -> if wants id then run ()) experiments;

@@ -29,7 +29,8 @@
    budget spans the whole invocation, so the optimizer degrades down its
    anytime ladder and the executor cancels cooperatively when it trips.
 
-   estimate/explain/run accept --estimator=m|ss|ls|pess (any id in
+   estimate/explain/run accept --estimator=m|ss|ls|pess|lp2|degseq|ent
+   (any id in
    Els.Estimator.registry) to select a single combining rule; unknown
    names exit 2 with a did-you-mean suggestion.
 
@@ -130,7 +131,8 @@ let estimator_arg =
     & opt (some string) None
     & info [ "estimator" ] ~docv:"EST"
         ~doc:
-          "Combining rule: m, ss, ls or pess (any estimator registered in \
+          "Estimator: m, ss, ls, pess, or the degree-statistics family \
+           lp2, degseq, ent (any estimator registered in \
            the core registry).")
 
 let resolve_estimator = Option.map Els.Estimator.of_string_exn

@@ -24,6 +24,17 @@ let merge_tables (a : Table.t) (b : Table.t) =
     invalid_arg
       (Printf.sprintf "Analyze.merge_tables: shard names differ (%s vs %s)"
          a.name b.name);
+  (* The schema check must be symmetric: a column present only in [b]
+     would otherwise be dropped silently — a schema-drift merge
+     succeeding with data loss. *)
+  List.iter
+    (fun (col, _) ->
+      if not (List.mem_assoc col a.column_stats) then
+        invalid_arg
+          (Printf.sprintf
+             "Analyze.merge_tables: shard schemas differ (column %s.%s)"
+             b.name col))
+    b.column_stats;
   let column_stats =
     List.map
       (fun (col, sa) ->

@@ -26,6 +26,7 @@ type kind =
   | Non_monotone_histogram
   | Excess_buckets
   | Invalid_mcv
+  | Invalid_degree
 
 let kind_name = function
   | Negative_rows -> "negative-rows"
@@ -39,6 +40,7 @@ let kind_name = function
   | Non_monotone_histogram -> "non-monotone-histogram"
   | Excess_buckets -> "excess-buckets"
   | Invalid_mcv -> "invalid-mcv"
+  | Invalid_degree -> "invalid-degree"
 
 type issue = {
   table : string;
@@ -114,6 +116,57 @@ let mcv_issue table column m =
     Some { table; column = Some column; kind = Invalid_mcv;
            detail = Printf.sprintf "MCV fractions sum to %g > 1" total;
            repair = "drop MCV sketch" }
+  else None
+
+(* --- degree sequence --- *)
+
+(* Norm consistency of a degree sequence: all norms finite and
+   non-negative, L∞ ≤ L1 (the max degree cannot exceed the total mass),
+   L2² ≤ L1·L∞ (Σd² ≤ max·Σd), and the tracked top entries descending
+   with none above L∞. The inequalities hold exactly for analyzed columns
+   and are preserved by [Stats.Degree.merge] (the merged L2² omits only
+   non-negative cross terms), so a violation means corruption; the small
+   relative slack only absorbs float rounding. *)
+let degree_issue table column (d : Stats.Degree.t) =
+  let issue detail =
+    Some { table; column = Some column; kind = Invalid_degree; detail;
+           repair = "drop degree statistics" }
+  in
+  let tops = Stats.Degree.top_degrees d in
+  let rec descending i =
+    i + 1 >= Array.length tops
+    || (tops.(i) >= tops.(i + 1) && descending (i + 1))
+  in
+  let eps = 1e-6 in
+  if
+    not
+      (finite d.Stats.Degree.l1
+      && finite d.Stats.Degree.l2_sq
+      && finite d.Stats.Degree.linf
+      && d.Stats.Degree.l1 >= 0.
+      && d.Stats.Degree.l2_sq >= 0.
+      && d.Stats.Degree.linf >= 0.
+      && Array.for_all (fun x -> finite x && x >= 0.) tops)
+  then issue "degree norms carry NaN/negative values"
+  else if d.Stats.Degree.linf > d.Stats.Degree.l1 *. (1. +. eps) then
+    issue
+      (Printf.sprintf "max degree %g exceeds L1 mass %g" d.Stats.Degree.linf
+         d.Stats.Degree.l1)
+  else if
+    d.Stats.Degree.l2_sq
+    > (d.Stats.Degree.l1 *. d.Stats.Degree.linf *. (1. +. eps)) +. eps
+  then
+    issue
+      (Printf.sprintf "L2² = %g exceeds L1·L∞ = %g" d.Stats.Degree.l2_sq
+         (d.Stats.Degree.l1 *. d.Stats.Degree.linf))
+  else if not (descending 0) then
+    issue "top-k degrees are not descending"
+  else if
+    Array.length tops > 0 && tops.(0) > d.Stats.Degree.linf *. (1. +. eps)
+  then
+    issue
+      (Printf.sprintf "tracked degree %g exceeds recorded L∞ %g" tops.(0)
+         d.Stats.Degree.linf)
   else None
 
 (* --- value bounds --- *)
@@ -227,6 +280,17 @@ let audit_column table ~rows column (s : Stats.Col_stats.t) =
       | Some issue ->
         note issue;
         { s with mcv = None }
+      | None -> s
+    end
+    | None -> s
+  in
+  let s =
+    match s.degree with
+    | Some d -> begin
+      match degree_issue table column d with
+      | Some issue ->
+        note issue;
+        { s with degree = None }
       | None -> s
     end
     | None -> s

@@ -35,6 +35,9 @@ type kind =
   | Excess_buckets         (** more buckets than {!Stats.Histogram.build}
                                was asked for *)
   | Invalid_mcv            (** fraction outside [0,1] or sum > 1 *)
+  | Invalid_degree         (** degree norms NaN/negative or inconsistent:
+                               L∞ > L1, L2² > L1·L∞, or tracked top-k
+                               degrees non-descending / above L∞ *)
 
 val kind_name : kind -> string
 
@@ -55,8 +58,9 @@ val repair_table : Table.t -> Table.t * issue list
 (** Audit one table, returning a repaired copy plus everything found.
     Repairs: stale/negative row counts are replaced by the stored
     cardinality / clamped at 0, distinct and null counts are clamped into
-    [[0, rows]], and invalid bounds/histograms/MCV sketches are dropped
-    (estimation then falls back to the uniform/urn model). *)
+    [[0, rows]], and invalid bounds/histograms/MCV sketches/degree
+    sequences are dropped (estimation then falls back to the uniform/urn
+    model; degree-capped estimators fall back to min-rows). *)
 
 val check_db : Db.t -> issue list
 val repair_db : Db.t -> Db.t * issue list

@@ -63,6 +63,16 @@ let name t =
     else if same_algorithm t (sm ~ptc:false) then "SM"
     else if same_algorithm t (sm ~ptc:true) then "SM+PTC"
     else
+      (* A registered estimator in its canonical configuration prints its
+         label (LP2, DEGSEQ, ...); custom(...) is for off-registry
+         flag combinations only. *)
+      match
+        List.find_opt
+          (fun e -> same_algorithm t (of_estimator e))
+          (Estimator.registry ())
+      with
+      | Some e -> Estimator.label e
+      | None ->
       Printf.sprintf "custom(rule=%s%s%s%s)"
         (Estimator.label t.estimator)
         (if t.closure then ",ptc" else "")

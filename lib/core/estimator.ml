@@ -1,11 +1,23 @@
 type flags = { closure : bool; local_aware : bool; single_table : bool }
 
+(* What a per-step cap gets to see: the effective input sizes plus, for
+   every bridging equality predicate whose endpoint columns both carry
+   ANALYZE-collected degree sequences, the pair of those statistics —
+   (already-joined side, newly-joined side). Comparison predicates and
+   columns without degree statistics contribute no pair. *)
+type step_input = {
+  left_rows : float;
+  right_rows : float;
+  degrees : (Stats.Degree.t * Stats.Degree.t) list;
+}
+
 type t = {
   id : string;
   label : string;
   summary : string;
   combine : float list -> float;
-  cap : (left_rows:float -> right_rows:float -> float) option;
+  cap : (step_input -> float) option;
+  cap_note : (step_input -> string) option;
   flags : flags;
 }
 
@@ -24,6 +36,7 @@ let m =
     summary = "Rule M: multiply every eligible join selectivity (Selinger)";
     combine = (fun sels -> List.fold_left ( *. ) 1. sels);
     cap = None;
+    cap_note = None;
     (* Canonically with PTC: panels compare combining rules under equal
        (closed) predicate sets. Plain SM is [Config.sm ~ptc:false]. *)
     flags = { closure = true; local_aware = false; single_table = false };
@@ -36,6 +49,7 @@ let ss =
     summary = "Rule SS: keep only the smallest selectivity per class";
     combine = (fun sels -> List.fold_left Float.min 1. sels);
     cap = None;
+    cap_note = None;
     flags = { closure = true; local_aware = false; single_table = false };
   }
 
@@ -50,8 +64,11 @@ let ls =
         | [] -> 1.
         | s :: rest -> List.fold_left Float.max s rest);
     cap = None;
+    cap_note = None;
     flags = { closure = true; local_aware = true; single_table = true };
   }
+
+let min_rows s = Float.min s.left_rows s.right_rows
 
 let pess =
   {
@@ -64,11 +81,112 @@ let pess =
        the cap, so classes combine to 1 and a step's raw size is the
        cartesian product before capping. *)
     combine = (fun _ -> 1.);
-    cap = Some (fun ~left_rows ~right_rows -> Float.min left_rows right_rows);
+    cap = Some min_rows;
+    cap_note = Some (fun _ -> "min-rows (degree-1 Lp-norm bound)");
     flags = { closure = true; local_aware = true; single_table = true };
   }
 
-let registered : t list ref = ref [ m; ss; ls; pess ]
+(* --- the degree-statistics family ---------------------------------------
+
+   Bound-style estimators over the per-column degree sequences ANALYZE
+   collects ([Stats.Degree] via [Col_stats.degree]). Like PESS they carry
+   no per-class selectivity reduction — the whole estimate is the cap —
+   and like every non-builtin cap they never lower to the compiled kernel
+   tier, so each interpreted step counts a kernel fallback. All caps fold
+   [Float.min] across the step's bridging predicates (a conjunction can
+   only shrink the output) and degrade to PESS's min-rows when no degree
+   statistics are available. The degree statistics are the {e base
+   tables}': exact for the first (two-way) step, a heuristic for later
+   steps whose left input is an intermediate. *)
+
+let degree_fold s per_edge =
+  List.fold_left
+    (fun acc (a, b) -> Float.min acc (per_edge a b))
+    (min_rows s) s.degrees
+
+let no_degrees s = s.degrees = []
+
+let lp2 =
+  {
+    id = "lp2";
+    label = "LP2";
+    summary =
+      "AGM/Lp-norm bound: cap each step at min(|R1|', |R2|', L2(a)·L2(b)) \
+       from the join columns' degree-sequence L2 norms";
+    combine = (fun _ -> 1.);
+    cap =
+      Some
+        (fun s ->
+          degree_fold s (fun a b -> Stats.Degree.l2 a *. Stats.Degree.l2 b));
+    cap_note =
+      Some
+        (fun s ->
+          if no_degrees s then "min-rows (no degree statistics collected)"
+          else "degree-sequence L2 norms (ANALYZE)");
+    flags = { closure = true; local_aware = true; single_table = true };
+  }
+
+let degseq =
+  {
+    id = "degseq";
+    label = "DEGSEQ";
+    summary =
+      "Degree-sequence two-approximation: pairwise product of the sorted \
+       top-k degrees plus a capped tail (Instance Optimal Join Size \
+       Estimation)";
+    combine = (fun _ -> 1.);
+    cap =
+      Some
+        (fun s ->
+          match s.degrees with
+          | [] -> min_rows s
+          | edges ->
+            List.fold_left
+              (fun acc (a, b) -> Float.min acc (Stats.Degree.join_bound a b))
+              Float.infinity edges);
+    cap_note =
+      Some
+        (fun s ->
+          if no_degrees s then "min-rows (no degree statistics collected)"
+          else "top-k degree sequences (ANALYZE)");
+    flags = { closure = true; local_aware = true; single_table = true };
+  }
+
+let ent =
+  {
+    id = "ent";
+    label = "ENT";
+    summary =
+      "Entropy-style max-degree bound: cap each step at \
+       min(|R1|'·L∞(b), |R2|'·L∞(a)) — the polymatroid bound's two-way \
+       degenerate form";
+    combine = (fun _ -> 1.);
+    (* Folded from infinity, not from min-rows: L∞ ≥ 1 on any non-empty
+       column makes |R|·L∞ ≥ |R|, so a min-rows seed would swallow the
+       entropic term and collapse ENT into PESS. Min-rows applies only as
+       the no-statistics degradation. *)
+    cap =
+      Some
+        (fun s ->
+          match s.degrees with
+          | [] -> min_rows s
+          | edges ->
+            List.fold_left
+              (fun acc (a, b) ->
+                Float.min acc
+                  (Float.min
+                     (s.left_rows *. Stats.Degree.linf b)
+                     (s.right_rows *. Stats.Degree.linf a)))
+              Float.infinity edges);
+    cap_note =
+      Some
+        (fun s ->
+          if no_degrees s then "min-rows (no degree statistics collected)"
+          else "degree-sequence L∞ norms (ANALYZE)");
+    flags = { closure = true; local_aware = true; single_table = true };
+  }
+
+let registered : t list ref = ref [ m; ss; ls; pess; lp2; degseq; ent ]
 let registry () = !registered
 
 let register e =

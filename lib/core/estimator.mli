@@ -20,6 +20,21 @@ type flags = {
     configuration ({!Config.of_estimator}). They are defaults, not
     requirements: a {!Config.t} may override any of them. *)
 
+type step_input = {
+  left_rows : float;  (** effective size of the already-joined side *)
+  right_rows : float;  (** effective size of the newly-joined side *)
+  degrees : (Stats.Degree.t * Stats.Degree.t) list;
+      (** one pair per bridging {e equality} predicate whose endpoint
+          columns both carry ANALYZE-collected degree sequences, ordered
+          (already-joined side, newly-joined side). Comparison predicates
+          and catalog-supplied columns contribute no pair, so caps must
+          degrade gracefully on an empty list. *)
+}
+(** Everything a per-step cap may consult. The degree statistics are the
+    {e base tables}' ({!Stats.Degree} on {!Stats.Col_stats.degree}):
+    exact for a two-way step, a heuristic for later steps whose left
+    input is an intermediate result. *)
+
 type t = {
   id : string;
       (** stable lowercase identifier; registry key, cache key and CLI
@@ -31,11 +46,16 @@ type t = {
       (** fold one equivalence class's eligible join selectivities into a
           single factor; the empty list must combine to 1 (a cartesian
           step) *)
-  cap : (left_rows:float -> right_rows:float -> float) option;
-      (** optional per-step output-cardinality cap, given the effective
-          sizes of the two inputs. Applied by {!Incremental} only to
-          predicate-connected steps — a cartesian step has no equality
-          class to justify a bound. *)
+  cap : (step_input -> float) option;
+      (** optional per-step output-cardinality cap. Applied by
+          {!Incremental} only to predicate-connected steps — a cartesian
+          step has no equality class to justify a bound. Estimators with
+          a cap other than min-rows never lower to the compiled kernel
+          tier; their interpreted steps count kernel fallbacks. *)
+  cap_note : (step_input -> string) option;
+      (** derivation-card provenance for the cap: names the statistic the
+          cap read (e.g. which degree norm, or min-rows when degraded).
+          Observability only — never consulted by the value path. *)
   flags : flags;
 }
 
@@ -63,9 +83,30 @@ val pess : t
     coincides with the true size; elsewhere it is a cheap sanity bound
     rather than an estimate. *)
 
+val lp2 : t
+(** AGM/Lp-norm step cap [min(|R1|', |R2|', L2(a)·L2(b))]: the
+    Cauchy–Schwarz join-size bound from the bridging columns' degree
+    L2 norms (Join Size Bounds using Lp-Norms on Degree Sequences). With
+    no degree statistics on a step it degrades to PESS's min-rows. *)
+
+val degseq : t
+(** Degree-sequence two-approximation (Instance Optimal Join Size
+    Estimation): per step, the pairwise product of the two descending
+    degree sequences — top-k entries exactly, tails capped by
+    [min(tail-mass·tail-max)] ({!Stats.Degree.join_bound}), min over the
+    bridging predicates. Degrades to min-rows without degree stats. *)
+
+val ent : t
+(** Entropy-style max-degree bound: per step
+    [min(|R1|'·L∞(b), |R2|'·L∞(a))] — the two-relation degenerate form of
+    the polymatroid/entropic bounds (Information Theory Strikes Back):
+    every left row matches at most the right column's max degree.
+    Degrades to min-rows without degree stats. *)
+
 val registry : unit -> t list
-(** All registered estimators, in registration order; the four built-ins
-    [m], [ss], [ls], [pess] come first. *)
+(** All registered estimators, in registration order; the built-ins
+    [m], [ss], [ls], [pess] come first, then the degree-statistics family
+    [lp2], [degseq], [ent]. *)
 
 val register : t -> unit
 (** Append a new estimator to the registry.

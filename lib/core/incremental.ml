@@ -151,13 +151,49 @@ let eligible_between profile s1 s2 =
     (fun id -> (Profile.pred profile id).Profile.pred)
     (eligible_ids_between profile s1.mask s2.mask)
 
+(* Degree-statistic pairs of the step's bridging equality predicates,
+   oriented (already-joined side, new side) by [left_mask]. Comparison
+   predicates never pair (their selectivity is CDF-derived, not
+   degree-derived), and a column without ANALYZE-collected degree
+   sequences contributes no pair — caps degrade on the empty list. *)
+let step_degrees profile ~left_mask ids =
+  List.filter_map
+    (fun id ->
+      match (Profile.pred profile id).Profile.pred with
+      | Predicate.Col_cmp { left; op = Predicate.Eq; right } -> begin
+        let on_left cref =
+          left_mask
+          land (1 lsl Profile.table_bit profile cref.Query.Cref.table)
+          <> 0
+        in
+        let a, b = if on_left left then (left, right) else (right, left) in
+        match
+          ( (Profile.column_stats profile a).Stats.Col_stats.degree,
+            (Profile.column_stats profile b).Stats.Col_stats.degree )
+        with
+        | Some da, Some db -> Some (da, db)
+        | _, _ -> None
+      end
+      | Predicate.Col_cmp _ | Predicate.Cmp _ -> None)
+    ids
+
+let step_input profile ~left_mask ~left_rows ~right_rows ids =
+  {
+    Estimator.left_rows;
+    right_rows;
+    degrees = step_degrees profile ~left_mask ids;
+  }
+
 (* The estimator may bound a predicate-connected step's output (e.g. the
-   pessimistic degree-1 bound). A cartesian step has no equality class to
-   justify a bound, so the cap never applies there; capping below the
-   cartesian product keeps the Guard's [~upper] valid unchanged. *)
-let capped_size profile ~bridged ~left_rows ~right_rows raw =
+   pessimistic degree-1 bound, or the degree-statistics family's Lp-norm
+   caps). A cartesian step has no equality class to justify a bound, so
+   the cap never applies there; capping below the cartesian product keeps
+   the Guard's [~upper] valid unchanged. *)
+let capped_size profile ~ids ~left_mask ~left_rows ~right_rows raw =
   match (Profile.estimator profile).Estimator.cap with
-  | Some cap when bridged -> Float.min raw (cap ~left_rows ~right_rows)
+  | Some cap when ids <> [] ->
+    Float.min raw
+      (cap (step_input profile ~left_mask ~left_rows ~right_rows ids))
   | Some _ | None -> raw
 
 (* --- derivation recording ----------------------------------------------
@@ -221,7 +257,8 @@ let column_records profile ~cdf group =
         })
     crefs
 
-let record_step profile ~index ~table ~left_rows ~right_rows ~ids ~output sink =
+let record_step profile ~index ~table ~left_mask ~left_rows ~right_rows ~ids
+    ~output sink =
   let rule = (Profile.estimator profile).Estimator.id in
   let classes =
     List.map
@@ -244,13 +281,28 @@ let record_step profile ~index ~table ~left_rows ~right_rows ~ids ~output sink =
         })
       (class_groups profile ids)
   in
-  let cap =
-    match (Profile.estimator profile).Estimator.cap with
-    | Some cap when ids <> [] -> Some (cap ~left_rows ~right_rows)
-    | Some _ | None -> None
+  let cap, cap_source =
+    let est = Profile.estimator profile in
+    match est.Estimator.cap with
+    | Some cap when ids <> [] ->
+      let input = step_input profile ~left_mask ~left_rows ~right_rows ids in
+      ( Some (cap input),
+        match est.Estimator.cap_note with
+        | Some note -> Some (note input)
+        | None -> None )
+    | Some _ | None -> (None, None)
   in
   Obs.Derivation.record_step sink
-    { Obs.Derivation.index; table; left_rows; right_rows; classes; cap; output }
+    {
+      Obs.Derivation.index;
+      table;
+      left_rows;
+      right_rows;
+      classes;
+      cap;
+      cap_source;
+      output;
+    }
 
 let join_states profile s1 s2 =
   let overlap = s1.mask land s2.mask in
@@ -281,7 +333,7 @@ let join_states profile s1 s2 =
     let size =
       Guard.cardinality profile.Profile.guard ~site:"Incremental.join_states"
         ~upper:(s1.size *. s2.size)
-        (capped_size profile ~bridged:(ids <> []) ~left_rows:s1.size
+        (capped_size profile ~ids ~left_mask:s1.mask ~left_rows:s1.size
            ~right_rows:s2.size
            (s1.size *. s2.size *. s))
     in
@@ -289,8 +341,8 @@ let join_states profile s1 s2 =
     | Some sink ->
       record_step profile
         ~index:(List.length s1.rev_history + List.length s2.rev_history)
-        ~table:"⋈" ~left_rows:s1.size ~right_rows:s2.size ~ids ~output:size
-        sink
+        ~table:"⋈" ~left_mask:s1.mask ~left_rows:s1.size ~right_rows:s2.size
+        ~ids ~output:size sink
     | None -> ());
     {
       mask = s1.mask lor s2.mask;
@@ -322,7 +374,7 @@ let extend profile state name =
          inputs. *)
       Guard.cardinality profile.Profile.guard ~site:"Incremental.extend"
         ~upper:(state.size *. table.Profile.rows)
-        (capped_size profile ~bridged:(ids <> []) ~left_rows:state.size
+        (capped_size profile ~ids ~left_mask:state.mask ~left_rows:state.size
            ~right_rows:table.Profile.rows
            (state.size *. table.Profile.rows *. s))
     in
@@ -330,7 +382,7 @@ let extend profile state name =
     | Some sink ->
       record_step profile
         ~index:(List.length state.rev_history)
-        ~table:table.Profile.name ~left_rows:state.size
+        ~table:table.Profile.name ~left_mask:state.mask ~left_rows:state.size
         ~right_rows:table.Profile.rows ~ids ~output:size sink
     | None -> ());
     {

@@ -70,7 +70,8 @@ let comparison ?(rows_range = (200, 2000)) ?(distinct_range = (5, 200))
   { db; query; true_size = None }
 
 let star ?(fact_rows = 5000) ?(dim_rows_range = (100, 1000))
-    ?(distinct_range = (5, 100)) ~seed ~n_dims () =
+    ?(distinct_range = (5, 100)) ?(distribution = Distribution.Exact_uniform)
+    ~seed ~n_dims () =
   if n_dims < 1 then invalid_arg "Workload.star: need at least 1 dimension";
   let rng = Prng.create seed in
   let db = Catalog.Db.create () in
@@ -79,12 +80,16 @@ let star ?(fact_rows = 5000) ?(dim_rows_range = (100, 1000))
         Prng.int_in rng (fst distinct_range) (snd distinct_range))
   in
   (* Fact table: one join column per dimension, domain matching the
-     dimension's distinct count (containment). *)
+     dimension's distinct count (containment). [distribution] shapes the
+     fact keys only — a Zipf fact against uniform dimensions is the
+     skewed-star setting of experiment F16. *)
   ignore
     (Tablegen.register (Prng.split rng) db ~table:"fact" ~rows:fact_rows
        (List.mapi
           (fun i distinct ->
-            Tablegen.column (Printf.sprintf "k%d" (i + 1)) ~distinct)
+            Tablegen.column ~distribution
+              (Printf.sprintf "k%d" (i + 1))
+              ~distinct)
           dim_distincts));
   List.iteri
     (fun i distinct ->

@@ -49,9 +49,13 @@ val star :
   ?fact_rows:int ->
   ?dim_rows_range:int * int ->
   ?distinct_range:int * int ->
+  ?distribution:Distribution.t ->
   seed:int ->
   n_dims:int ->
   unit ->
   spec
 (** A fact table [fact] with join columns [k1..kn] joined to dimensions
-    [d1..dn] on their [k] columns. *)
+    [d1..dn] on their [k] columns. [distribution] shapes the fact table's
+    key columns (dimensions stay exact-uniform) — pass a Zipf to build the
+    skewed stars that separate the degree-statistics estimators from the
+    uniform-model rules. Default: exact-uniform. *)

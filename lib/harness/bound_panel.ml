@@ -1,0 +1,88 @@
+type row = {
+  scenario : string;
+  estimator : string;
+  estimate : float;
+  truth : float;
+  q : Accuracy.q_error;
+}
+
+(* Three workload families where the degree-statistics estimators are
+   interesting:
+   - a key-join chain (distinct = rows): every degree is 1, so the
+     Lp-norm caps coincide with min-rows and bound the truth tightly;
+   - a skewed star (Zipf fact keys): heavy hitters break the uniform
+     model, which is exactly what the tracked top-k degrees and the L2/L∞
+     norms see;
+   - the paper's Section 8 workload, for continuity with T1/F10.
+   All three produce non-empty results by construction (key domains are
+   contained, the Section 8 restriction keeps at least one row at every
+   scale), so every q-error is expected to be finite. *)
+let scenarios ~scale ~seed =
+  [
+    ( "key-chain",
+      Datagen.Workload.chain ~rows_range:(200, 800)
+        ~distinct_range:(10_000, 10_000) ~seed ~n_tables:3 () );
+    ( "skew-star",
+      Datagen.Workload.star ~fact_rows:2000 ~dim_rows_range:(50, 200)
+        ~distinct_range:(20, 50)
+        ~distribution:(Datagen.Distribution.Zipf 1.2)
+        ~seed:(seed + 1) ~n_dims:2 () );
+    ( "section8",
+      {
+        Datagen.Workload.db = Datagen.Section8.build ~scale ~seed:(seed + 2) ();
+        query = Datagen.Section8.query_scaled ~scale;
+        true_size = None;
+      } );
+  ]
+
+let run ?(scale = 10) ?(seed = 42) () =
+  List.concat_map
+    (fun (scenario, spec) ->
+      let db = spec.Datagen.Workload.db in
+      let query = spec.Datagen.Workload.query in
+      let order = query.Query.tables in
+      let truth =
+        float_of_int
+          (Exec.Executor.run_query db query).Exec.Executor.row_count
+      in
+      List.map
+        (fun est ->
+          let config = Els.Config.of_estimator est in
+          let estimates = Els.intermediate_sizes config db query order in
+          let estimate =
+            match List.rev estimates with last :: _ -> last | [] -> 0.
+          in
+          {
+            scenario;
+            estimator = Els.Estimator.label est;
+            estimate;
+            truth;
+            q = Accuracy.q_error ~est:estimate ~truth;
+          })
+        (Els.Estimator.registry ()))
+    (scenarios ~scale ~seed)
+
+let pass rows =
+  rows <> []
+  && List.for_all
+       (fun r -> match r.q with Accuracy.Finite _ -> true | _ -> false)
+       rows
+
+let q_cell = function
+  | Accuracy.Finite q -> Report.float_cell q
+  | Accuracy.Infinite -> "inf"
+  | Accuracy.Undefined -> "undef"
+
+let render rows =
+  Report.table
+    ~header:[ "Scenario"; "Estimator"; "Estimate"; "True"; "q-error" ]
+    (List.map
+       (fun r ->
+         [
+           r.scenario;
+           r.estimator;
+           Report.float_cell r.estimate;
+           Report.float_cell r.truth;
+           q_cell r.q;
+         ])
+       rows)

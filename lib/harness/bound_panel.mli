@@ -1,0 +1,33 @@
+(** Experiment F16: the degree-statistics estimator family vs executed
+    truth.
+
+    ANALYZE collects per-column degree sequences ({!Stats.Degree}); the
+    registered estimators [lp2], [degseq] and [ent] turn them into
+    per-step join-size caps, with [pess] as their degree-1 degenerate
+    form. This panel crosses three workload families — a key-join chain
+    (all degrees 1, caps tight), a Zipf-skewed star (heavy hitters, where
+    the uniform model breaks) and the paper's Section 8 workload — with
+    {e every} estimator in the core registry, reporting the final
+    estimate, the executed true size and the q-error.
+
+    All scenarios produce non-empty results by construction, so a sound
+    estimator yields a finite q-error on every row — CI asserts exactly
+    {!pass}. *)
+
+type row = {
+  scenario : string;  (** "key-chain", "skew-star" or "section8" *)
+  estimator : string;  (** {!Els.Estimator.label} *)
+  estimate : float;  (** final join-size estimate *)
+  truth : float;  (** executed true size *)
+  q : Accuracy.q_error;
+}
+
+val run : ?scale:int -> ?seed:int -> unit -> row list
+(** [scale] (default 10) shrinks the Section 8 scenario as in
+    {!Section8_experiment.run}; the generated scenarios are fixed-size.
+    Default seed 42; each scenario derives its own sub-seed. *)
+
+val pass : row list -> bool
+(** True when the panel is non-empty and every q-error is finite. *)
+
+val render : row list -> string

@@ -21,6 +21,7 @@ type step = {
   right_rows : float;
   classes : class_record list;
   cap : float option;
+  cap_source : string option;
   output : float;
 }
 
@@ -90,9 +91,10 @@ let pp_card ppf t =
                 col.column col.join_distinct col.base_distinct col.source)
             c.columns)
         step.classes;
-      (match step.cap with
-      | Some cap -> Format.fprintf ppf "    cap: %.4g@." cap
-      | None -> ());
+      (match step.cap, step.cap_source with
+      | Some cap, Some src -> Format.fprintf ppf "    cap: %.4g  [%s]@." cap src
+      | Some cap, None -> Format.fprintf ppf "    cap: %.4g@." cap
+      | None, _ -> ());
       Format.fprintf ppf "    → %.4g rows@." step.output)
     (steps t)
 
@@ -131,6 +133,9 @@ let step_json s =
       ("right_rows", Json.Float s.right_rows);
       ("classes", Json.List (List.map class_json s.classes));
       ("cap", match s.cap with Some c -> Json.Float c | None -> Json.Null);
+      ( "cap_source",
+        match s.cap_source with Some src -> Json.String src | None -> Json.Null
+      );
       ("output", Json.Float s.output);
     ]
 

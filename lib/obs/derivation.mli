@@ -44,6 +44,10 @@ type step = {
   cap : float option;
       (** the estimator's step bound, when one applied (bridged step under
           a capping estimator) *)
+  cap_source : string option;
+      (** provenance of the cap: which statistic it read (e.g. a degree
+          norm from ANALYZE, or min-rows when degraded). Ignored by
+          {!replay}. *)
   output : float;  (** the step's final (guarded) size *)
 }
 

@@ -471,11 +471,25 @@ let handle_analyze ss ~budget ~table ~shards =
   | Ok epoch ->
     atomic_max ss.s_max_epoch (Catalog.Epoch.id epoch);
     let s = Catalog.Store.stats store in
+    (* Disclose how many columns of the published epoch carry degree
+       sequences, so clients know whether lp2/degseq/ent will read real
+       statistics or degrade to min-rows. *)
+    let degree_columns =
+      List.fold_left
+        (fun acc tbl ->
+          List.fold_left
+            (fun acc (_, cs) ->
+              if cs.Stats.Col_stats.degree <> None then acc + 1 else acc)
+            acc tbl.Catalog.Table.column_stats)
+        0
+        (Catalog.Db.tables (Catalog.Epoch.db epoch))
+    in
     Ok
       ( "analyze",
         [
           ("epoch", Obs.Json.Int (Catalog.Epoch.id epoch));
           ("tables", json_of_strings tables);
+          ("degree_columns", Obs.Json.Int degree_columns);
           ("quarantined_now", Obs.Json.Int s.Catalog.Store.quarantined_now);
           ("audits_failed", Obs.Json.Int s.Catalog.Store.audits_failed);
           ("stale_served", Obs.Json.Int s.Catalog.Store.stale_served);

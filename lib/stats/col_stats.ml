@@ -6,6 +6,7 @@ type t = {
   histogram : Histogram.t option;
   mcv : Mcv.t option;
   distinct_sketch : Hll.t option;
+  degree : Degree.t option;
 }
 
 let numeric_values values =
@@ -19,7 +20,10 @@ let numeric_values values =
     values;
   Rel.Vec.to_array out
 
-let of_values ?histogram ?(histogram_buckets = 32) ?mcv values =
+let of_values ?histogram ?(histogram_buckets = 32) ?mcv
+    ?(degree_k = Degree.default_k) values =
+  (* One counting pass serves both the exact distinct count and the
+     degree sequence: the count of value [v] is its degree. *)
   let seen = Hashtbl.create 1024 in
   let nulls = ref 0 in
   let lo = ref None and hi = ref None in
@@ -27,7 +31,9 @@ let of_values ?histogram ?(histogram_buckets = 32) ?mcv values =
     (fun v ->
       if Rel.Value.is_null v then incr nulls
       else begin
-        if not (Hashtbl.mem seen v) then Hashtbl.add seen v ();
+        (match Hashtbl.find_opt seen v with
+        | Some c -> Hashtbl.replace seen v (c + 1)
+        | None -> Hashtbl.add seen v 1);
         (match !lo with
         | None -> lo := Some v
         | Some m -> if Rel.Value.compare v m < 0 then lo := Some v);
@@ -49,6 +55,11 @@ let of_values ?histogram ?(histogram_buckets = 32) ?mcv values =
     | None -> None
     | Some k -> Mcv.build ~k values
   in
+  let degree =
+    Some
+      (Degree.of_counts ~k:degree_k
+         (Hashtbl.fold (fun v c acc -> (v, c) :: acc) seen []))
+  in
   {
     distinct = Hashtbl.length seen;
     nulls = !nulls;
@@ -57,6 +68,7 @@ let of_values ?histogram ?(histogram_buckets = 32) ?mcv values =
     histogram;
     mcv;
     distinct_sketch = Some (Hll.of_values values);
+    degree;
   }
 
 let trivial ~distinct =
@@ -68,6 +80,7 @@ let trivial ~distinct =
     histogram = None;
     mcv = None;
     distinct_sketch = None;
+    degree = None;
   }
 
 let with_bounds ~distinct ~lo ~hi =
@@ -79,6 +92,7 @@ let with_bounds ~distinct ~lo ~hi =
     histogram = None;
     mcv = None;
     distinct_sketch = None;
+    degree = None;
   }
 
 let combine_bound pick a b =
@@ -122,6 +136,13 @@ let merge ~rows a ~rows':rows2 b =
         in
         if Mcv.tracked_count merged = 0 then None else Some merged
   in
+  let degree =
+    (* A shard without degree statistics contributes unaccounted mass, so
+       the merged column can only drop them. *)
+    match a.degree, b.degree with
+    | Some da, Some db -> Some (Degree.merge da db)
+    | _ -> None
+  in
   {
     distinct;
     nulls = a.nulls + b.nulls;
@@ -134,6 +155,7 @@ let merge ~rows a ~rows':rows2 b =
     histogram;
     mcv;
     distinct_sketch;
+    degree;
   }
 
 let pp ppf t =
@@ -148,6 +170,8 @@ let pp ppf t =
     | Some _, None -> " hist"
     | None, Some _ -> " mcv"
     | Some _, Some _ -> " hist mcv")
-    (match t.distinct_sketch with
-    | None -> ""
-    | Some _ -> " sketch")
+    (match t.distinct_sketch, t.degree with
+    | None, None -> ""
+    | Some _, None -> " sketch"
+    | None, Some _ -> " deg"
+    | Some _, Some _ -> " sketch deg")

@@ -21,18 +21,26 @@ type t = {
   mcv : Mcv.t option;
   distinct_sketch : Hll.t option;
       (** mergeable distinct sketch; [None] for catalog-supplied stats *)
+  degree : Degree.t option;
+      (** degree-sequence norms and top-k degrees ({!Degree}); analyzed
+          columns always carry one, catalog-supplied stats never do. Like
+          the sketch, it is never consulted by the 1994 rules — the
+          recorded [distinct] stays authoritative — but the Lp-norm /
+          entropy estimator caps read it. *)
 }
 
 val of_values :
   ?histogram:Histogram.kind ->
   ?histogram_buckets:int ->
   ?mcv:int ->
+  ?degree_k:int ->
   Rel.Value.t array ->
   t
 (** Exact statistics of a column. A histogram is built only when requested
     and the column is numeric; [histogram_buckets] defaults to 32. [mcv]
     requests a most-common-value sketch of that many entries. A distinct
-    sketch is always built. *)
+    sketch and a degree sequence (top-[degree_k] entries, default
+    {!Degree.default_k}) are always built. *)
 
 val trivial : distinct:int -> t
 (** Statistics carrying only a distinct count; used when the caller supplies
@@ -46,7 +54,8 @@ val merge : rows:int -> t -> rows':int -> t -> t
     (needed to weight MCV fractions and clamp the distinct estimate).
     [distinct] comes from the merged sketch when both sides carry one of
     equal precision, else from the shard-sum upper bound; nulls add;
-    bounds widen; histograms and MCVs merge per their own algebras. *)
+    bounds widen; histograms, MCVs and degree sequences merge per their
+    own algebras (degrees are dropped unless both shards carry them). *)
 
 val numeric_values : Rel.Value.t array -> float array
 (** Non-null numeric values of a column as floats; empty for non-numeric

@@ -1,0 +1,145 @@
+(* Degree-sequence statistics of one join column: for every distinct
+   non-null value v, its degree d(v) = number of rows carrying v. The
+   norms of that sequence are what the modern worst-case join bounds
+   consume; the top-k heaviest entries are kept value-keyed so shard
+   statistics can be merged (the same reason Mcv keys by value). *)
+
+type t = {
+  l1 : float;
+  l2_sq : float;
+  linf : float;
+  top : (Rel.Value.t * float) array;
+  k : int;
+  complete : bool;
+}
+
+let default_k = 32
+
+let l1 t = t.l1
+let l2 t = Float.sqrt t.l2_sq
+let l2_sq t = t.l2_sq
+let linf t = t.linf
+let capacity t = t.k
+let complete t = t.complete
+let tracked t = Array.to_list t.top
+let top_degrees t = Array.map snd t.top
+
+(* Heaviest first; ties broken by value order so builds and merges are
+   deterministic regardless of hash-table iteration order. *)
+let by_degree (va, da) (vb, db) =
+  match Float.compare db da with 0 -> Rel.Value.compare va vb | c -> c
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let of_entries ~k ~l1 ~l2_sq ~linf entries =
+  let sorted = List.sort by_degree entries in
+  {
+    l1;
+    l2_sq;
+    linf;
+    top = Array.of_list (take k sorted);
+    k;
+    complete = List.length sorted <= k;
+  }
+
+let of_counts ?(k = default_k) counts =
+  let l1 = ref 0. and l2_sq = ref 0. and linf = ref 0. in
+  let entries =
+    List.filter_map
+      (fun (v, c) ->
+        if Rel.Value.is_null v || c <= 0 then None
+        else begin
+          let d = float_of_int c in
+          l1 := !l1 +. d;
+          l2_sq := !l2_sq +. (d *. d);
+          if d > !linf then linf := d;
+          Some (v, d)
+        end)
+      counts
+  in
+  of_entries ~k ~l1:!l1 ~l2_sq:!l2_sq ~linf:!linf entries
+
+let of_values ?(k = default_k) values =
+  let counts = Hashtbl.create 1024 in
+  Array.iter
+    (fun v ->
+      if not (Rel.Value.is_null v) then
+        match Hashtbl.find_opt counts v with
+        | Some c -> Hashtbl.replace counts v (c + 1)
+        | None -> Hashtbl.add counts v 1)
+    values;
+  of_counts ~k (Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts [])
+
+(* Shard merge. A value split across shards has its true degree only if
+   both shards track it, so:
+   - L1 is exact (degrees add, tracked or not);
+   - L∞ and L2² are computed exactly whenever both inputs are [complete]
+     (every distinct value tracked), and are lower bounds otherwise: the
+     cross terms of untracked split values are unknown and omitted;
+   - the top-k is the heaviest k of the merged tracked entries — each
+     merged degree is a lower bound of the true degree of that value. *)
+let merge a b =
+  let k = max a.k b.k in
+  let amap = Hashtbl.create 64 in
+  Array.iter (fun (v, d) -> Hashtbl.replace amap v d) a.top;
+  let union = Hashtbl.create 64 in
+  Array.iter (fun (v, d) -> Hashtbl.replace union v d) a.top;
+  let cross = ref 0. in
+  Array.iter
+    (fun (v, db) ->
+      match Hashtbl.find_opt amap v with
+      | Some da ->
+        cross := !cross +. (da *. db);
+        Hashtbl.replace union v (da +. db)
+      | None -> Hashtbl.add union v db)
+    b.top;
+  let entries = Hashtbl.fold (fun v d acc -> (v, d) :: acc) union [] in
+  let sorted = List.sort by_degree entries in
+  let tracked_max = match sorted with (_, d) :: _ -> d | [] -> 0. in
+  {
+    l1 = a.l1 +. b.l1;
+    l2_sq = a.l2_sq +. b.l2_sq +. (2. *. !cross);
+    linf = Float.max tracked_max (Float.max a.linf b.linf);
+    top = Array.of_list (take k sorted);
+    k;
+    complete = a.complete && b.complete && List.length sorted <= k;
+  }
+
+(* Upper bound on the join size of two columns from their degree
+   sequences: sum of the descending sequences' pairwise products
+   Σᵢ aᵢ·bᵢ (the maximal coupling — Instance Optimal Join Size
+   Estimation's two-approximation). The first k₀ = min(|top a|, |top b|)
+   terms are taken exactly from the tracked entries; every later aᵢ is at
+   most the smallest degree that could still appear there, so the tail is
+   capped by min(tail-mass(a)·tail-max(b), tail-mass(b)·tail-max(a)). *)
+let join_bound a b =
+  let ta = Array.map snd a.top and tb = Array.map snd b.top in
+  let k0 = min (Array.length ta) (Array.length tb) in
+  let pairwise = ref 0. in
+  for i = 0 to k0 - 1 do
+    pairwise := !pairwise +. (ta.(i) *. tb.(i))
+  done;
+  let tail arr l1 =
+    let tracked = ref 0. in
+    for i = 0 to k0 - 1 do
+      tracked := !tracked +. arr.(i)
+    done;
+    let mass = Float.max 0. (l1 -. !tracked) in
+    let dmax =
+      if mass <= 0. then 0.
+      else if Array.length arr > k0 then arr.(k0)
+      else if k0 > 0 then arr.(k0 - 1)
+      else l1
+    in
+    (mass, dmax)
+  in
+  let mass_a, max_a = tail ta a.l1 in
+  let mass_b, max_b = tail tb b.l1 in
+  !pairwise +. Float.min (mass_a *. max_b) (mass_b *. max_a)
+
+let pp ppf t =
+  Format.fprintf ppf "{l1=%g l2=%g linf=%g top=%d/%d%s}" t.l1 (l2 t) t.linf
+    (Array.length t.top) t.k
+    (if t.complete then " complete" else "")

@@ -26,9 +26,17 @@ let interpolate stats c =
     | Some lo, Some hi, Some x ->
       if is_int lo_v && is_int hi_v then begin
         let width = hi -. lo +. 1. in
-        let below = clamp01 ((x -. lo) /. width) in
-        let at_or_below = clamp01 ((x -. lo +. 1.) /. width) in
-        Some (below, at_or_below)
+        if Float.is_integer x then
+          let below = clamp01 ((x -. lo) /. width) in
+          let at_or_below = clamp01 ((x -. lo +. 1.) /. width) in
+          Some (below, at_or_below)
+        else begin
+          (* A non-integer constant over an integer domain occupies no
+             discrete slot: the values strictly below [x] are exactly the
+             values at-or-below it, namely lo..⌊x⌋. *)
+          let mass = clamp01 ((Float.floor x -. lo +. 1.) /. width) in
+          Some (mass, mass)
+        end
       end
       else begin
         let width = hi -. lo in
@@ -221,18 +229,20 @@ let range_pair stats ~lower ~upper =
    equality default for a band). *)
 
 (* F(op, x) for op ∈ {Lt, Le}: fraction of the column's values v with
-   [v op x], from the best available statistic. *)
+   [v op x], from the best available statistic. Only Lt/Le are cumulative
+   queries; anything else is a caller bug, refused loudly rather than
+   silently answered with the at-or-below mass. *)
 let cdf_eval stats op x =
+  (match op with
+  | Rel.Cmp.Lt | Rel.Cmp.Le -> ()
+  | Rel.Cmp.Eq | Rel.Cmp.Ne | Rel.Cmp.Gt | Rel.Cmp.Ge ->
+    invalid_arg "Selectivity_est.cdf_eval: only Lt/Le are CDF queries");
   match stats.Col_stats.histogram with
   | Some h -> Some (Histogram.selectivity h op x)
   | None -> begin
     match interpolate stats (Rel.Value.Float x) with
     | Some (below, at_or_below) ->
-      Some
-        (match op with
-        | Rel.Cmp.Lt -> below
-        | Rel.Cmp.Le | Rel.Cmp.Eq | Rel.Cmp.Ne | Rel.Cmp.Gt | Rel.Cmp.Ge ->
-          at_or_below)
+      Some (match op with Rel.Cmp.Lt -> below | _ -> at_or_below)
     | None -> None
   end
 
@@ -274,6 +284,9 @@ let integrate g buckets =
       else acc +. (w *. (g lo +. g hi) /. 2.))
     0. buckets
 
+(* [op] is always Lt or Le here: [join_comparison] rewrites Gt/Ge into
+   complements of Le/Lt before calling, so the [cdf_eval] restriction
+   holds by construction. *)
 let conv left op right =
   match outer_buckets right with
   | None -> None

@@ -47,6 +47,14 @@ val range_pair :
     [x > 10 AND x <= 20] is the mass of the interval. Missing sides default
     to the column bounds. *)
 
+val cdf_eval : Col_stats.t -> Rel.Cmp.t -> float -> float option
+(** [cdf_eval stats op x] is the column's cumulative mass [P(v op x)] for
+    [op] ∈ {[Lt], [Le]}, from the best available statistic (histogram,
+    else min/max interpolation), or [None] when neither exists.
+    @raise Invalid_argument for any other operator: only Lt/Le are
+    cumulative queries, and the pre-restriction behaviour of silently
+    answering with the at-or-below mass was a wrong-answer trap. *)
+
 val join_comparison : Col_stats.t -> Rel.Cmp.t -> Col_stats.t -> float
 (** [join_comparison left op right] estimates P(a op b) for [a] drawn from
     the left column and [b] from the right — the inequality-join

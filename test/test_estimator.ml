@@ -158,13 +158,15 @@ let test_pess_pieces () =
     (pess.Els.Estimator.combine [ 0.25; 0.5 ]);
   Alcotest.(check (float 0.)) "empty class combines to 1" 1.
     (pess.Els.Estimator.combine []);
+  let input left_rows right_rows =
+    { Els.Estimator.left_rows; right_rows; degrees = [] }
+  in
   (match pess.Els.Estimator.cap with
   | None -> Alcotest.fail "pess must cap step outputs"
   | Some cap ->
     Alcotest.(check (float 0.)) "cap is min of the inputs" 3.
-      (cap ~left_rows:3. ~right_rows:7.);
-    Alcotest.(check (float 0.)) "cap is symmetric" 3.
-      (cap ~left_rows:7. ~right_rows:3.));
+      (cap (input 3. 7.));
+    Alcotest.(check (float 0.)) "cap is symmetric" 3. (cap (input 7. 3.)));
   Alcotest.(check string) "canonical config name" "PESS"
     (Els.Config.name Els.Config.pess);
   (* A cartesian step is never capped: with no join predicate the
@@ -187,6 +189,86 @@ let test_pess_pieces () =
   Alcotest.(check (float 0.)) "bridged step capped at min rows" 20.
     (Els.estimate Els.Config.pess db joined [ "t1"; "t2" ])
 
+(* The degree-statistics family: caps computed from known degree
+   sequences, min-rows degradation without them, and provenance notes
+   that disclose which statistic was read. *)
+let test_degree_family_caps () =
+  let counts l = List.map (fun (v, c) -> (Rel.Value.Int v, c)) l in
+  (* a: degrees 3,1 → L2² = 10, L∞ = 3; b: degrees 2,2 → L2² = 8, L∞ = 2. *)
+  let da = Stats.Degree.of_counts (counts [ (1, 3); (2, 1) ]) in
+  let db = Stats.Degree.of_counts (counts [ (1, 2); (2, 2) ]) in
+  let input degrees =
+    { Els.Estimator.left_rows = 100.; right_rows = 200.; degrees }
+  in
+  let cap_of est s =
+    match est.Els.Estimator.cap with
+    | Some cap -> cap s
+    | None -> Alcotest.failf "%s has no cap" (Els.Estimator.id est)
+  in
+  let note_of est s =
+    match est.Els.Estimator.cap_note with
+    | Some note -> note s
+    | None -> Alcotest.failf "%s has no cap note" (Els.Estimator.id est)
+  in
+  (* lp2: min(100, 200, √10·√8) = √80. *)
+  Helpers.check_float ~eps:1e-9 "lp2 = L2(a)·L2(b)"
+    (Float.sqrt 10. *. Float.sqrt 8.)
+    (cap_of Els.Estimator.lp2 (input [ (da, db) ]));
+  (* degseq: pairwise product of sorted sequences 3·2 + 1·2 = 8, above
+     min-rows territory is fine — the bound starts from infinity. *)
+  Helpers.check_float ~eps:1e-9 "degseq = join_bound" 8.
+    (cap_of Els.Estimator.degseq (input [ (da, db) ]));
+  (* ent: min(100·L∞(b), 200·L∞(a)) = min(200, 600). *)
+  Helpers.check_float ~eps:1e-9 "ent = min(|R1|·L∞(b), |R2|·L∞(a))" 200.
+    (cap_of Els.Estimator.ent (input [ (da, db) ]));
+  (* A conjunction of edges can only shrink lp2/ent; degseq takes the
+     tightest edge. *)
+  let dc = Stats.Degree.of_counts (counts [ (1, 1) ]) in
+  Helpers.check_float ~eps:1e-9 "tightest edge wins" 2.
+    (cap_of Els.Estimator.degseq (input [ (da, db); (dc, db) ]));
+  (* No degree statistics: every cap degrades to PESS's min-rows and the
+     provenance note says so. *)
+  List.iter
+    (fun est ->
+      Helpers.check_float
+        (Printf.sprintf "%s degrades to min-rows" (Els.Estimator.id est))
+        100.
+        (cap_of est (input []));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fallback note mentions min-rows"
+           (Els.Estimator.id est))
+        true
+        (contains ~needle:"min-rows" (note_of est (input [])));
+      Alcotest.(check bool)
+        (Printf.sprintf "%s provenance names the degree source"
+           (Els.Estimator.id est))
+        true
+        (contains ~needle:"degree" (note_of est (input [ (da, db) ]))))
+    [ Els.Estimator.lp2; Els.Estimator.degseq; Els.Estimator.ent ]
+
+(* End-to-end: on an analyzed key-join chain (every degree 1), all three
+   degree estimators coincide with PESS's min-rows bound — the degree-1
+   specialization — and their canonical configs print their labels. *)
+let test_degree_family_end_to_end () =
+  let spec =
+    Datagen.Workload.chain ~rows_range:(50, 200)
+      ~distinct_range:(10_000, 10_000) ~seed:7 ~n_tables:3 ()
+  in
+  let db = spec.Datagen.Workload.db in
+  let query = spec.Datagen.Workload.query in
+  let order = query.Query.tables in
+  let pess = Els.estimate Els.Config.pess db query order in
+  List.iter
+    (fun est ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "%s = PESS on a key chain" (Els.Estimator.id est))
+        pess
+        (Els.estimate (Els.Config.of_estimator est) db query order);
+      Alcotest.(check string) "canonical config prints the label"
+        (Els.Estimator.label est)
+        (Els.Config.name (Els.Config.of_estimator est)))
+    [ Els.Estimator.lp2; Els.Estimator.degseq; Els.Estimator.ent ]
+
 let suite =
   [
     Alcotest.test_case "golden: section 8 fixtures" `Quick test_golden_section8;
@@ -197,4 +279,7 @@ let suite =
     Alcotest.test_case "with_estimator cache keying" `Quick
       test_with_estimator_cache_keying;
     Alcotest.test_case "pessimistic bound pieces" `Quick test_pess_pieces;
+    Alcotest.test_case "degree family caps" `Quick test_degree_family_caps;
+    Alcotest.test_case "degree family end to end" `Quick
+      test_degree_family_end_to_end;
   ]

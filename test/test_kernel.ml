@@ -68,6 +68,15 @@ let rec permutations = function
 let has_kernel profile =
   match Els.Profile.kernel profile with Some _ -> true | None -> false
 
+(* Only the four built-ins lower to the compiled tier; the
+   degree-statistics family (lp2/degseq/ent) caps through closures the
+   lowering can't see into, so those profiles stay interpreted by
+   design. *)
+let lowerable (config : Els.Config.t) =
+  List.exists
+    (fun e -> Els.Estimator.equal e config.Els.Config.estimator)
+    [ Els.Estimator.m; Els.Estimator.ss; Els.Estimator.ls; Els.Estimator.pess ]
+
 (* --- compilation coverage --- *)
 
 let test_panel_kernels_compile () =
@@ -76,8 +85,9 @@ let test_panel_kernels_compile () =
     (fun config ->
       let profile = Els.prepare config db query in
       Alcotest.(check bool)
-        (Printf.sprintf "%s compiles a kernel" (Els.Config.name config))
-        true (has_kernel profile);
+        (Printf.sprintf "%s %s a kernel" (Els.Config.name config)
+           (if lowerable config then "compiles" else "never compiles"))
+        (lowerable config) (has_kernel profile);
       Alcotest.(check bool)
         (Printf.sprintf "%s honors ~kernel:false" (Els.Config.name config))
         false
@@ -215,7 +225,7 @@ let prop_kernel_matches_indexed =
         (fun config ->
           let kprofile = Els.prepare config db query in
           let iprofile = Els.prepare ~kernel:false config db query in
-          has_kernel kprofile
+          Bool.equal (has_kernel kprofile) (lowerable config)
           && (not (has_kernel iprofile))
           && List.for_all
                (fun order ->

@@ -254,6 +254,106 @@ let test_partitions_rejects_mismatch () =
     (Invalid_argument "Analyze.partitions: no shards") (fun () ->
       ignore (Catalog.Analyze.partitions ~name:"t" []))
 
+let test_merge_tables_symmetric_schema_check () =
+  (* Regression: the schema check must reject a drift in either
+     direction. Pre-fix, a column present only in the second shard was
+     silently dropped — the merge "succeeded" with data loss — while the
+     mirrored drift raised. *)
+  let table_with name cols =
+    let rng = Rel.Prng.create 41 in
+    let schema =
+      Rel.Schema.make
+        (List.map
+           (fun c -> Rel.Schema.column ~table:name ~name:c Rel.Value.Ty_int)
+           cols)
+    in
+    let rel =
+      Rel.Relation.of_tuples schema
+        (List.init 20 (fun _ ->
+             Rel.Tuple.of_list
+               (List.map
+                  (fun _ -> Rel.Value.Int (Rel.Prng.int_in rng 1 9))
+                  cols)))
+    in
+    Catalog.Analyze.table ~name rel
+  in
+  let ab = table_with "t" [ "a"; "b" ] and a = table_with "t" [ "a" ] in
+  let raises x y =
+    match Catalog.Analyze.merge_tables x y with
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the drifting column" true
+        (Helpers.contains msg "t.b")
+    | (_ : Catalog.Table.t) ->
+      Alcotest.fail "schema drift merged without complaint"
+  in
+  raises ab a;
+  raises a ab;
+  (* Matching schemas still merge. *)
+  Alcotest.(check int) "matching shards merge" 40
+    (Catalog.Analyze.merge_tables ab (table_with "t" [ "a"; "b" ]))
+      .Catalog.Table.row_count
+
+(* --- degree sequences --- *)
+
+let degree_of_values values = Stats.Degree.of_values values
+
+let test_degree_merge_complete_exact () =
+  (* Low-cardinality shards (every value tracked): the merge is exact on
+     every statistic, including the value-keyed top-k. *)
+  let rng = Rel.Prng.create 37 in
+  let values = ints_of rng 400 1 20 in
+  let bulk = degree_of_values values in
+  List.iter
+    (fun k ->
+      let merged =
+        match List.map degree_of_values (split_shards k values) with
+        | first :: rest -> List.fold_left Stats.Degree.merge first rest
+        | [] -> assert false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards stay complete" k)
+        true
+        (Stats.Degree.complete merged);
+      Helpers.check_float "l1 exact" (Stats.Degree.l1 bulk)
+        (Stats.Degree.l1 merged);
+      Helpers.check_float "l2² exact" (Stats.Degree.l2_sq bulk)
+        (Stats.Degree.l2_sq merged);
+      Helpers.check_float "linf exact" (Stats.Degree.linf bulk)
+        (Stats.Degree.linf merged);
+      Alcotest.(check bool) "tracked entries identical" true
+        (Stats.Degree.tracked bulk = Stats.Degree.tracked merged))
+    [ 2; 4; 8 ]
+
+let test_degree_merge_incomplete_bounds () =
+  (* High-cardinality shards: L1 stays exact; L∞/L2²/top-k become lower
+     bounds of the bulk statistic that still dominate each shard. *)
+  let rng = Rel.Prng.create 43 in
+  let values = ints_of rng 2000 1 400 in
+  let bulk = degree_of_values values in
+  let shard_stats = List.map degree_of_values (split_shards 4 values) in
+  let merged =
+    match shard_stats with
+    | first :: rest -> List.fold_left Stats.Degree.merge first rest
+    | [] -> assert false
+  in
+  Helpers.check_float "l1 exact" (Stats.Degree.l1 bulk) (Stats.Degree.l1 merged);
+  Alcotest.(check bool) "linf: shard ≤ merged ≤ bulk" true
+    (List.for_all
+       (fun s -> Stats.Degree.linf s <= Stats.Degree.linf merged)
+       shard_stats
+    && Stats.Degree.linf merged <= Stats.Degree.linf bulk);
+  Alcotest.(check bool) "l2²: shard ≤ merged ≤ bulk" true
+    (List.for_all
+       (fun s -> Stats.Degree.l2_sq s <= Stats.Degree.l2_sq merged)
+       shard_stats
+    && Stats.Degree.l2_sq merged <= Stats.Degree.l2_sq bulk);
+  let mt = Stats.Degree.top_degrees merged
+  and bt = Stats.Degree.top_degrees bulk in
+  Alcotest.(check bool) "top-k: merged[i] ≤ bulk[i]" true
+    (Array.for_all
+       (fun i -> mt.(i) <= bt.(i))
+       (Array.init (min (Array.length mt) (Array.length bt)) Fun.id))
+
 (* --- properties --- *)
 
 let gen_shard_spec =
@@ -307,6 +407,63 @@ let prop_partitions_close_to_bulk =
          <= 0.15
       && Catalog.Validate.check_table merged = [])
 
+(* The tolerance contract of Stats.Degree.merge (degree.mli "Merge
+   tolerance"), both regimes: in the complete regime (domain ≤ k) the
+   shard-merged statistic equals the bulk build exactly, values included;
+   past capacity, L1 stays exact and L∞/L2²/top-k are lower bounds of the
+   bulk that dominate every shard. *)
+let prop_degree_merge_matches_bulk =
+  QCheck2.Test.make ~count:100
+    ~name:"Degree shard merge = bulk (complete) / bounded (truncated)"
+    ~print:print_shard_spec gen_shard_spec (fun (seed, n, domain, shards) ->
+      let rng = Rel.Prng.create seed in
+      let values = ints_of rng n 1 domain in
+      let bulk = Stats.Degree.of_values values in
+      let shard_stats =
+        List.map Stats.Degree.of_values (split_shards shards values)
+      in
+      let merged =
+        match shard_stats with
+        | first :: rest -> List.fold_left Stats.Degree.merge first rest
+        | [] -> assert false
+      in
+      let l1_exact = Stats.Degree.l1 merged = Stats.Degree.l1 bulk in
+      let dominated =
+        List.for_all
+          (fun s ->
+            Stats.Degree.linf s <= Stats.Degree.linf merged
+            && Stats.Degree.l2_sq s <= Stats.Degree.l2_sq merged)
+          shard_stats
+      in
+      let bounded =
+        Stats.Degree.linf merged <= Stats.Degree.linf bulk
+        && Stats.Degree.l2_sq merged <= Stats.Degree.l2_sq bulk +. 1e-6
+        &&
+        let mt = Stats.Degree.top_degrees merged
+        and bt = Stats.Degree.top_degrees bulk in
+        Array.length mt <= Array.length bt
+        && Array.for_all
+             (fun i -> mt.(i) <= bt.(i))
+             (Array.init (Array.length mt) Fun.id)
+      in
+      let exact_when_complete =
+        (not (Stats.Degree.complete bulk))
+        || (Stats.Degree.complete merged
+           && Stats.Degree.l2_sq merged = Stats.Degree.l2_sq bulk
+           && Stats.Degree.linf merged = Stats.Degree.linf bulk
+           && Stats.Degree.tracked merged = Stats.Degree.tracked bulk)
+      in
+      (* Whatever the regime, the merged statistic must pass the catalog
+         audit — Repair mode must never drop a legitimately merged
+         degree sequence. *)
+      let audit_clean =
+        Catalog.Validate.check_table
+          (Catalog.Analyze.partitions ~name:"t"
+             (List.map (relation_of_column "t") (split_shards shards values)))
+        = []
+      in
+      l1_exact && dominated && bounded && exact_when_complete && audit_clean)
+
 let suite =
   [
     Alcotest.test_case "hll: accuracy within 5%" `Quick test_hll_accuracy;
@@ -329,6 +486,15 @@ let suite =
       test_partitions_single_shard_is_bulk;
     Alcotest.test_case "analyze: partitions rejects empty input" `Quick
       test_partitions_rejects_mismatch;
+    Alcotest.test_case "analyze: merge_tables schema check is symmetric"
+      `Quick test_merge_tables_symmetric_schema_check;
+    Alcotest.test_case "degree: complete shard merge exact" `Quick
+      test_degree_merge_complete_exact;
+    Alcotest.test_case "degree: truncated shard merge bounded" `Quick
+      test_degree_merge_incomplete_bounds;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_hll_merge_algebra; prop_partitions_close_to_bulk ]
+      [
+        prop_hll_merge_algebra; prop_partitions_close_to_bulk;
+        prop_degree_merge_matches_bulk;
+      ]

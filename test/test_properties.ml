@@ -786,6 +786,7 @@ let point_stats vals =
     histogram = Some (Stats.Histogram.of_buckets Stats.Histogram.Equi_width buckets);
     mcv = None;
     distinct_sketch = None;
+    degree = None;
   }
 
 let exact_probability lvals rvals test =

@@ -140,7 +140,13 @@ let test_session_basic () =
   Alcotest.(check bool) "drained" true stats.Serve.Server.drained;
   (* the explain response discloses the anytime rung it was served from *)
   Alcotest.(check bool) "explain discloses rung" true
-    (List.mem_assoc "rung" (by_id responses "x").top)
+    (List.mem_assoc "rung" (by_id responses "x").top);
+  (* analyze discloses how many columns carry degree statistics; the
+     freshly-analyzed catalog must have collected some *)
+  (match List.assoc_opt "degree_columns" (by_id responses "a").top with
+  | Some (Obs.Json.Int n) ->
+    Alcotest.(check bool) "analyze reports degree columns" true (n > 0)
+  | _ -> Alcotest.fail "analyze response lacks integer degree_columns")
 
 (* --- admission control: post-drain frames are shed, never dropped --- *)
 

@@ -203,6 +203,101 @@ let test_sel_range_pair () =
        ~lower:(Some (Rel.Cmp.Ge, Rel.Value.Int 900))
        ~upper:(Some (Rel.Cmp.Le, Rel.Value.Int 100)))
 
+let test_sel_non_integer_constant () =
+  (* Regression: over an integer domain a fractional constant occupies no
+     discrete slot, so < and <= coincide: x < 2.5 ≡ x <= 2.5 ≡ x ∈ {1, 2}.
+     The pre-fix interpolation returned (x − lo)/width for the strict
+     side, undercounting the mass by half a value. *)
+  let s = bounded_stats ~d:10 ~lo:1 ~hi:10 in
+  check_float ~eps:1e-9 "x < 2.5 = 2/10" 0.2
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Lt (Rel.Value.Float 2.5));
+  check_float ~eps:1e-9 "x <= 2.5 = 2/10" 0.2
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Le (Rel.Value.Float 2.5));
+  check_float ~eps:1e-9 "x > 2.5 = 8/10" 0.8
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Gt (Rel.Value.Float 2.5));
+  check_float ~eps:1e-9 "x >= 2.5 = 8/10" 0.8
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Ge (Rel.Value.Float 2.5));
+  (* Integer constants keep the off-by-one-aware discrete split. *)
+  check_float ~eps:1e-9 "x < 3 = 2/10" 0.2
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Lt (Rel.Value.Int 3));
+  check_float ~eps:1e-9 "x <= 3 = 3/10" 0.3
+    (Stats.Selectivity_est.comparison s Rel.Cmp.Le (Rel.Value.Int 3))
+
+let test_cdf_eval_guard () =
+  (* cdf_eval answers cumulative (Lt/Le) queries only; anything else is a
+     caller bug and must be refused loudly, not silently answered with
+     the at-or-below mass. *)
+  let s = bounded_stats ~d:10 ~lo:1 ~hi:10 in
+  (match Stats.Selectivity_est.cdf_eval s Rel.Cmp.Lt 3. with
+  | Some v -> check_float ~eps:1e-9 "F_lt(3) = 2/10" 0.2 v
+  | None -> Alcotest.fail "cdf_eval returned None on bounded stats");
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cdf_eval refuses %s" (Rel.Cmp.to_string op))
+        true
+        (match Stats.Selectivity_est.cdf_eval s op 3. with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ Rel.Cmp.Eq; Rel.Cmp.Ne; Rel.Cmp.Gt; Rel.Cmp.Ge ]
+
+(* --- Degree --- *)
+
+let test_degree_of_values () =
+  let values =
+    Array.concat
+      [
+        Array.make 4 (Rel.Value.Int 1);
+        Array.make 2 (Rel.Value.Int 2);
+        [| Rel.Value.Int 3; Rel.Value.Null |];
+      ]
+  in
+  let d = Stats.Degree.of_values values in
+  check_float "l1 = non-null rows" 7. (Stats.Degree.l1 d);
+  check_float "l2² = 16+4+1" 21. (Stats.Degree.l2_sq d);
+  check_float "l2 = √(l2²)" (Float.sqrt 21.) (Stats.Degree.l2 d);
+  check_float "linf = heaviest degree" 4. (Stats.Degree.linf d);
+  Alcotest.(check bool) "complete under capacity" true (Stats.Degree.complete d);
+  Alcotest.(check (array (float 0.)))
+    "top-k descending" [| 4.; 2.; 1. |]
+    (Stats.Degree.top_degrees d)
+
+let test_degree_truncation () =
+  (* More distinct values than the tracked capacity: norms stay exact
+     (computed before truncation), the top-k keeps the heaviest, and the
+     completeness flag drops. *)
+  let counts = List.init 40 (fun i -> (Rel.Value.Int i, i + 1)) in
+  let d = Stats.Degree.of_counts counts in
+  Alcotest.(check bool) "not complete past capacity" false
+    (Stats.Degree.complete d);
+  Alcotest.(check int) "top-k capped at default k"
+    Stats.Degree.default_k
+    (Array.length (Stats.Degree.top_degrees d));
+  check_float "l1 exact despite truncation" 820. (Stats.Degree.l1 d);
+  check_float "linf exact despite truncation" 40. (Stats.Degree.linf d);
+  check_float "heaviest entry leads" 40. (Stats.Degree.top_degrees d).(0)
+
+let test_degree_join_bound () =
+  (* a: degrees 3,2; b: degrees 2,1 — both complete, so the bound is
+     exactly the pairwise product of the sorted sequences 3·2 + 2·1. *)
+  let counts l = List.map (fun (v, c) -> (Rel.Value.Int v, c)) l in
+  let a = Stats.Degree.of_counts (counts [ (1, 3); (2, 2) ]) in
+  let b = Stats.Degree.of_counts (counts [ (1, 2); (2, 1) ]) in
+  check_float "complete: pairwise product" 8. (Stats.Degree.join_bound a b);
+  check_float "symmetric" 8. (Stats.Degree.join_bound b a);
+  (* Truncated to k=1 the untracked tail is capped, never dropped: the
+     bound must still dominate the maximal coupling. *)
+  let a1 = Stats.Degree.of_counts ~k:1 (counts [ (1, 3); (2, 2) ]) in
+  let b1 = Stats.Degree.of_counts ~k:1 (counts [ (1, 2); (2, 1) ]) in
+  Alcotest.(check bool) "truncated bound dominates the coupling" true
+    (Stats.Degree.join_bound a1 b1 >= 8.);
+  (* Key columns: all degrees 1, so the bound is the smaller row count. *)
+  let key n =
+    Stats.Degree.of_counts (List.init n (fun i -> (Rel.Value.Int i, 1)))
+  in
+  check_float "key join caps at the smaller side" 5.
+    (Stats.Degree.join_bound (key 5) (key 9))
+
 let test_urn_int_boundary () =
   (* The ceiling variant must stay inside native int range even at the
      extreme corner — ⌈n·(1 − (1 − 1/n)^k)⌉ can round to n + 1 in float,
@@ -282,4 +377,12 @@ let suite =
     Alcotest.test_case "selectivity: range pairs" `Quick test_sel_range_pair;
     Alcotest.test_case "selectivity: histogram priority" `Quick
       test_sel_histogram_priority;
+    Alcotest.test_case "selectivity: non-integer constant over int domain"
+      `Quick test_sel_non_integer_constant;
+    Alcotest.test_case "selectivity: cdf_eval refuses non-CDF ops" `Quick
+      test_cdf_eval_guard;
+    Alcotest.test_case "degree: of_values norms" `Quick test_degree_of_values;
+    Alcotest.test_case "degree: truncation past capacity" `Quick
+      test_degree_truncation;
+    Alcotest.test_case "degree: join bound" `Quick test_degree_join_bound;
   ]

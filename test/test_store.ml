@@ -279,6 +279,7 @@ let drifted_table () =
       histogram = None;
       mcv = None;
       distinct_sketch = Some sketch;
+      degree = None;
     }
   in
   Catalog.Table.stats_only ~name:"t"
